@@ -1,0 +1,82 @@
+"""Ablation B: the decay period (Section 4.1.1 design choice).
+
+The paper decays edge counters every 256 executions so correlations
+favour recent behaviour.  This ablation sweeps the period on a
+phase-changing workload (javacx — each generated program is a phase)
+and a stable one (scimarkx):
+
+- very short periods erase history and destabilize the cache (more
+  signals / invalidations),
+- very long periods react slowly to phase changes,
+- 256 is a reasonable middle.
+"""
+
+from __future__ import annotations
+
+from repro.harness import run_experiment
+from repro.metrics.report import Table
+
+PERIODS = (32, 256, 4096)
+WORKLOADS = ("javacx", "scimarkx")
+
+
+def build_table(size: str):
+    table = Table(
+        "Ablation B: decay period",
+        ["workload", "period", "coverage", "completion", "signals",
+         "invalidations"],
+        formats=["", "", ".1%", ".1%", "", ""])
+    results = {}
+    for workload in WORKLOADS:
+        for period in PERIODS:
+            stats = run_experiment(workload, size,
+                                   decay_period=period).stats
+            table.add_row(workload, period, stats.coverage,
+                          stats.completion_rate, stats.signals,
+                          stats.traces_invalidated)
+            results[(workload, period)] = stats
+    return table, results
+
+
+def test_decay_ablation(benchmark, size, record_table):
+    table, results = benchmark.pedantic(
+        lambda: build_table(size), rounds=1, iterations=1)
+    record_table("ablation_decay", table)
+
+    for workload in WORKLOADS:
+        # Aggressive decay produces at least as much churn as the
+        # paper's 256 setting.
+        assert results[(workload, 32)].signals \
+            >= results[(workload, 256)].signals * 0.5
+        # All periods preserve correctness-level coverage.
+        for period in PERIODS:
+            assert results[(workload, period)].coverage > 0.3
+
+
+def test_unroll_ablation(benchmark, size, record_table):
+    """Design-choice ablation: loop unroll copies (paper: 'unrolled
+    once', i.e. two copies of the body)."""
+    table = Table(
+        "Ablation C: loop unroll copies",
+        ["workload", "copies", "avg length", "coverage",
+         "dispatch reduction"],
+        formats=["", "", ".1f", ".1%", ".1%"])
+    results = {}
+
+    def build():
+        for copies in (1, 2, 4):
+            stats = run_experiment("scimarkx", size,
+                                   loop_unroll_copies=copies).stats
+            table.add_row("scimarkx", copies,
+                          stats.average_trace_length, stats.coverage,
+                          stats.dispatch_reduction)
+            results[copies] = stats
+        return table
+
+    benchmark.pedantic(build, rounds=1, iterations=1)
+    record_table("ablation_unroll", table)
+
+    # More unrolling -> longer traces and fewer dispatches.
+    assert results[4].average_trace_length \
+        >= results[1].average_trace_length
+    assert results[4].dispatch_reduction >= results[1].dispatch_reduction

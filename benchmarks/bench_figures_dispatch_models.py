@@ -1,0 +1,54 @@
+"""Figures 1 & 2: dispatch counts per execution model.
+
+The paper's Figures 1 and 2 illustrate the per-instruction and
+per-basic-block dispatch models; this benchmark quantifies them (plus
+the trace-dispatching model) on every workload and times the three
+interpreters on a representative benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceCacheConfig, TraceController
+from repro.harness import figures_dispatch_models
+from repro.jvm import SwitchInterpreter, ThreadedInterpreter
+from repro.workloads import load_workload
+
+REPRESENTATIVE = "compressx"
+
+
+@pytest.fixture(scope="module")
+def program(size):
+    return load_workload(REPRESENTATIVE, size)
+
+
+def test_figures_table(benchmark, record_table, size):
+    table = benchmark.pedantic(
+        lambda: figures_dispatch_models(size), rounds=1, iterations=1)
+    record_table("figures_dispatch_models", table)
+    by_name = table.row_map()
+    for name, row in by_name.items():
+        values = dict(zip(table.headers, row))
+        assert values["per-block (Fig.2)"] \
+            < values["per-instruction (Fig.1)"], name
+        assert values["per-trace (this paper)"] \
+            < values["per-block (Fig.2)"], name
+
+
+def test_switch_interpreter_speed(benchmark, program):
+    benchmark.pedantic(
+        lambda: SwitchInterpreter(program).run(),
+        rounds=1, iterations=1)
+
+
+def test_threaded_interpreter_speed(benchmark, program):
+    benchmark.pedantic(
+        lambda: ThreadedInterpreter(program).run(),
+        rounds=1, iterations=1)
+
+
+def test_trace_dispatch_speed(benchmark, program):
+    def run():
+        TraceController(program, TraceCacheConfig()).run()
+    benchmark.pedantic(run, rounds=1, iterations=1)

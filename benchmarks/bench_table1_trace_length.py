@@ -1,0 +1,33 @@
+"""Table I: average executed trace length vs. completion threshold.
+
+Shape assertions (vs. the paper):
+- the threshold has little effect between 95% and 99%,
+- the 100% threshold can only chain unique branches, so lengths drop
+  (or at best stay equal),
+- the scientific workload (scimarkx) is among the longest, the
+  compiler-like workload (javacx) among the shortest.
+"""
+
+from __future__ import annotations
+
+from repro.harness import (PAPER_TABLE1, THRESHOLDS, paper_table, table1)
+
+
+def test_regenerate_table1(benchmark, matrix, record_table):
+    table = benchmark.pedantic(
+        lambda: table1(matrix, THRESHOLDS), rounds=1, iterations=1)
+    record_table("table1_trace_length", table,
+                 paper_table("Paper Table I (reference)", PAPER_TABLE1))
+
+    rows = table.row_map()
+    avg = {label: row[-1] for label, row in rows.items()}
+    # 100% threshold cannot beat the permissive thresholds.
+    assert avg["100%"] <= avg["95%"] + 0.5
+    # Lengths are in a sane band: >= the 2-block minimum.
+    for label, value in avg.items():
+        assert value >= 2.0, label
+
+    # Per-benchmark ordering at 97%: scimark long, javac short.
+    row97 = rows["97%"]
+    by_bench = dict(zip(table.headers[1:], row97[1:]))
+    assert by_bench["scimarkx"] >= by_bench["javacx"]

@@ -1,0 +1,33 @@
+"""Table II: instruction stream coverage vs. completion threshold.
+
+Shape assertions (vs. the paper): coverage is high across the sweep
+(the paper averages 82-87%), scimarkx is the best-covered workload, and
+the average peaks in the 97-99% band rather than at 100%.
+"""
+
+from __future__ import annotations
+
+from repro.harness import (PAPER_TABLE2, THRESHOLDS, paper_table, table2)
+
+
+def test_regenerate_table2(benchmark, matrix, record_table):
+    table = benchmark.pedantic(
+        lambda: table2(matrix, THRESHOLDS), rounds=1, iterations=1)
+    record_table("table2_coverage", table,
+                 paper_table("Paper Table II (reference)", PAPER_TABLE2,
+                             fmt=".1%"))
+
+    rows = table.row_map()
+    averages = {label: row[-1] for label, row in rows.items()}
+    # Headline: high coverage at the paper's chosen threshold.
+    assert averages["97%"] > 0.75
+    # 100% threshold must not beat the 97% threshold.
+    assert averages["100%"] <= averages["97%"] + 0.02
+
+    row97 = rows["97%"]
+    by_bench = dict(zip(table.headers[1:], row97[1:]))
+    best = max(by_bench, key=by_bench.get)
+    assert by_bench["scimarkx"] >= by_bench[best] - 0.05
+    for name, coverage in by_bench.items():
+        if name != "average":
+            assert coverage > 0.5, name

@@ -1,0 +1,28 @@
+"""Table III: dynamic trace completion rate vs. threshold.
+
+The paper's Table III survives only as prose ("for threshold values
+above 97% the completion rate is sufficiently high to justify the more
+complex algorithm"); the shape assertions check that prose claim:
+completion is very high at >= 97% and does not *increase* as the
+threshold is lowered.
+"""
+
+from __future__ import annotations
+
+from repro.harness import THRESHOLDS, table3
+
+
+def test_regenerate_table3(benchmark, matrix, record_table):
+    table = benchmark.pedantic(
+        lambda: table3(matrix, THRESHOLDS), rounds=1, iterations=1)
+    record_table("table3_completion", table)
+
+    rows = table.row_map()
+    averages = {label: row[-1] for label, row in rows.items()}
+    # The paper's claim: >= 97% thresholds keep completion very high.
+    assert averages["97%"] > 0.90
+    assert averages["99%"] > 0.90
+    assert averages["100%"] > 0.90
+    # Expected monotone-ish trend: permissive thresholds cannot give
+    # strictly better completion than the strict ones.
+    assert averages["95%"] <= averages["100%"] + 0.03

@@ -1,0 +1,26 @@
+"""Table V: thousands of dispatches per trace event vs. start-state
+delay, at the 97% threshold.
+
+Shape assertions (vs. the paper): increasing the delay from 1 to 4096
+dramatically increases the interval between trace events (signals +
+trace constructions), because rarely executed code stops churning the
+trace cache.
+"""
+
+from __future__ import annotations
+
+from repro.harness import DELAYS, table5
+
+
+def test_regenerate_table5(benchmark, matrix, record_table):
+    table = benchmark.pedantic(
+        lambda: table5(matrix, DELAYS), rounds=1, iterations=1)
+    record_table("table5_event_interval", table)
+
+    rows = table.row_map()
+    averages = {label: row[-1] for label, row in rows.items()}
+    # The paper's claim: the event interval rises sharply with delay.
+    assert averages["4096"] > averages["1"]
+    # Delay 64 sits between the extremes (allowing small noise).
+    assert averages["64"] >= averages["1"] * 0.8
+    assert averages["4096"] >= averages["64"] * 0.8

@@ -1,0 +1,45 @@
+"""Shared fixtures for the paper-table benchmark suite.
+
+Benchmarks run at the ``small`` size preset by default; set
+``REPRO_BENCH_SIZE=paper`` for the larger runs (several times slower).
+Every regenerated table is printed to stdout and saved under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import ExperimentMatrix
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_size() -> str:
+    return os.environ.get("REPRO_BENCH_SIZE", "small")
+
+
+@pytest.fixture(scope="session")
+def size() -> str:
+    return bench_size()
+
+
+@pytest.fixture(scope="session")
+def matrix(size) -> ExperimentMatrix:
+    """One shared run cache across all table benchmarks."""
+    return ExperimentMatrix(size)
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Print a rendered table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def record(name: str, *tables) -> None:
+        text = "\n\n".join(t.render() for t in tables)
+        print("\n" + text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return record

@@ -1,0 +1,66 @@
+"""Inspect the branch correlation graph and the traces it produces.
+
+Runs the javac-analog workload (the branchiest one), then dumps:
+- the hottest BCG nodes with their states and correlation tables,
+- the hottest traces, their expected vs. observed completion rates,
+- a disassembly excerpt showing how trace blocks map back to bytecode.
+
+Run:  python examples/inspect_traces.py [workload] [size]
+"""
+
+import sys
+
+from repro import BranchState, TraceCacheConfig, load_workload, run_traced
+from repro.jvm import disassemble_method
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "javacx"
+    size = sys.argv[2] if len(sys.argv) > 2 else "tiny"
+    program = load_workload(workload, size)
+    result = run_traced(program, TraceCacheConfig())
+
+    print(f"=== {workload} ({size}): "
+          f"{result.stats.instr_total:,} instructions, "
+          f"{len(result.profiler.bcg)} branch nodes, "
+          f"{len(result.cache)} traces ===\n")
+
+    print("--- hottest branch correlation nodes ---")
+    nodes = sorted(result.profiler.bcg.nodes.values(),
+                   key=lambda n: n.exec_count, reverse=True)
+    for node in nodes[:12]:
+        state, best = node.summary
+        correlations = ", ".join(
+            f"->{z} p={node.edge_probability(z):.3f}"
+            for z, _e in sorted(node.edges.items(),
+                                key=lambda kv: -kv[1].weight)[:3])
+        anchored = " [anchors a trace]" if node.trace else ""
+        print(f"  branch {node.key}: executed {node.exec_count:>7,}  "
+              f"{state.name:<13s} {correlations}{anchored}")
+
+    print("\n--- hottest traces (expected vs. observed completion) ---")
+    for trace in result.cache.hottest(8):
+        blocks = " -> ".join(str(b.bid) for b in trace.blocks)
+        print(f"  [{blocks}]")
+        print(f"     entries={trace.entries:,}  expected completion="
+              f"{trace.expected_completion:.3f}  observed="
+              f"{trace.completion_rate:.3f}")
+
+    hottest = result.cache.hottest(1)
+    if hottest:
+        method = hottest[0].blocks[0].method
+        print(f"\n--- bytecode of {method.qualified_name} "
+              f"(home of the hottest trace) ---")
+        print(disassemble_method(method))
+
+    # Summarize the state distribution of the whole graph.
+    counts = {state: 0 for state in BranchState}
+    for node in result.profiler.bcg.nodes.values():
+        counts[node.summary[0]] += 1
+    print("\n--- branch state distribution ---")
+    for state, count in counts.items():
+        print(f"  {state.name:<14s} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Tour of the mini-Java compiler substrate: source -> tokens -> AST ->
+bytecode -> basic blocks -> execution under all three dispatch models.
+
+Run:  python examples/minijava_compiler.py
+"""
+
+from repro import TraceCacheConfig, compile_source, run_traced
+from repro.jvm import (SwitchInterpreter, ThreadedInterpreter,
+                       disassemble_method, program_summary)
+from repro.lang import parse, tokenize
+
+SOURCE = """
+class Accumulator {
+    int total;
+
+    void add(int value) {
+        if (value > 0) { total = total + value; }
+        else { total = total - value; }
+    }
+}
+
+class Main {
+    static int main() {
+        Accumulator acc = new Accumulator();
+        for (int i = -20; i < 20; i = i + 1) {
+            acc.add(i * 3);
+        }
+        return acc.total;
+    }
+}
+"""
+
+
+def main() -> None:
+    print("=== tokens (first 16) ===")
+    for token in tokenize(SOURCE)[:16]:
+        print(f"  {token.kind:<7s} {token.text!r}")
+
+    unit = parse(SOURCE)
+    print("\n=== AST classes ===")
+    for cls in unit.classes:
+        methods = ", ".join(m.name for m in cls.methods)
+        fields = ", ".join(f.name for f in cls.fields)
+        print(f"  class {cls.name}: fields [{fields}] "
+              f"methods [{methods}]")
+
+    program = compile_source(SOURCE)
+    print(f"\n=== linked program: {program_summary(program)} ===")
+    print("\n=== bytecode of Accumulator.add ===")
+    print(disassemble_method(program.method("Accumulator.add")))
+
+    print("\n=== three execution models on the same program ===")
+    switch = SwitchInterpreter(program)
+    switch.run()
+    print(f"  Figure 1 (per instruction): result {switch.result}, "
+          f"{switch.dispatch_count:,} dispatches")
+
+    threaded = ThreadedInterpreter(program)
+    machine = threaded.run()
+    print(f"  Figure 2 (per block)      : result {machine.result}, "
+          f"{threaded.dispatch_count:,} dispatches")
+
+    traced = run_traced(program, TraceCacheConfig(start_state_delay=4,
+                                                  decay_period=16))
+    print(f"  trace cache (this paper)  : result {traced.value}, "
+          f"{traced.stats.total_dispatches:,} dispatches "
+          f"({traced.stats.trace_dispatches:,} of them whole traces)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: compile a mini-Java program and run it under the
+trace-dispatching VM, then print the paper's five dependent values.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TraceCacheConfig, compile_source, run_traced
+
+SOURCE = """
+class Main {
+    static int work(int x) {
+        if ((x & 7) == 0) { return x * 3; }
+        return x + 1;
+    }
+
+    static int main() {
+        int total = 0;
+        for (int outer = 0; outer < 300; outer = outer + 1) {
+            for (int i = 0; i < 60; i = i + 1) {
+                total = (total + work(i)) & 1048575;
+            }
+        }
+        return total;
+    }
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    config = TraceCacheConfig(threshold=0.97, start_state_delay=64)
+    result = run_traced(program, config)
+    stats = result.stats
+
+    print(f"program result            : {result.value}")
+    print(f"instructions executed     : {stats.instr_total:,}")
+    print(f"dispatches (plain VM)     : {stats.baseline_dispatches:,}")
+    print(f"dispatches (trace VM)     : {stats.total_dispatches:,} "
+          f"({stats.dispatch_reduction:.1%} fewer)")
+    print()
+    print("The paper's five dependent values (Section 5.2):")
+    print(f"  average trace length    : "
+          f"{stats.average_trace_length:.1f} blocks")
+    print(f"  stream coverage         : {stats.coverage:.1%}")
+    print(f"  trace completion rate   : {stats.completion_rate:.1%}")
+    print(f"  dispatches per signal   : "
+          f"{stats.dispatches_per_signal:,.0f}")
+    print(f"  dispatches / trace event: "
+          f"{stats.dispatches_per_trace_event:,.0f}")
+    print()
+    print(f"traces in cache: {len(result.cache)}  "
+          f"(constructed {stats.traces_constructed}, "
+          f"invalidated {stats.traces_invalidated})")
+    print("hottest traces:")
+    for trace in result.cache.hottest(5):
+        print(f"  {trace.describe()}")
+
+
+if __name__ == "__main__":
+    main()

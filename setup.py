@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on offline machines
+where the `wheel` package (needed by PEP 517 editable installs) is
+unavailable.  Configuration lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — Dynamic profiling and trace cache generation for a Java-like VM.
+
+A full reproduction of Berndl & Hendren, *Dynamic Profiling and Trace
+Cache Generation for a Java Virtual Machine* (CGO 2003): a JVM-like
+bytecode substrate with switch and direct-threaded-inlining
+interpreters, a mini-Java compiler used to express the paper's
+workloads, the branch-correlation-graph profiler and trace cache that
+are the paper's contribution, the Dynamo/rePLay/Whaley-style baselines
+it compares against, and a harness regenerating every table in the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import compile_source, run_traced, TraceCacheConfig
+
+    program = compile_source('''
+        class Main {
+            static int main() {
+                int total = 0;
+                for (int i = 0; i < 1000; i = i + 1) { total = total + i; }
+                return total;
+            }
+        }
+    ''')
+    result = run_traced(program, TraceCacheConfig(threshold=0.97))
+    print(result.value, result.stats.coverage)
+"""
+
+from .core import (BranchCorrelationGraph, BranchNode, BranchState,
+                   EventLog, Profiler, RunResult, Trace, TraceCache,
+                   TraceCacheConfig, TraceController, run_traced)
+from .jvm import (Program, SwitchInterpreter, ThreadedInterpreter,
+                  disassemble_program, link, verify_program)
+from .lang import CompileError, compile_source
+from .metrics.collectors import RunStats
+from .workloads import SIZES, WORKLOAD_NAMES, load_workload, workload_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchCorrelationGraph", "BranchNode", "BranchState", "EventLog",
+    "Profiler", "RunResult", "Trace", "TraceCache", "TraceCacheConfig",
+    "TraceController", "run_traced", "Program", "SwitchInterpreter",
+    "ThreadedInterpreter", "disassemble_program", "link",
+    "verify_program", "CompileError", "compile_source", "RunStats",
+    "SIZES", "WORKLOAD_NAMES", "load_workload", "workload_source",
+]

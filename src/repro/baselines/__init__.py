@@ -1,0 +1,11 @@
+"""Baseline hot-code selection schemes the paper compares against."""
+
+from .dynamo import DynamoSelector
+from .interface import (BaselineTrace, TraceSelector, is_backward,
+                        run_with_selector)
+from .replay import ReplaySelector
+from .whaley import WhaleySelector
+
+__all__ = ["DynamoSelector", "BaselineTrace", "TraceSelector",
+           "is_backward", "run_with_selector", "ReplaySelector",
+           "WhaleySelector"]

@@ -1,0 +1,126 @@
+"""Dynamo-style NET (next-executing-tail) trace selection [Bala et al.].
+
+Dynamo places counters on potential hot points — targets of backward
+taken branches and trace exit points.  When a counter passes the hot
+threshold, the instructions executed *immediately afterwards* are
+assumed to form a frequently executed sequence: the interpreter enters
+record mode and captures blocks until an end-of-trace condition (a
+backward taken branch, a trace head, or the length limit).  No branch
+statistics are kept — that is the lightweight design the paper
+contrasts with its branch correlation graph.
+
+A simple cache-flush heuristic mirrors Dynamo's reaction to rapid new
+trace creation (a sign of changed program behaviour).
+"""
+
+from __future__ import annotations
+
+from .interface import BaselineTrace, TraceSelector, is_backward
+
+DEFAULT_HOT_THRESHOLD = 50
+DEFAULT_MAX_TRACE_BLOCKS = 64
+DEFAULT_FLUSH_WINDOW = 4096
+DEFAULT_FLUSH_CREATIONS = 64
+
+
+class DynamoSelector(TraceSelector):
+    """NET trace selection with counter-based hot point detection."""
+
+    name = "dynamo"
+
+    def __init__(self, hot_threshold: int = DEFAULT_HOT_THRESHOLD,
+                 max_trace_blocks: int = DEFAULT_MAX_TRACE_BLOCKS,
+                 flush_window: int = DEFAULT_FLUSH_WINDOW,
+                 flush_creations: int = DEFAULT_FLUSH_CREATIONS) -> None:
+        self.hot_threshold = hot_threshold
+        self.max_trace_blocks = max_trace_blocks
+        self.flush_window = flush_window
+        self.flush_creations = flush_creations
+        self.counters: dict[int, int] = {}     # head block id -> count
+        self.traces: dict[int, BaselineTrace] = {}  # head block id -> trace
+        self.recording: list | None = None
+        self._record_head: int | None = None
+        self.dispatches = 0
+        self.traces_created = 0
+        self.flushes = 0
+        self._window_creations = 0
+        self._window_start = 0
+
+    # ------------------------------------------------------------------
+    def on_dispatch(self, prev_block, cur_block):
+        self.dispatches += 1
+
+        if self.recording is not None:
+            return self._record_step(prev_block, cur_block)
+
+        trace = self.traces.get(cur_block.bid)
+        if trace is not None:
+            return trace
+
+        if is_backward(prev_block, cur_block):
+            count = self.counters.get(cur_block.bid, 0) + 1
+            if count >= self.hot_threshold:
+                self.counters[cur_block.bid] = 0
+                self.recording = [cur_block]
+                self._record_head = cur_block.bid
+            else:
+                self.counters[cur_block.bid] = count
+        return None
+
+    def _record_step(self, prev_block, cur_block):
+        recording = self.recording
+        end = (is_backward(prev_block, cur_block)
+               or cur_block.bid in self.traces
+               or len(recording) >= self.max_trace_blocks)
+        if end:
+            self._finish_recording()
+            # The block that ended recording may itself start a trace.
+            return self.traces.get(cur_block.bid)
+        recording.append(cur_block)
+        return None
+
+    def _finish_recording(self) -> None:
+        blocks = self.recording
+        self.recording = None
+        head = self._record_head
+        self._record_head = None
+        if len(blocks) < 2:
+            return
+        self.traces[head] = BaselineTrace(blocks)
+        self.traces_created += 1
+        self._note_creation()
+
+    def _note_creation(self) -> None:
+        if self.dispatches - self._window_start > self.flush_window:
+            self._window_start = self.dispatches
+            self._window_creations = 0
+        self._window_creations += 1
+        if self._window_creations >= self.flush_creations:
+            # Rapid trace creation: program behaviour changed; flush.
+            self.traces.clear()
+            self.flushes += 1
+            self._window_creations = 0
+            self._window_start = self.dispatches
+
+    # ------------------------------------------------------------------
+    def on_trace_exit(self, trace, executed, completed, successor):
+        # Trace exits are potential hot points in Dynamo; give the
+        # successor block a head start toward hotness.
+        if not completed and successor is not None \
+                and successor.bid not in self.traces:
+            count = self.counters.get(successor.bid, 0) + 1
+            if count >= self.hot_threshold:
+                self.counters[successor.bid] = 0
+                self.recording = [successor]
+                self._record_head = successor.bid
+            else:
+                self.counters[successor.bid] = count
+
+    def describe(self) -> dict:
+        return {
+            "scheme": self.name,
+            "traces": len(self.traces),
+            "traces_created": self.traces_created,
+            "flushes": self.flushes,
+            "hot_threshold": self.hot_threshold,
+        }

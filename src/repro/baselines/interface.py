@@ -1,0 +1,136 @@
+"""Shared machinery for baseline trace-selection schemes.
+
+Each baseline implements the :class:`TraceSelector` protocol; the
+generic :func:`run_with_selector` loop mirrors the paper system's
+trace-dispatching controller so that coverage / completion / stability
+metrics are measured identically across schemes.
+"""
+
+from __future__ import annotations
+
+from ..jvm.linker import Program
+from ..jvm.threaded import DEFAULT_MAX_INSTRUCTIONS, Machine, execute_block
+from ..metrics.collectors import RunStats
+
+
+class BaselineTrace:
+    """A block sequence selected by a baseline scheme."""
+
+    __slots__ = ("blocks", "key", "entries", "completions",
+                 "completed_blocks", "partial_blocks", "instr_completed",
+                 "instr_partial")
+
+    def __init__(self, blocks) -> None:
+        self.blocks = tuple(blocks)
+        self.key = tuple(b.bid for b in blocks)
+        self.entries = 0
+        self.completions = 0
+        self.completed_blocks = 0
+        self.partial_blocks = 0
+        self.instr_completed = 0
+        self.instr_partial = 0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def completion_rate(self) -> float:
+        if self.entries == 0:
+            return 1.0
+        return self.completions / self.entries
+
+
+class TraceSelector:
+    """Protocol for baseline schemes (subclass and override).
+
+    `on_dispatch(prev_block, cur_block)` runs once per dispatch (the
+    profiling hook position) and may return a BaselineTrace anchored at
+    `cur_block` to dispatch now.  `on_trace_exit` is informed of every
+    trace execution so schemes can adapt (e.g. Dynamo's cache flush).
+    """
+
+    name = "abstract"
+
+    def on_dispatch(self, prev_block, cur_block):
+        raise NotImplementedError
+
+    def on_trace_exit(self, trace: BaselineTrace, executed: int,
+                      completed: bool, successor) -> None:
+        """Optional hook after a trace execution."""
+
+    def describe(self) -> dict:
+        """Scheme-specific counters for reports."""
+        return {}
+
+
+def run_with_selector(program: Program, selector: TraceSelector,
+                      max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                      ) -> tuple[Machine, RunStats]:
+    """Run `program` dispatching the selector's traces; returns stats
+    directly comparable with the paper system's RunStats."""
+    program.reset_statics()
+    machine = Machine(program, max_instructions)
+    stats = RunStats()
+    current = machine.start()
+    previous = None
+
+    while current is not None:
+        if previous is not None:
+            trace = selector.on_dispatch(previous, current)
+            if trace is not None:
+                stats.trace_dispatches += 1
+                previous, current = _dispatch(machine, trace, selector,
+                                              stats)
+                continue
+        stats.block_dispatches += 1
+        nxt = execute_block(machine, current)
+        previous = current
+        current = nxt
+
+    stats.instr_total = machine.instr_count
+    return machine, stats
+
+
+def _dispatch(machine: Machine, trace: BaselineTrace,
+              selector: TraceSelector, stats: RunStats):
+    blocks = trace.blocks
+    count = len(blocks)
+    before = machine.instr_count
+    executed = 0
+    current = blocks[0]
+    nxt = None
+    while True:
+        nxt = execute_block(machine, current)
+        executed += 1
+        if executed == count or nxt is None:
+            break
+        if nxt is not blocks[executed]:
+            break
+        current = nxt
+
+    instructions = machine.instr_count - before
+    completed = executed == count
+    trace.entries += 1
+    stats.trace_entries += 1
+    if completed:
+        trace.completions += 1
+        trace.completed_blocks += count
+        trace.instr_completed += instructions
+        stats.trace_completions += 1
+        stats.completed_blocks += count
+        stats.instr_in_completed += instructions
+    else:
+        trace.partial_blocks += executed
+        trace.instr_partial += instructions
+        stats.partial_blocks += executed
+        stats.instr_in_partial += instructions
+    selector.on_trace_exit(trace, executed, completed, nxt)
+    return blocks[executed - 1], nxt
+
+
+def is_backward(prev_block, next_block) -> bool:
+    """A loop-closing transition: a jump to an earlier (or the same)
+    block of the same method — Dynamo's end-of-trace condition and
+    start-of-trace hot-point definition."""
+    return (next_block.method is prev_block.method
+            and next_block.start <= prev_block.start)

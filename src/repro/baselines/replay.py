@@ -1,0 +1,125 @@
+"""rePLay-style frame construction [Patel & Lumetta], in software.
+
+rePLay promotes a branch to an *assertion* once it has gone the same
+way 32 consecutive times when correlated with a 6-branch history, then
+builds *frames* — block sequences all of whose branches are asserted.
+Assertion failures roll the frame back.
+
+The hardware pieces are emulated:
+
+- the 6-bit path history register is a shift register of successor
+  parity bits, maintained at dispatch time;
+- frames are recorded from runs of consecutive asserted branches and
+  anchored on (first block, history) pairs;
+- an assertion failure during frame execution is a partial exit
+  (counted as a rollback — our VM keeps the executed prefix, which is
+  equivalent for coverage/completion accounting, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from .interface import BaselineTrace, TraceSelector
+
+DEFAULT_PROMOTE_THRESHOLD = 32
+DEFAULT_HISTORY_BITS = 6
+DEFAULT_MAX_FRAME_BLOCKS = 64
+
+
+class ReplaySelector(TraceSelector):
+    """Assertion-based frame selection with a path history register."""
+
+    name = "replay"
+
+    def __init__(self, promote_threshold: int = DEFAULT_PROMOTE_THRESHOLD,
+                 history_bits: int = DEFAULT_HISTORY_BITS,
+                 max_frame_blocks: int = DEFAULT_MAX_FRAME_BLOCKS) -> None:
+        self.promote_threshold = promote_threshold
+        self.history_mask = (1 << history_bits) - 1
+        self.history_bits = history_bits
+        self.max_frame_blocks = max_frame_blocks
+        # (branch block id, history) -> [successor bid, consec, asserted]
+        self.bias: dict[tuple, list] = {}
+        self.frames: dict[tuple, BaselineTrace] = {}
+        self.history = 0
+        self._run: list = []
+        self._run_anchor: tuple | None = None
+        self.promotions = 0
+        self.demotions = 0
+        self.rollbacks = 0
+        self.frames_created = 0
+
+    # ------------------------------------------------------------------
+    def on_dispatch(self, prev_block, cur_block):
+        hist = self.history
+
+        frame = self.frames.get((cur_block.bid, hist))
+        if frame is not None:
+            self._close_run()
+            self._advance_history(cur_block)
+            return frame
+
+        key = (prev_block.bid, hist)
+        entry = self.bias.get(key)
+        asserted = False
+        if entry is None:
+            self.bias[key] = [cur_block.bid, 1, False]
+        elif entry[0] == cur_block.bid:
+            entry[1] += 1
+            if not entry[2] and entry[1] >= self.promote_threshold:
+                entry[2] = True
+                self.promotions += 1
+            asserted = entry[2]
+        else:
+            if entry[2]:
+                self.demotions += 1
+            entry[0] = cur_block.bid
+            entry[1] = 1
+            entry[2] = False
+
+        if asserted:
+            if not self._run:
+                self._run_anchor = (cur_block.bid, hist)
+            self._run.append(cur_block)
+            if len(self._run) >= self.max_frame_blocks:
+                self._close_run()
+        else:
+            self._close_run()
+
+        self._advance_history(cur_block)
+        return None
+
+    def _advance_history(self, cur_block) -> None:
+        self.history = ((self.history << 1) | (cur_block.bid & 1)) \
+            & self.history_mask
+
+    def _close_run(self) -> None:
+        run = self._run
+        if len(run) >= 2 and self._run_anchor is not None \
+                and self._run_anchor not in self.frames:
+            self.frames[self._run_anchor] = BaselineTrace(run)
+            self.frames_created += 1
+        self._run = []
+        self._run_anchor = None
+
+    # ------------------------------------------------------------------
+    def on_trace_exit(self, trace, executed, completed, successor):
+        if not completed:
+            self.rollbacks += 1
+        # Rebuild the history register from the blocks the frame
+        # actually executed (the hardware would have tracked them).
+        hist = 0
+        for block in trace.blocks[:executed]:
+            hist = ((hist << 1) | (block.bid & 1)) & self.history_mask
+        if successor is not None:
+            hist = ((hist << 1) | (successor.bid & 1)) & self.history_mask
+        self.history = hist
+
+    def describe(self) -> dict:
+        return {
+            "scheme": self.name,
+            "frames": len(self.frames),
+            "frames_created": self.frames_created,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "rollbacks": self.rollbacks,
+        }

@@ -1,0 +1,106 @@
+"""Whaley-style two-phase hot method detection [Whaley, OOPSLA'01].
+
+Whaley's dynamic optimizer finds *not-rare basic blocks within hot
+methods*: counters at method entries and back edges trigger a baseline
+compile at the first threshold, after which executed blocks are
+flagged; at the second threshold everything flagged is optimized.
+
+This selector never dispatches traces (the scheme compiles methods, it
+does not reorder blocks); it classifies blocks and accounts coverage so
+the scheme's *selection quality* can be compared against trace-based
+schemes on identical runs.
+"""
+
+from __future__ import annotations
+
+from .interface import TraceSelector, is_backward
+
+DEFAULT_BASELINE_THRESHOLD = 50
+DEFAULT_OPTIMIZE_THRESHOLD = 500
+
+
+class WhaleySelector(TraceSelector):
+    """Two-phase method/block flagging (no trace dispatch)."""
+
+    name = "whaley"
+
+    def __init__(self,
+                 baseline_threshold: int = DEFAULT_BASELINE_THRESHOLD,
+                 optimize_threshold: int = DEFAULT_OPTIMIZE_THRESHOLD,
+                 ) -> None:
+        self.baseline_threshold = baseline_threshold
+        self.optimize_threshold = optimize_threshold
+        self.counters: dict = {}          # method -> counter
+        self.instrumented: set = set()    # methods past threshold 1
+        self.optimized: set = set()       # methods past threshold 2
+        self.flagged: dict = {}           # method -> set of not-rare bids
+        self.frozen: dict = {}            # method -> frozenset at opt time
+        self.instr_in_optimized = 0
+        self.instr_in_flagged = 0
+        self.instr_total = 0
+        self.baseline_compiles = 0
+        self.optimizing_compiles = 0
+
+    # ------------------------------------------------------------------
+    def on_dispatch(self, prev_block, cur_block):
+        method = cur_block.method
+        self.instr_total += cur_block.length
+
+        entered = (cur_block is method.entry_block
+                   and prev_block.method is not method)
+        if entered or is_backward(prev_block, cur_block):
+            count = self.counters.get(method, 0) + 1
+            self.counters[method] = count
+            if method not in self.instrumented \
+                    and count >= self.baseline_threshold:
+                # Phase 1: baseline compile; reset counter, instrument.
+                self.instrumented.add(method)
+                self.flagged[method] = set()
+                self.counters[method] = 0
+                self.baseline_compiles += 1
+            elif method in self.instrumented \
+                    and method not in self.optimized \
+                    and count >= self.optimize_threshold:
+                # Phase 2: everything ever flagged is not-rare.
+                self.optimized.add(method)
+                self.frozen[method] = frozenset(self.flagged[method])
+                self.optimizing_compiles += 1
+
+        if method in self.instrumented and method not in self.optimized:
+            self.flagged[method].add(cur_block.bid)
+
+        if method in self.optimized:
+            if cur_block.bid in self.frozen[method]:
+                self.instr_in_optimized += cur_block.length
+        if method in self.flagged \
+                and cur_block.bid in self.flagged[method]:
+            self.instr_in_flagged += cur_block.length
+        return None
+
+    # ------------------------------------------------------------------
+    @property
+    def optimized_coverage(self) -> float:
+        """Fraction of instructions executed inside optimized not-rare
+        blocks (the scheme's analogue of trace-cache coverage)."""
+        if self.instr_total == 0:
+            return 0.0
+        return self.instr_in_optimized / self.instr_total
+
+    @property
+    def flagged_coverage(self) -> float:
+        if self.instr_total == 0:
+            return 0.0
+        return self.instr_in_flagged / self.instr_total
+
+    def describe(self) -> dict:
+        total_flagged = sum(len(s) for s in self.flagged.values())
+        return {
+            "scheme": self.name,
+            "hot_methods": len(self.instrumented),
+            "optimized_methods": len(self.optimized),
+            "flagged_blocks": total_flagged,
+            "baseline_compiles": self.baseline_compiles,
+            "optimizing_compiles": self.optimizing_compiles,
+            "optimized_coverage": self.optimized_coverage,
+            "flagged_coverage": self.flagged_coverage,
+        }

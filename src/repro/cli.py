@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run FILE``        — compile a mini-Java file and run it (choose the
+  execution model with ``--model switch|threaded|traced``).
+- ``disasm FILE``     — compile and disassemble.
+- ``workload NAME``   — run a paper workload under the trace cache and
+  print the five dependent values (``--size``, ``--threshold``,
+  ``--delay``).
+- ``table N``         — regenerate paper table N (1-7) or ``figures``.
+- ``report``          — the full evaluation as one markdown document.
+- ``dump NAME``       — export a run's BCG/traces as JSON or Graphviz.
+- ``baselines NAME``  — compare selection schemes on a workload.
+
+``run`` and ``disasm`` accept mini-Java sources or ``.jasm`` assembly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core import TraceCacheConfig, run_traced
+from .harness import (ExperimentMatrix, figures_dispatch_models,
+                      run_baseline, run_experiment, table1, table2,
+                      table3, table4, table5, table6, table7)
+from .jvm import (SwitchInterpreter, ThreadedInterpreter,
+                  disassemble_program, program_summary)
+from .lang import CompileError, compile_source
+from .metrics.calibration import calibration_report, stability_report
+from .metrics.report import Table
+from .workloads import SIZES, WORKLOAD_NAMES, load_workload
+
+
+def _compile_file(path: str):
+    """Compile a source file: mini-Java by default, `.jasm` assembly
+    when the extension says so."""
+    with open(path) as handle:
+        source = handle.read()
+    if path.endswith(".jasm"):
+        from .jvm import link, parse_jasm, verify_program
+        program = link(parse_jasm(source))
+        verify_program(program)
+        return program
+    return compile_source(source)
+
+
+def cmd_run(args) -> int:
+    program = _compile_file(args.file)
+    started = time.perf_counter()
+    if args.model == "switch":
+        interp = SwitchInterpreter(program)
+        interp.run()
+        result, output = interp.result, interp.output
+        dispatches = interp.dispatch_count
+    elif args.model == "threaded":
+        interp = ThreadedInterpreter(program)
+        machine = interp.run()
+        result, output = machine.result, machine.output
+        dispatches = interp.dispatch_count
+    else:
+        traced = run_traced(program, _config(args))
+        result, output = traced.value, traced.output
+        dispatches = traced.stats.total_dispatches
+    elapsed = time.perf_counter() - started
+    for line in output:
+        print(line)
+    print(f"-> result: {result}  "
+          f"({dispatches:,} dispatches, {elapsed:.3f}s, "
+          f"model={args.model})")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = _compile_file(args.file)
+    print(program_summary(program))
+    print()
+    print(disassemble_program(program))
+    return 0
+
+
+def _config(args) -> TraceCacheConfig:
+    return TraceCacheConfig(
+        threshold=getattr(args, "threshold", 0.97),
+        start_state_delay=getattr(args, "delay", 64),
+        optimize_traces=getattr(args, "optimize", False))
+
+
+def cmd_workload(args) -> int:
+    program = load_workload(args.name, args.size)
+    result = run_traced(program, _config(args))
+    stats = result.stats
+    print(f"{args.name} ({args.size}): result={result.value}")
+    print(f"  instructions          : {stats.instr_total:,}")
+    print(f"  avg trace length      : {stats.average_trace_length:.1f}")
+    print(f"  stream coverage       : {stats.coverage:.1%}")
+    print(f"  completion rate       : {stats.completion_rate:.1%}")
+    print(f"  k-dispatches/signal   : "
+          f"{stats.dispatches_per_signal / 1000:.1f}")
+    print(f"  k-dispatches/event    : "
+          f"{stats.dispatches_per_trace_event / 1000:.1f}")
+    print(f"  dispatch reduction    : {stats.dispatch_reduction:.1%}")
+    print(f"  trace chain rate      : {stats.chain_rate:.1%}")
+    if args.calibration:
+        print()
+        print(calibration_report(result.cache.traces.values())
+              .to_table().render())
+        print()
+        print(stability_report(stats).to_table().render())
+    return 0
+
+
+def cmd_table(args) -> int:
+    which = args.which
+    if which == "figures":
+        print(figures_dispatch_models(args.size).render())
+        return 0
+    number = int(which)
+    if number in (6,):
+        print(table6(args.size, repeats=args.repeats).render())
+        return 0
+    matrix = ExperimentMatrix(args.size)
+    builders = {1: table1, 2: table2, 3: table3, 4: table4, 5: table5}
+    if number == 7:
+        print(table7(matrix, args.size, repeats=args.repeats).render())
+        return 0
+    try:
+        builder = builders[number]
+    except KeyError:
+        print(f"no such table: {which}", file=sys.stderr)
+        return 2
+    print(builder(matrix).render())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .harness.report import build_report
+    print(build_report(args.size, repeats=args.repeats))
+    return 0
+
+
+def cmd_dump(args) -> int:
+    program = load_workload(args.name, args.size)
+    result = run_traced(program, TraceCacheConfig())
+    from .metrics.dump import bcg_to_dot, run_to_json
+    if args.format == "dot":
+        print(bcg_to_dot(result.profiler.bcg, max_nodes=args.max_nodes))
+    else:
+        print(run_to_json(result))
+    return 0
+
+
+def cmd_baselines(args) -> int:
+    table = Table(
+        f"Selection schemes on {args.name} ({args.size})",
+        ["scheme", "coverage", "completion", "avg length",
+         "dispatch reduction"],
+        formats=["", ".1%", ".1%", ".1f", ".1%"])
+    stats = run_experiment(args.name, args.size).stats
+    table.add_row("bcg (paper)", stats.coverage, stats.completion_rate,
+                  stats.average_trace_length, stats.dispatch_reduction)
+    for scheme in ("dynamo", "replay", "whaley"):
+        sstats, info = run_baseline(args.name, scheme, args.size)
+        coverage = (info["optimized_coverage"] if scheme == "whaley"
+                    else sstats.coverage)
+        table.add_row(scheme, coverage, sstats.completion_rate,
+                      sstats.average_trace_length,
+                      sstats.dispatch_reduction)
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic profiling and trace cache generation "
+                    "(Berndl & Hendren, CGO 2003) — reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile and run a mini-Java file")
+    run.add_argument("file")
+    run.add_argument("--model", choices=("switch", "threaded", "traced"),
+                     default="traced")
+    run.add_argument("--threshold", type=float, default=0.97)
+    run.add_argument("--delay", type=int, default=64)
+    run.add_argument("--optimize", action="store_true",
+                     help="execute optimized (flattened) traces")
+    run.set_defaults(func=cmd_run)
+
+    disasm = sub.add_parser("disasm", help="disassemble a mini-Java file")
+    disasm.add_argument("file")
+    disasm.set_defaults(func=cmd_disasm)
+
+    workload = sub.add_parser("workload",
+                              help="run a paper workload traced")
+    workload.add_argument("name", choices=WORKLOAD_NAMES)
+    workload.add_argument("--size", choices=SIZES, default="small")
+    workload.add_argument("--threshold", type=float, default=0.97)
+    workload.add_argument("--delay", type=int, default=64)
+    workload.add_argument("--optimize", action="store_true",
+                          help="execute optimized (flattened) traces")
+    workload.add_argument("--calibration", action="store_true",
+                          help="print calibration/stability reports")
+    workload.set_defaults(func=cmd_workload)
+
+    table = sub.add_parser("table", help="regenerate a paper table")
+    table.add_argument("which",
+                       choices=("1", "2", "3", "4", "5", "6", "7",
+                                "figures"))
+    table.add_argument("--size", choices=SIZES, default="small")
+    table.add_argument("--repeats", type=int, default=3)
+    table.set_defaults(func=cmd_table)
+
+    report = sub.add_parser(
+        "report", help="regenerate the full evaluation as markdown")
+    report.add_argument("--size", choices=SIZES, default="small")
+    report.add_argument("--repeats", type=int, default=1)
+    report.set_defaults(func=cmd_report)
+
+    dump = sub.add_parser(
+        "dump", help="export a run's BCG/traces as JSON or Graphviz")
+    dump.add_argument("name", choices=WORKLOAD_NAMES)
+    dump.add_argument("--size", choices=SIZES, default="tiny")
+    dump.add_argument("--format", choices=("json", "dot"),
+                      default="json")
+    dump.add_argument("--max-nodes", type=int, default=40)
+    dump.set_defaults(func=cmd_dump)
+
+    baselines = sub.add_parser("baselines",
+                               help="compare selection schemes")
+    baselines.add_argument("name", choices=WORKLOAD_NAMES)
+    baselines.add_argument("--size", choices=SIZES, default="small")
+    baselines.set_defaults(func=cmd_baselines)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CompileError as error:
+        print(f"compile error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Trace completion probability (Section 3.7 of the paper).
+
+For a trace through branch nodes ``N_X0X1, N_X1X2, ..., N_Xk-1Xk`` the
+probability that a sequence entering ``N_X0X1`` executes to completion
+is the product of the step conditionals: for each consecutive node pair
+the correlation-edge weight divided by the node weight.
+"""
+
+from __future__ import annotations
+
+from .bcg import BranchNode
+
+
+def step_probability(node: BranchNode, next_node: BranchNode) -> float:
+    """Conditional probability of `next_node`'s branch after `node`'s."""
+    return node.edge_probability(next_node.dst)
+
+
+def completion_probability(nodes: list[BranchNode]) -> float:
+    """Probability that a trace over `nodes` executes to completion.
+
+    A single-node trace trivially completes (probability 1).  A zero
+    anywhere (unknown edge) makes the whole product zero.
+    """
+    probability = 1.0
+    for node, next_node in zip(nodes, nodes[1:]):
+        p = step_probability(node, next_node)
+        if p <= 0.0:
+            return 0.0
+        probability *= p
+    return probability
+
+
+def cut_by_threshold(nodes: list[BranchNode], threshold: float,
+                     max_len: int) -> list[tuple[list[BranchNode], float]]:
+    """Greedily partition a node path into threshold-respecting chunks.
+
+    Walks the path accumulating the product of step probabilities;
+    whenever adding the next step would push the product below
+    `threshold` (or the chunk past `max_len` nodes), the current chunk
+    is closed and a new one starts at the next node.  Returns
+    (chunk, expected completion probability) pairs.
+    """
+    chunks: list[tuple[list[BranchNode], float]] = []
+    if not nodes:
+        return chunks
+    start = 0
+    product = 1.0
+    for i in range(len(nodes) - 1):
+        p = step_probability(nodes[i], nodes[i + 1])
+        extended = product * p
+        if extended < threshold or (i + 1 - start) >= max_len:
+            chunks.append((nodes[start:i + 1], product))
+            start = i + 1
+            product = 1.0
+        else:
+            product = extended
+    chunks.append((nodes[start:], product))
+    return chunks

@@ -1,0 +1,57 @@
+"""Configuration for the profiler and trace cache.
+
+The two parameters the paper sweeps (Section 5.2) are `threshold` (the
+minimum expected trace completion rate, which doubles as the strong-
+correlation cutoff) and `start_state_delay` (how many executions before
+a branch leaves the *newly created* state).  The remaining knobs are
+implementation constants the paper fixes (16-bit counters, decay every
+256 executions) plus safety bounds for the trace constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TraceCacheConfig:
+    """All tunables of the profiling / trace generation system."""
+
+    threshold: float = 0.97
+    start_state_delay: int = 64
+    decay_period: int = 256
+    counter_bits: int = 16
+    max_trace_blocks: int = 64
+    max_walk_nodes: int = 128
+    max_backtrack_nodes: int = 64
+    min_trace_blocks: int = 2
+    loop_unroll_copies: int = 2
+    # Future-work extension (paper Section 6): compile dispatched
+    # traces to an optimized linear IR with guards.
+    optimize_traces: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {self.threshold}")
+        if self.start_state_delay < 1:
+            raise ValueError(
+                f"start_state_delay must be >= 1, got "
+                f"{self.start_state_delay}")
+        if self.decay_period < 2:
+            raise ValueError(
+                f"decay_period must be >= 2, got {self.decay_period}")
+        if not 1 <= self.counter_bits <= 64:
+            raise ValueError(
+                f"counter_bits must be in [1, 64], got {self.counter_bits}")
+        if self.min_trace_blocks < 2:
+            raise ValueError("min_trace_blocks must be >= 2")
+        if self.max_trace_blocks < self.min_trace_blocks:
+            raise ValueError("max_trace_blocks < min_trace_blocks")
+        if self.loop_unroll_copies < 1:
+            raise ValueError("loop_unroll_copies must be >= 1")
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation value of the 16-bit (by default) counters."""
+        return (1 << self.counter_bits) - 1

@@ -1,0 +1,104 @@
+"""Trace construction (Section 4.2 of the paper).
+
+Given a signalled node, three steps:
+
+1. **Backtrack** along strongly correlated in-edges to find every trace
+   entry point that might be affected.
+2. From each entry point, follow the **path of maximum likelihood**
+   forward until it reaches a weakly correlated branch or revisits a
+   node (a loop, which is unrolled once and processed first).
+3. **Cut** the resulting node sequences into traces whose cumulative
+   completion probability stays above the completion threshold
+   (:func:`repro.core.completion.cut_by_threshold`).
+"""
+
+from __future__ import annotations
+
+from .bcg import BranchCorrelationGraph, BranchNode
+from .config import TraceCacheConfig
+from .states import is_predictable
+
+
+def find_entry_points(bcg: BranchCorrelationGraph, node: BranchNode,
+                      config: TraceCacheConfig) -> list[BranchNode]:
+    """Backtrack along strong in-edges to the affected entry points.
+
+    An entry point is a node none of whose strong predecessors is
+    unvisited — either it truly has no strong in-edge, or backtracking
+    has looped (a cycle entry, chosen arbitrarily as the paper's
+    "terminal element list" would).  Exploration is bounded by
+    `max_backtrack_nodes`; on budget exhaustion the frontier nodes
+    become entries.
+    """
+    visited = {node.key}
+    stack = [node]
+    entries: list[BranchNode] = []
+    budget = config.max_backtrack_nodes
+    while stack:
+        current = stack.pop()
+        if len(visited) >= budget:
+            entries.append(current)
+            continue
+        fresh = [pred for pred in bcg.strong_predecessors(current)
+                 if pred.key not in visited]
+        if not fresh:
+            entries.append(current)
+            continue
+        for pred in fresh:
+            visited.add(pred.key)
+            stack.append(pred)
+    return entries
+
+
+def max_likelihood_walk(entry: BranchNode, config: TraceCacheConfig,
+                        ) -> tuple[list[BranchNode], int | None]:
+    """Follow maximally correlated edges forward from `entry`.
+
+    Returns (path, loop_start): `loop_start` is the index within `path`
+    that the walk returned to (None if the walk ended at a weak branch,
+    an unknown successor, or the length bound).  Nodes still in the
+    start state are never added to the path.
+    """
+    path = [entry]
+    index_of = {entry.key: 0}
+    while len(path) < config.max_walk_nodes:
+        current = path[-1]
+        state, best = current.summary
+        if not is_predictable(state):
+            break
+        if best is None:
+            break
+        edge = current.edges.get(best)
+        if edge is None or edge.weight <= 0:
+            break
+        nxt = edge.target
+        loop_start = index_of.get(nxt.key)
+        if loop_start is not None:
+            return path, loop_start
+        if nxt.countdown > 0:
+            # Still inside the start-state delay: rare code must not be
+            # included in traces.  (A hot node that merely lacks
+            # successor data may still *terminate* the path.)
+            break
+        index_of[nxt.key] = len(path)
+        path.append(nxt)
+    return path, None
+
+
+def build_node_sequences(path: list[BranchNode], loop_start: int | None,
+                         config: TraceCacheConfig,
+                         ) -> list[list[BranchNode]]:
+    """Node sequences to cut into traces.
+
+    Acyclic walks yield one sequence.  When the walk found a loop, the
+    loop body is processed first, unrolled once (`loop_unroll_copies`
+    appearances of the body), followed by the prefix leading into the
+    loop head (the head included as its terminal node).
+    """
+    if loop_start is None:
+        return [path]
+    loop = path[loop_start:]
+    sequences = [loop * config.loop_unroll_copies]
+    if loop_start >= 1:
+        sequences.append(path[:loop_start + 1])
+    return sequences

@@ -1,0 +1,179 @@
+"""The trace-dispatching interpreter loop.
+
+This is the paper's future-work step implemented: the VM actually
+*executes* cached traces.  Each iteration performs one dispatch — a
+whole trace when the just-taken branch anchors one, otherwise a single
+basic block.  The profiler hook runs exactly once per dispatch, so
+finding good traces removes profiling points, which is the mechanism
+behind the paper's overhead reduction (Section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..jvm.linker import Program
+from ..jvm.threaded import DEFAULT_MAX_INSTRUCTIONS, Machine, execute_block
+from ..metrics.collectors import RunStats
+from .config import TraceCacheConfig
+from .events import EventLog
+from .profiler import Profiler
+from .trace import Trace
+from .trace_cache import TraceCache
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Everything a trace-dispatching run produces."""
+
+    machine: Machine
+    stats: RunStats
+    profiler: Profiler
+    cache: TraceCache
+
+    @property
+    def output(self) -> list[str]:
+        return self.machine.output
+
+    @property
+    def value(self):
+        return self.machine.result
+
+
+class TraceController:
+    """Owns the profiler + trace cache and drives the dispatch loop."""
+
+    def __init__(self, program: Program,
+                 config: TraceCacheConfig | None = None,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+                 event_log: EventLog | None = None) -> None:
+        self.program = program
+        self.config = config or TraceCacheConfig()
+        self.max_instructions = max_instructions
+        self.profiler = Profiler(self.config, event_log=event_log)
+        self.cache = TraceCache(self.config, self.profiler)
+        self.profiler.signal_sink = self.cache.on_signal
+        self.optimizer = None
+        self._run_compiled = None
+        if self.config.optimize_traces:
+            # Imported lazily: the optimizer is an optional layer.
+            from ..opt import TraceOptimizer, run_compiled
+            self.optimizer = TraceOptimizer()
+            self._run_compiled = run_compiled
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the program entry to completion with trace dispatch."""
+        program = self.program
+        program.reset_statics()
+        machine = Machine(program, self.max_instructions)
+        stats = RunStats()
+        profiler = self.profiler
+        advance = profiler.advance
+        current = machine.start()
+        previous = None
+        # Trace chaining: a completed trace whose very next dispatch is
+        # another trace ran back-to-back — the relinking effect Dynamo
+        # achieves by patching trace exits to other traces.
+        last_was_trace = False
+
+        while current is not None:
+            if previous is not None:
+                node = advance(previous.bid, current)
+                trace = node.trace
+                if trace is not None:
+                    stats.trace_dispatches += 1
+                    if last_was_trace:
+                        stats.trace_chains += 1
+                    last_was_trace = True
+                    previous, current = self._dispatch_trace(
+                        machine, trace, stats)
+                    continue
+            last_was_trace = False
+            stats.block_dispatches += 1
+            nxt = execute_block(machine, current)
+            previous = current
+            current = nxt
+
+        self._finalize(machine, stats)
+        return RunResult(machine, stats, profiler, self.cache)
+
+    # ------------------------------------------------------------------
+    def _dispatch_trace(self, machine: Machine, trace: Trace,
+                        stats: RunStats):
+        """Execute `trace`; returns (last executed block, successor)."""
+        blocks = trace.blocks
+        count = len(blocks)
+        before = machine.instr_count
+
+        compiled = (self.optimizer.get(trace)
+                    if self.optimizer is not None else None)
+        if compiled is not None:
+            executed, nxt, _completed = self._run_compiled(machine,
+                                                           compiled)
+        else:
+            executed = 0
+            current = blocks[0]
+            nxt = None
+            while True:
+                nxt = execute_block(machine, current)
+                executed += 1
+                if executed == count or nxt is None:
+                    break
+                if nxt is not blocks[executed]:
+                    break
+                current = nxt
+
+        instructions = machine.instr_count - before
+        stats.trace_entries += 1
+        if executed == count:
+            trace.record_completion(instructions)
+            stats.trace_completions += 1
+            stats.completed_blocks += count
+            stats.instr_in_completed += instructions
+        else:
+            trace.record_partial(executed, instructions)
+            stats.partial_blocks += executed
+            stats.instr_in_partial += instructions
+
+        # Intra-trace branches were not profiled; restore the branch
+        # context to the last branch the trace actually took.  With
+        # fewer than two blocks executed the entry branch is still the
+        # last taken one, so the context is already correct.
+        if executed >= 2:
+            self.profiler.resync(blocks[executed - 2].bid,
+                                 blocks[executed - 1].bid)
+        return blocks[executed - 1], nxt
+
+    # ------------------------------------------------------------------
+    def _finalize(self, machine: Machine, stats: RunStats) -> None:
+        stats.instr_total = machine.instr_count
+        stats.signals = self.profiler.stats.signals
+        halfway = self.profiler.stats.advances / 2
+        stats.signals_late = sum(
+            1 for serial in self.profiler.stats.signal_serials
+            if serial > halfway)
+        stats.resignals = self.profiler.stats.resignals
+        stats.decays = self.profiler.stats.decays
+        cache_stats = self.cache.stats
+        stats.traces_constructed = cache_stats.traces_constructed
+        stats.traces_linked = cache_stats.traces_linked
+        stats.traces_invalidated = cache_stats.traces_invalidated
+        stats.anchors_replaced = cache_stats.anchors_replaced
+        stats.traces_in_cache = len(self.cache)
+        stats.bcg_nodes = len(self.profiler.bcg)
+        stats.bcg_edges = self.profiler.bcg.edge_count
+        if self.optimizer is not None:
+            stats.traces_compiled = self.optimizer.stats.traces_compiled
+            stats.opt_static_savings = self.optimizer.stats.static_savings
+            stats.opt_dynamic_savings = self.optimizer.dynamic_savings()
+
+
+def run_traced(program: Program,
+               config: TraceCacheConfig | None = None,
+               max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+               event_log: EventLog | None = None) -> RunResult:
+    """One-call API: run `program` under the trace-dispatching VM."""
+    controller = TraceController(program, config, max_instructions,
+                                 event_log)
+    return controller.run()

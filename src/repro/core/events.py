@@ -1,0 +1,40 @@
+"""State-change signals flowing from the profiler to the trace cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .states import Summary
+
+
+@dataclass(slots=True)
+class StateChangeSignal:
+    """Emitted when a node's (state, best successor) summary changes.
+
+    `dispatch_serial` is the dispatch count at emission time, which the
+    harness uses to compute signal-rate series.
+    """
+
+    node_key: tuple
+    old_summary: Summary
+    new_summary: Summary
+    dispatch_serial: int
+
+
+@dataclass(slots=True)
+class EventLog:
+    """Bounded in-memory log of signals (diagnostics / experiments)."""
+
+    capacity: int = 10_000
+    signals: list[StateChangeSignal] = field(default_factory=list)
+    dropped: int = 0
+
+    def record(self, signal: StateChangeSignal) -> None:
+        if len(self.signals) < self.capacity:
+            self.signals.append(signal)
+        else:
+            self.dropped += 1
+
+    @property
+    def total(self) -> int:
+        return len(self.signals) + self.dropped

@@ -1,0 +1,67 @@
+"""Branch correlation states (Section 4.1.1 of the paper).
+
+In descending degree of correlation: *unique*, *strongly correlated*,
+*weakly correlated*, *newly created*.  A node's summary — its state plus
+the identity of its maximally correlated successor — is what the
+profiler caches and compares at decay checks; a summary change is what
+triggers a signal to the trace cache.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class BranchState(IntEnum):
+    """State tag of a branch correlation node."""
+
+    NEWLY_CREATED = 0
+    WEAK = 1
+    STRONG = 2
+    UNIQUE = 3
+
+
+# A summary is (state, best successor block id or None).
+Summary = tuple  # (BranchState, int | None)
+
+
+def classify(node, threshold: float) -> Summary:
+    """Compute the (state, best successor) summary of `node`.
+
+    - Still inside the start-state delay -> NEWLY_CREATED.
+    - Exactly one successor ever observed (with weight) -> UNIQUE.
+    - Best conditional correlation >= threshold -> STRONG.
+    - Otherwise -> WEAK.
+
+    With threshold == 1.0 the STRONG state is unreachable (only a lone
+    successor achieves probability 1), which reproduces the paper's
+    remark that at a 100% threshold the algorithm does not distinguish
+    unique from strong.
+    """
+    if node.countdown > 0:
+        return (BranchState.NEWLY_CREATED, None)
+    edges = node.edges
+    if not edges or node.total <= 0:
+        # Not rare, but no successor has been observed yet.
+        return (BranchState.NEWLY_CREATED, None)
+    best_z = None
+    best_weight = -1
+    live = 0
+    for z, edge in edges.items():
+        if edge.weight > 0:
+            live += 1
+        if edge.weight > best_weight:
+            best_weight = edge.weight
+            best_z = z
+    if best_weight <= 0:
+        return (BranchState.NEWLY_CREATED, None)
+    if live == 1:
+        return (BranchState.UNIQUE, best_z)
+    if best_weight / node.total >= threshold:
+        return (BranchState.STRONG, best_z)
+    return (BranchState.WEAK, best_z)
+
+
+def is_predictable(state: BranchState) -> bool:
+    """Can a trace safely continue *through* a node in this state?"""
+    return state is BranchState.STRONG or state is BranchState.UNIQUE

@@ -1,0 +1,64 @@
+"""Trace objects and their per-trace runtime statistics."""
+
+from __future__ import annotations
+
+
+class Trace:
+    """A cached trace: a block sequence dispatched as a unit.
+
+    Anchored at a branch-correlation node ``N_X0X1``: when the machine
+    takes branch (X0, X1), the controller executes `blocks` =
+    [X1, ..., Xk] back to back, verifying after each block that the
+    dynamic successor matches the next expected block.  A mismatch is a
+    partial (early) exit; reaching the end is a completion.
+    """
+
+    __slots__ = ("key", "blocks", "node_keys", "expected_completion",
+                 "entries", "completions", "completed_blocks",
+                 "partial_blocks", "instr_completed", "instr_partial",
+                 "serial")
+
+    def __init__(self, blocks: tuple, node_keys: tuple,
+                 expected_completion: float, serial: int) -> None:
+        self.key = tuple(b.bid for b in blocks)
+        self.blocks = tuple(blocks)
+        self.node_keys = tuple(node_keys)
+        self.expected_completion = expected_completion
+        self.serial = serial
+        self.entries = 0
+        self.completions = 0
+        self.completed_blocks = 0   # sum of len(blocks) per completion
+        self.partial_blocks = 0     # sum of executed blocks per early exit
+        self.instr_completed = 0
+        self.instr_partial = 0
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def completion_rate(self) -> float:
+        """Observed dynamic completion rate (1.0 when never entered)."""
+        if self.entries == 0:
+            return 1.0
+        return self.completions / self.entries
+
+    def record_completion(self, instructions: int) -> None:
+        self.entries += 1
+        self.completions += 1
+        self.completed_blocks += len(self.blocks)
+        self.instr_completed += instructions
+
+    def record_partial(self, blocks_executed: int,
+                       instructions: int) -> None:
+        self.entries += 1
+        self.partial_blocks += blocks_executed
+        self.instr_partial += instructions
+
+    def describe(self) -> str:
+        names = " -> ".join(str(b.bid) for b in self.blocks)
+        return (f"trace#{self.serial} [{names}] "
+                f"p={self.expected_completion:.3f} "
+                f"entries={self.entries} rate={self.completion_rate:.3f}")
+
+    def __repr__(self) -> str:
+        return f"<Trace #{self.serial} {len(self.blocks)} blocks>"

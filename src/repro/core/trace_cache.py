@@ -1,0 +1,143 @@
+"""The trace cache (Section 4.2 of the paper).
+
+Responds to profiler signals by reconstructing exactly the traces a
+changed branch can affect: invalidate traces through the node, find the
+affected entry points, rebuild along maximum-likelihood paths, dedup
+against the hash table, and re-link anchors.  Finally the summaries of
+every examined node are refreshed so the reconstruction itself cannot
+trigger a cascade of further signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .completion import cut_by_threshold
+from .config import TraceCacheConfig
+from .constructor import (build_node_sequences, find_entry_points,
+                          max_likelihood_walk)
+from .profiler import Profiler
+from .trace import Trace
+
+
+@dataclass(slots=True)
+class TraceCacheStats:
+    signals_handled: int = 0
+    traces_constructed: int = 0
+    traces_linked: int = 0          # hash-table hits (dedup reuse)
+    anchors_set: int = 0
+    anchors_replaced: int = 0       # stability: anchor had another trace
+    traces_invalidated: int = 0
+    nodes_examined: int = 0
+    entry_points_found: int = 0
+    traces_per_signal: list[int] = field(default_factory=list)
+
+
+class TraceCache:
+    """Hash-table of traces keyed by block-id sequence, with anchor
+    links into the branch correlation graph."""
+
+    def __init__(self, config: TraceCacheConfig,
+                 profiler: Profiler) -> None:
+        self.config = config
+        self.profiler = profiler
+        self.traces: dict[tuple, Trace] = {}
+        # node key -> set of anchor node keys whose trace contains it.
+        self.node_to_anchors: dict[tuple, set[tuple]] = {}
+        self.stats = TraceCacheStats()
+        self._serial = 0
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # ------------------------------------------------------------------
+    def on_signal(self, node, old_summary, new_summary) -> None:
+        """Profiler signal entry point: rebuild what the change affects."""
+        stats = self.stats
+        stats.signals_handled += 1
+        constructed_before = stats.traces_constructed
+        self._invalidate_through(node)
+
+        bcg = self.profiler.bcg
+        entries = find_entry_points(bcg, node, self.config)
+        stats.entry_points_found += len(entries)
+        examined: dict[tuple, object] = {}
+        for entry in entries:
+            path, loop_start = max_likelihood_walk(entry, self.config)
+            for n in path:
+                examined[n.key] = n
+            for sequence in build_node_sequences(path, loop_start,
+                                                 self.config):
+                self._cut_and_install(sequence)
+
+        # Cascade prevention: everything examined is now up to date.
+        for n in examined.values():
+            self.profiler.refresh_summary(n)
+        stats.nodes_examined += len(examined)
+        stats.traces_per_signal.append(
+            stats.traces_constructed - constructed_before)
+
+    # ------------------------------------------------------------------
+    def _cut_and_install(self, sequence) -> None:
+        chunks = cut_by_threshold(sequence, self.config.threshold,
+                                  self.config.max_trace_blocks)
+        for chunk, probability in chunks:
+            if len(chunk) >= self.config.min_trace_blocks:
+                self._install(chunk, probability)
+
+    def _install(self, chunk, probability: float) -> Trace:
+        stats = self.stats
+        key = tuple(n.dst for n in chunk)
+        trace = self.traces.get(key)
+        if trace is None:
+            self._serial += 1
+            trace = Trace(
+                blocks=tuple(n.dst_block for n in chunk),
+                node_keys=tuple(n.key for n in chunk),
+                expected_completion=probability,
+                serial=self._serial,
+            )
+            self.traces[key] = trace
+            stats.traces_constructed += 1
+        else:
+            stats.traces_linked += 1
+
+        anchor = chunk[0]
+        if anchor.trace is not trace:
+            if anchor.trace is not None:
+                stats.anchors_replaced += 1
+            anchor.trace = trace
+            stats.anchors_set += 1
+        for n in chunk:
+            self.node_to_anchors.setdefault(n.key, set()).add(anchor.key)
+        return trace
+
+    def _invalidate_through(self, node) -> None:
+        """Unlink every anchored trace that contains `node`."""
+        anchors = self.node_to_anchors.pop(node.key, None)
+        if not anchors:
+            return
+        bcg = self.profiler.bcg
+        for anchor_key in anchors:
+            anchor = bcg.nodes.get(anchor_key)
+            if anchor is not None and anchor.trace is not None:
+                anchor.trace = None
+                self.stats.traces_invalidated += 1
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by examples and experiments.
+    def hottest(self, count: int = 10) -> list[Trace]:
+        """Traces sorted by entry count, most-entered first."""
+        return sorted(self.traces.values(),
+                      key=lambda t: t.entries, reverse=True)[:count]
+
+    def static_average_length(self) -> float:
+        """Mean block count over all constructed traces."""
+        if not self.traces:
+            return 0.0
+        return sum(len(t) for t in self.traces.values()) / len(self.traces)
+
+    def anchored_traces(self) -> int:
+        """Number of nodes currently linking to a trace."""
+        return sum(1 for n in self.profiler.bcg.nodes.values()
+                   if n.trace is not None)

@@ -1,0 +1,23 @@
+"""Experiment harness: runs, sweeps, and paper-table regeneration."""
+
+from .goldens import collect, compare, load_goldens, write_goldens
+from .report import build_report
+from .experiment import (ExperimentMatrix, ExperimentResult, make_selector,
+                         measure_profiler_overhead, run_baseline,
+                         run_dispatch_models, run_experiment)
+from .tables import (DELAYS, NAME_MAP, PAPER_BENCHMARKS, PAPER_TABLE1,
+                     PAPER_TABLE2, PAPER_TABLE4, PAPER_TABLE6, PAPER_TABLE7,
+                     THRESHOLDS, figures_dispatch_models, generate_all,
+                     paper_table, table1, table2, table3, table4, table5,
+                     table6, table7)
+
+__all__ = [
+    "ExperimentMatrix", "ExperimentResult", "make_selector",
+    "measure_profiler_overhead", "run_baseline", "run_dispatch_models",
+    "run_experiment", "DELAYS", "NAME_MAP", "PAPER_BENCHMARKS",
+    "PAPER_TABLE1", "PAPER_TABLE2", "PAPER_TABLE4", "PAPER_TABLE6",
+    "PAPER_TABLE7", "THRESHOLDS", "figures_dispatch_models",
+    "generate_all", "paper_table", "table1", "table2", "table3",
+    "build_report", "collect", "compare", "load_goldens", "write_goldens",
+    "table4", "table5", "table6", "table7",
+]

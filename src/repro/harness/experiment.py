@@ -1,0 +1,163 @@
+"""Experiment primitives: single runs, sweeps, and timing measurements.
+
+All functions key workloads by (name, size) through the registry and
+return the metrics objects defined in :mod:`repro.metrics.collectors`.
+The :class:`ExperimentMatrix` caches runs so a harness regenerating
+several tables does not re-execute identical configurations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..baselines import (DynamoSelector, ReplaySelector, TraceSelector,
+                         WhaleySelector, run_with_selector)
+from ..core import Profiler, TraceCacheConfig, TraceController
+from ..jvm import SwitchInterpreter, ThreadedInterpreter
+from ..metrics.collectors import (DispatchModelStats, OverheadSample,
+                                  RunStats)
+from ..workloads import WORKLOAD_NAMES, load_workload
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    workload: str
+    size: str
+    config: TraceCacheConfig
+    stats: RunStats
+    result_value: object
+
+
+def run_experiment(workload: str, size: str = "small",
+                   threshold: float = 0.97, start_state_delay: int = 64,
+                   **config_overrides) -> ExperimentResult:
+    """One trace-dispatching run of a workload at given parameters."""
+    config = TraceCacheConfig(threshold=threshold,
+                              start_state_delay=start_state_delay,
+                              **config_overrides)
+    program = load_workload(workload, size)
+    controller = TraceController(program, config)
+    started = time.perf_counter()
+    result = controller.run()
+    result.stats.runtime_seconds = time.perf_counter() - started
+    return ExperimentResult(workload, size, config, result.stats,
+                            result.machine.result)
+
+
+def run_baseline(workload: str, scheme: str, size: str = "small",
+                 **selector_kwargs) -> tuple[RunStats, dict]:
+    """Run a baseline selection scheme; returns (stats, description)."""
+    selector = make_selector(scheme, **selector_kwargs)
+    program = load_workload(workload, size)
+    _machine, stats = run_with_selector(program, selector)
+    return stats, selector.describe()
+
+
+def make_selector(scheme: str, **kwargs) -> TraceSelector:
+    factories = {
+        "dynamo": DynamoSelector,
+        "replay": ReplaySelector,
+        "whaley": WhaleySelector,
+    }
+    if scheme not in factories:
+        raise KeyError(f"unknown baseline scheme {scheme!r}; "
+                       f"choose from {sorted(factories)}")
+    return factories[scheme](**kwargs)
+
+
+def run_dispatch_models(workload: str, size: str = "small",
+                        threshold: float = 0.97,
+                        start_state_delay: int = 64) -> DispatchModelStats:
+    """Figure 1/2 data: dispatch counts of the three execution models."""
+    program = load_workload(workload, size)
+    switch = SwitchInterpreter(program)
+    switch.run()
+    threaded = ThreadedInterpreter(program)
+    threaded.run()
+    controller = TraceController(program, TraceCacheConfig(
+        threshold=threshold, start_state_delay=start_state_delay))
+    traced = controller.run()
+    return DispatchModelStats(
+        instructions=switch.instr_count,
+        instruction_dispatches=switch.dispatch_count,
+        block_dispatches=threaded.dispatch_count,
+        trace_model_dispatches=traced.stats.total_dispatches,
+    )
+
+
+def measure_profiler_overhead(workload: str, size: str = "small",
+                              repeats: int = 3,
+                              config: TraceCacheConfig | None = None,
+                              ) -> OverheadSample:
+    """Table VI measurement: threaded interpreter timed with and
+    without the profiler hook (profiling only — no trace dispatch,
+    exactly the paper's modified-SableVM experiment)."""
+    program = load_workload(workload, size)
+    config = config or TraceCacheConfig()
+
+    def profiled_run() -> float:
+        profiler = Profiler(config)   # no signal sink: profiling only
+
+        def hook(prev, cur):
+            if prev is not None:
+                profiler.advance(prev.bid, cur)
+        return _time_threaded(program, hook)
+
+    # Interleave base/profiled samples so transient machine load hits
+    # both configurations equally; keep the per-configuration minimum.
+    base_samples = []
+    profiled_samples = []
+    for _ in range(repeats):
+        base_samples.append(_time_threaded(program, None))
+        profiled_samples.append(profiled_run())
+    base = min(base_samples)
+    profiled = min(profiled_samples)
+    interpreter = ThreadedInterpreter(program)
+    interpreter.run()
+    return OverheadSample(
+        benchmark=workload,
+        base_seconds=base,
+        profiled_seconds=profiled,
+        dispatches=interpreter.dispatch_count,
+    )
+
+
+def _time_threaded(program, hook) -> float:
+    interpreter = ThreadedInterpreter(program)
+    started = time.perf_counter()
+    interpreter.run(dispatch_hook=hook)
+    return time.perf_counter() - started
+
+
+class ExperimentMatrix:
+    """Lazy, cached (workload, threshold, delay) -> ExperimentResult."""
+
+    def __init__(self, size: str = "small",
+                 workloads: tuple[str, ...] = WORKLOAD_NAMES) -> None:
+        self.size = size
+        self.workloads = workloads
+        self._cache: dict[tuple, ExperimentResult] = {}
+
+    def get(self, workload: str, threshold: float = 0.97,
+            start_state_delay: int = 64) -> ExperimentResult:
+        key = (workload, threshold, start_state_delay)
+        result = self._cache.get(key)
+        if result is None:
+            result = run_experiment(workload, self.size, threshold,
+                                    start_state_delay)
+            self._cache[key] = result
+        return result
+
+    def sweep_thresholds(self, thresholds,
+                         start_state_delay: int = 64) -> dict:
+        """{threshold: {workload: ExperimentResult}}"""
+        return {t: {w: self.get(w, t, start_state_delay)
+                    for w in self.workloads}
+                for t in thresholds}
+
+    def sweep_delays(self, delays, threshold: float = 0.97) -> dict:
+        """{delay: {workload: ExperimentResult}}"""
+        return {d: {w: self.get(w, threshold, d)
+                    for w in self.workloads}
+                for d in delays}

@@ -1,0 +1,74 @@
+"""Golden regression data: exact expected results of every workload.
+
+The workloads are deterministic, so their checksums and instruction
+counts are *exact* contracts: any change to the VM's semantics, the
+compiler's code generation, or a workload's source shows up as a golden
+mismatch.  `tests/goldens/workloads.json` pins them; regenerate with::
+
+    python -m repro.harness.goldens tests/goldens/workloads.json
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..jvm import ThreadedInterpreter
+from ..workloads import WORKLOAD_NAMES, load_workload
+
+DEFAULT_SIZES = ("tiny",)
+
+
+def collect(sizes=DEFAULT_SIZES) -> dict:
+    """Current (result, instruction count, block dispatches) for every
+    workload at the given sizes."""
+    data: dict = {}
+    for name in WORKLOAD_NAMES:
+        data[name] = {}
+        for size in sizes:
+            program = load_workload(name, size)
+            interpreter = ThreadedInterpreter(program)
+            machine = interpreter.run()
+            data[name][size] = {
+                "result": machine.result,
+                "instructions": machine.instr_count,
+                "dispatches": interpreter.dispatch_count,
+            }
+    return data
+
+
+def write_goldens(path, sizes=DEFAULT_SIZES) -> dict:
+    data = collect(sizes)
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(data, indent=2, sort_keys=True)
+                          + "\n")
+    return data
+
+
+def load_goldens(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def compare(expected: dict, actual: dict) -> list[str]:
+    """Human-readable mismatch descriptions (empty = all good)."""
+    problems = []
+    for name, sizes in expected.items():
+        for size, fields in sizes.items():
+            got = actual.get(name, {}).get(size)
+            if got is None:
+                problems.append(f"{name}/{size}: missing from actual")
+                continue
+            for field, value in fields.items():
+                if got.get(field) != value:
+                    problems.append(
+                        f"{name}/{size}.{field}: expected {value}, "
+                        f"got {got.get(field)}")
+    return problems
+
+
+if __name__ == "__main__":
+    import sys
+    target = sys.argv[1] if len(sys.argv) > 1 else \
+        "tests/goldens/workloads.json"
+    written = write_goldens(target)
+    print(f"wrote goldens for {len(written)} workloads to {target}")

@@ -1,0 +1,65 @@
+"""One-shot experiment report: every table, rendered as markdown.
+
+``python -m repro report`` (or :func:`build_report`) regenerates the
+full evaluation — Figures 1/2, Tables I-VII — at the requested size and
+emits a self-contained markdown document with the paper's reference
+values alongside, suitable for committing or diffing across changes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .. import __version__
+from .tables import (PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE4,
+                     generate_all, paper_table)
+
+_PAPER_REFERENCES = {
+    "table1": ("Paper Table I (reference)", PAPER_TABLE1, ".1f"),
+    "table2": ("Paper Table II (reference)", PAPER_TABLE2, ".1%"),
+    "table4": ("Paper Table IV (reference)", PAPER_TABLE4, ".1f"),
+}
+
+_SECTIONS = (
+    ("figures", "Figures 1 & 2 — dispatches per execution model"),
+    ("table1", "Table I — trace length vs. threshold"),
+    ("table2", "Table II — instruction stream coverage vs. threshold"),
+    ("table3", "Table III — trace completion rate vs. threshold"),
+    ("table4", "Table IV — dispatches per state-change signal"),
+    ("table5", "Table V — dispatches per trace event vs. delay"),
+    ("table6", "Table VI — profiler overhead per block dispatch"),
+    ("table7", "Table VII — predicted trace-dispatch overhead"),
+)
+
+
+def build_report(size: str = "small", repeats: int = 1) -> str:
+    """Regenerate everything and return the markdown document."""
+    started = time.perf_counter()
+    tables = generate_all(size, repeats=repeats)
+    elapsed = time.perf_counter() - started
+
+    lines = [
+        "# Trace cache evaluation report",
+        "",
+        f"Reproduction of Berndl & Hendren (CGO 2003), repro "
+        f"v{__version__}; workload size `{size}`; generated in "
+        f"{elapsed:.0f}s.",
+        "",
+    ]
+    for key, heading in _SECTIONS:
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append(tables[key].to_markdown())
+        lines.append("")
+        reference = _PAPER_REFERENCES.get(key)
+        if reference is not None:
+            title, data, fmt = reference
+            lines.append(paper_table(title, data, fmt).to_markdown())
+            lines.append("")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    import sys
+    size = sys.argv[1] if len(sys.argv) > 1 else "small"
+    print(build_report(size))

@@ -1,0 +1,274 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``tableN`` function reproduces the corresponding paper table on
+our substrate (same orientation: one row per parameter value, one
+column per benchmark plus the average); each ``tableN_paper`` returns
+the values the paper reports, where the paper's text preserves them
+(Tables III and V survive only as images in the source text — their
+entries are None and the accompanying notes quote the paper's prose
+claims, which EXPERIMENTS.md checks instead).
+"""
+
+from __future__ import annotations
+
+from ..metrics.report import Table
+from ..workloads import WORKLOAD_NAMES
+from .experiment import (ExperimentMatrix, measure_profiler_overhead,
+                         run_dispatch_models, run_experiment)
+
+THRESHOLDS = (1.0, 0.99, 0.98, 0.97, 0.95)
+DELAYS = (1, 64, 4096)
+
+# Paper values, keyed by threshold then benchmark (None = unreadable in
+# the source text).  Benchmarks in paper order.
+PAPER_BENCHMARKS = ("compress", "javac", "raytrace", "mpegaudio", "soot",
+                    "scimark")
+
+PAPER_TABLE1 = {
+    1.0:  {"compress": 5.0, "javac": 2.9, "raytrace": 2.9,
+           "mpegaudio": 3.1, "soot": 3.2, "scimark": 10.8,
+           "average": None},
+    0.99: {"compress": 12.0, "javac": 4.0, "raytrace": 8.0,
+           "mpegaudio": 3.4, "soot": 3.9, "scimark": 10.8,
+           "average": 7.0},
+    0.98: {"compress": 12.0, "javac": None, "raytrace": 8.1,
+           "mpegaudio": 3.4, "soot": 4.3, "scimark": 10.8,
+           "average": 7.1},
+    0.97: {"compress": 12.1, "javac": 4.3, "raytrace": 8.4,
+           "mpegaudio": 4.8, "soot": 4.5, "scimark": 10.8,
+           "average": 7.5},
+    0.95: {"compress": None, "javac": 5.9, "raytrace": 8.5,
+           "mpegaudio": 5.3, "soot": 4.8, "scimark": 10.8,
+           "average": 7.8},
+}
+
+PAPER_TABLE2 = {
+    1.0:  {"compress": 0.78, "javac": 0.72, "raytrace": 0.79,
+           "mpegaudio": 0.90, "soot": 0.76, "scimark": 0.98,
+           "average": 0.821},
+    0.99: {"compress": 0.90, "javac": 0.73, "raytrace": 0.82,
+           "mpegaudio": 0.90, "soot": 0.80, "scimark": 0.98,
+           "average": 0.855},
+    0.98: {"compress": 0.90, "javac": 0.76, "raytrace": 0.79,
+           "mpegaudio": 0.92, "soot": 0.81, "scimark": 0.98,
+           "average": 0.860},
+    0.97: {"compress": 0.91, "javac": 0.79, "raytrace": 0.80,
+           "mpegaudio": 0.92, "soot": 0.83, "scimark": 0.98,
+           "average": 0.871},
+    0.95: {"compress": 0.90, "javac": 0.77, "raytrace": 0.80,
+           "mpegaudio": 0.90, "soot": 0.83, "scimark": 0.98,
+           "average": 0.863},
+}
+
+# Table IV: thousands of dispatches per state-change signal.
+PAPER_TABLE4 = {
+    1.0:  {"compress": 37.3, "javac": 10.4, "raytrace": 39.4,
+           "mpegaudio": 30.0, "soot": 11.5, "scimark": 11.9,
+           "average": 23.4},
+    0.99: {"compress": 39.8, "javac": 11.0, "raytrace": 41.7,
+           "mpegaudio": 31.6, "soot": 10.5, "scimark": 369.3,
+           "average": 83.9},
+    0.98: {"compress": 40.5, "javac": 11.1, "raytrace": 43.3,
+           "mpegaudio": 33.4, "soot": 10.5, "scimark": 415.5,
+           "average": 92.3},
+    0.97: {"compress": 38.0, "javac": 11.1, "raytrace": 43.3,
+           "mpegaudio": 31.6, "soot": 10.5, "scimark": 554.0,
+           "average": 114.6},
+    0.95: {"compress": 40.5, "javac": 10.9, "raytrace": 43.3,
+           "mpegaudio": 34.3, "soot": 10.7, "scimark": 415.5,
+           "average": 92.5},
+}
+
+# Table VI: (base seconds, dispatches in millions, profiled seconds,
+# overhead seconds per million dispatches) on the paper's 1.06GHz box.
+PAPER_TABLE6 = {
+    "compress": (248, 1906, 303, 0.029),
+    "javac": (123, 621, 158, 0.058),
+    "raytrace": (204, 866, 269, 0.075),
+    "mpegaudio": (240, 2404, 312, 0.030),
+    "soot": (96, 513, 124, 0.055),
+    "scimark": (261, 3324, 321, 0.018),
+}
+
+# Table VII: (trace dispatches in millions, overhead/M, expected
+# overhead seconds, % overhead).
+PAPER_TABLE7 = {
+    "compress": (142, 0.029, 4.12, 0.017),
+    "javac": (144, 0.058, 8.35, 0.068),
+    "raytrace": (103, 0.075, 7.73, 0.038),
+    "mpegaudio": (500, 0.030, 15.00, 0.062),
+    "soot": (114, 0.055, 6.27, 0.065),
+    "scimark": (308, 0.018, 5.54, 0.021),
+}
+
+# Our workload name <-> the paper benchmark it mirrors.
+NAME_MAP = dict(zip(WORKLOAD_NAMES, PAPER_BENCHMARKS))
+
+
+def _average(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _sweep_table(title: str, matrix: ExperimentMatrix, thresholds,
+                 delay: int, metric, fmt: str) -> Table:
+    headers = ["threshold", *matrix.workloads, "average"]
+    table = Table(title, headers,
+                  formats=["", *([fmt] * (len(matrix.workloads) + 1))])
+    for threshold in thresholds:
+        values = [metric(matrix.get(w, threshold, delay).stats)
+                  for w in matrix.workloads]
+        table.add_row(f"{threshold:.0%}", *values, _average(values))
+    return table
+
+
+def table1(matrix: ExperimentMatrix, thresholds=THRESHOLDS,
+           delay: int = 64) -> Table:
+    """Table I: average executed trace length (blocks) vs threshold."""
+    return _sweep_table("Table I: Trace Length vs. Threshold",
+                        matrix, thresholds, delay,
+                        lambda s: s.average_trace_length, ".1f")
+
+
+def table2(matrix: ExperimentMatrix, thresholds=THRESHOLDS,
+           delay: int = 64) -> Table:
+    """Table II: instruction stream coverage vs threshold."""
+    return _sweep_table(
+        "Table II: Instruction Stream Coverage vs. Threshold",
+        matrix, thresholds, delay, lambda s: s.coverage, ".1%")
+
+
+def table3(matrix: ExperimentMatrix, thresholds=THRESHOLDS,
+           delay: int = 64) -> Table:
+    """Table III: dynamic trace completion rate vs threshold."""
+    table = _sweep_table(
+        "Table III: Trace Completion Rate vs. Threshold",
+        matrix, thresholds, delay, lambda s: s.completion_rate, ".1%")
+    table.notes.append(
+        "paper: for thresholds >= 97% the completion rate is high "
+        "enough to justify searching for completely executing traces")
+    return table
+
+
+def table4(matrix: ExperimentMatrix, thresholds=THRESHOLDS,
+           delay: int = 64) -> Table:
+    """Table IV: thousands of dispatches per state-change signal."""
+    return _sweep_table(
+        "Table IV: Thousands of Dispatches per State Change Signal",
+        matrix, thresholds, delay,
+        lambda s: s.dispatches_per_signal / 1000.0, ".1f")
+
+
+def table5(matrix: ExperimentMatrix, delays=DELAYS,
+           threshold: float = 0.97) -> Table:
+    """Table V: thousands of dispatches per trace event vs delay."""
+    headers = ["delay", *matrix.workloads, "average"]
+    table = Table(
+        "Table V: Thousands of Dispatches per Trace Event (97%)",
+        headers, formats=["", *([".1f"] * (len(matrix.workloads) + 1))])
+    for delay in delays:
+        values = [matrix.get(w, threshold, delay).stats
+                  .dispatches_per_trace_event / 1000.0
+                  for w in matrix.workloads]
+        table.add_row(str(delay), *values, _average(values))
+    table.notes.append(
+        "paper: the event interval grows dramatically from delay 1 to "
+        "4096; at 4096 it dwarfs the 256-dispatch periodic-check "
+        "interval")
+    return table
+
+
+def table6(size: str = "small", repeats: int = 3,
+           workloads=WORKLOAD_NAMES) -> Table:
+    """Table VI: profiler overhead per basic-block dispatch (timed)."""
+    table = Table(
+        "Table VI: Profiler Overhead per Block Dispatch",
+        ["benchmark", "base (s)", "dispatches (M)", "profiled (s)",
+         "overhead per 1e6 disp (s)", "relative"],
+        formats=["", ".3f", ".3f", ".3f", ".4f", ".1%"])
+    for name in workloads:
+        sample = measure_profiler_overhead(name, size, repeats)
+        table.add_row(name, sample.base_seconds,
+                      sample.dispatches / 1e6, sample.profiled_seconds,
+                      sample.overhead_per_million_dispatches,
+                      sample.relative_overhead)
+    table.notes.append(
+        "paper: 0.018-0.075 s per million dispatches on a 1.06 GHz "
+        "machine; profiling costs ~28.6% of a block dispatch")
+    return table
+
+
+def table7(matrix: ExperimentMatrix, size: str = "small",
+           repeats: int = 3) -> Table:
+    """Table VII: predicted overhead of the trace-dispatching model.
+
+    As in the paper, the per-dispatch profiling cost from Table VI is
+    multiplied by the number of dispatches the *trace-dispatching*
+    model performs, then compared against the unprofiled runtime.
+    """
+    table = Table(
+        "Table VII: Profiler Dispatch Overhead (trace model)",
+        ["benchmark", "trace-model dispatches (M)",
+         "overhead per 1e6 disp (s)", "expected overhead (s)",
+         "% overhead"],
+        formats=["", ".3f", ".4f", ".4f", ".1%"])
+    for name in matrix.workloads:
+        sample = measure_profiler_overhead(name, size, repeats)
+        run = matrix.get(name, 0.97, 64)
+        dispatches = run.stats.total_dispatches
+        expected = (dispatches / 1e6) \
+            * sample.overhead_per_million_dispatches
+        percent = (expected / sample.base_seconds
+                   if sample.base_seconds else 0.0)
+        table.add_row(name, dispatches / 1e6,
+                      sample.overhead_per_million_dispatches,
+                      expected, percent)
+    table.notes.append(
+        "paper: expected overhead everywhere below 7%, averaging 4.5%")
+    return table
+
+
+def figures_dispatch_models(size: str = "small",
+                            workloads=WORKLOAD_NAMES) -> Table:
+    """Figures 1 and 2 (plus the trace model): dispatches per model."""
+    table = Table(
+        "Figures 1 & 2: Dispatches per Execution Model",
+        ["benchmark", "instructions", "per-instruction (Fig.1)",
+         "per-block (Fig.2)", "per-trace (this paper)",
+         "block/instr", "trace/block"],
+        formats=["", "", "", "", "", ".3f", ".3f"])
+    for name in workloads:
+        model = run_dispatch_models(name, size)
+        table.add_row(name, model.instructions,
+                      model.instruction_dispatches,
+                      model.block_dispatches,
+                      model.trace_model_dispatches,
+                      model.block_over_instruction,
+                      model.trace_over_block)
+    return table
+
+
+def paper_table(title: str, data: dict, fmt: str = ".1f") -> Table:
+    """Render one of the PAPER_TABLE* dicts in sweep orientation."""
+    headers = ["threshold", *PAPER_BENCHMARKS, "average"]
+    table = Table(title, headers,
+                  formats=["", *([fmt] * (len(PAPER_BENCHMARKS) + 1))])
+    for threshold, row in data.items():
+        table.add_row(f"{threshold:.0%}",
+                      *[row[b] for b in PAPER_BENCHMARKS],
+                      row.get("average"))
+    return table
+
+
+def generate_all(size: str = "small", repeats: int = 1) -> dict[str, Table]:
+    """Every table and figure, keyed by experiment id."""
+    matrix = ExperimentMatrix(size)
+    return {
+        "figures": figures_dispatch_models(size),
+        "table1": table1(matrix),
+        "table2": table2(matrix),
+        "table3": table3(matrix),
+        "table4": table4(matrix),
+        "table5": table5(matrix),
+        "table6": table6(size, repeats),
+        "table7": table7(matrix, size, repeats),
+    }

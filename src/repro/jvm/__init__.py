@@ -1,0 +1,36 @@
+"""JVM-like bytecode virtual machine substrate.
+
+The substrate mirrors the execution model the paper builds on: a stack
+bytecode, a classic switch interpreter (one dispatch per instruction)
+and a direct-threaded-inlining interpreter (one dispatch per basic
+block) whose dispatch loop exposes the hook the profiler attaches to.
+"""
+
+from .assembler import Assembler, Label
+from .basicblock import BasicBlock, find_leaders, split_blocks
+from .bytecode import Instruction, Op
+from .classfile import ClassDef, ExceptionEntry, FieldDef, MethodDef
+from .disasm import disassemble_method, disassemble_program, program_summary
+from .errors import (AssemblerError, LinkError, StepLimitExceeded,
+                     UncaughtVMException, VerifyError, VMError,
+                     VMRuntimeError, VMThrow)
+from .frame import Frame
+from .heap import ArrayRef, ObjRef
+from .interpreter import SwitchInterpreter
+from .intrinsics import NATIVE_CLASS, NATIVES, NativeMethod
+from .jasm import JasmError, format_jasm, parse_jasm
+from .linker import Program, RtClass, RtMethod, link
+from .threaded import Machine, ThreadedInterpreter, execute_block
+from .verifier import verify_program
+
+__all__ = [
+    "Assembler", "Label", "BasicBlock", "find_leaders", "split_blocks",
+    "Instruction", "Op", "ClassDef", "ExceptionEntry", "FieldDef",
+    "MethodDef", "disassemble_method", "disassemble_program",
+    "program_summary", "AssemblerError", "LinkError", "StepLimitExceeded",
+    "UncaughtVMException", "VerifyError", "VMError", "VMRuntimeError",
+    "VMThrow", "Frame", "ArrayRef", "ObjRef", "SwitchInterpreter",
+    "NATIVE_CLASS", "NATIVES", "NativeMethod", "Program", "RtClass",
+    "RtMethod", "link", "Machine", "ThreadedInterpreter", "execute_block",
+    "verify_program", "JasmError", "format_jasm", "parse_jasm",
+]

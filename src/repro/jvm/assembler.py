@@ -1,0 +1,155 @@
+"""A small label-based bytecode assembler.
+
+Code generators and tests build method bodies through :class:`Assembler`
+using symbolic labels; :meth:`Assembler.finish` resolves labels to
+instruction indices and returns the instruction list.
+
+Example::
+
+    asm = Assembler()
+    loop = asm.new_label("loop")
+    asm.emit(Op.ICONST, 0)
+    asm.emit(Op.ISTORE, 0)
+    asm.bind(loop)
+    ...
+    asm.branch(Op.IF_ICMPLT, loop)
+    asm.emit(Op.RETURN)
+    code = asm.finish()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bytecode import (CONDITIONAL_BRANCH_OPS, Instruction, Op)
+from .classfile import ExceptionEntry
+from .errors import AssemblerError
+
+
+@dataclass(eq=False, slots=True)
+class Label:
+    """A symbolic position in the instruction stream."""
+
+    name: str
+    index: int | None = None
+
+    def __repr__(self) -> str:
+        where = self.index if self.index is not None else "?"
+        return f"<Label {self.name}@{where}>"
+
+
+@dataclass(slots=True)
+class _PendingRegion:
+    start: int
+    label_handler: Label
+    class_name: str | None
+    end: int | None = None
+
+
+class Assembler:
+    """Accumulates instructions and resolves labels on :meth:`finish`."""
+
+    def __init__(self) -> None:
+        self._code: list[Instruction] = []
+        self._labels: list[Label] = []
+        self._regions: list[_PendingRegion] = []
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Emission.
+    def emit(self, op: Op, a: object = None, b: object = None) -> Instruction:
+        """Append a non-branch instruction."""
+        instr = Instruction(op, a, b)
+        self._code.append(instr)
+        return instr
+
+    def branch(self, op: Op, target: Label) -> Instruction:
+        """Append a GOTO or conditional branch to `target`."""
+        if op is not Op.GOTO and op not in CONDITIONAL_BRANCH_OPS:
+            raise AssemblerError(f"{op.name} is not a branch opcode")
+        instr = Instruction(op, target)
+        self._code.append(instr)
+        return instr
+
+    def tableswitch(self, low: int, targets: list[Label],
+                    default: Label) -> Instruction:
+        """Append a TABLESWITCH over keys low..low+len(targets)-1."""
+        instr = Instruction(Op.TABLESWITCH, (low, default), tuple(targets))
+        self._code.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # Labels.
+    def new_label(self, name: str | None = None) -> Label:
+        self._label_counter += 1
+        label = Label(name or f"L{self._label_counter}")
+        self._labels.append(label)
+        return label
+
+    def bind(self, label: Label) -> Label:
+        """Attach `label` to the next emitted instruction."""
+        if label.index is not None:
+            raise AssemblerError(f"label {label.name} bound twice")
+        label.index = len(self._code)
+        return label
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._code)
+
+    @property
+    def has_end_label(self) -> bool:
+        """True when some bound label points past the last instruction
+        (the emitter must append an epilogue for it to land on)."""
+        return any(label.index == len(self._code)
+                   for label in self._labels if label.index is not None)
+
+    # ------------------------------------------------------------------
+    # Exception regions.
+    def begin_try(self, handler: Label,
+                  class_name: str | None = None) -> _PendingRegion:
+        region = _PendingRegion(self.here, handler, class_name)
+        self._regions.append(region)
+        return region
+
+    def end_try(self, region: _PendingRegion) -> None:
+        if region.end is not None:
+            raise AssemblerError("try region ended twice")
+        region.end = self.here
+
+    # ------------------------------------------------------------------
+    # Resolution.
+    def finish(self) -> list[Instruction]:
+        """Resolve labels in place and return the instruction list."""
+        code = self._code
+        for instr in code:
+            if isinstance(instr.a, Label):
+                instr.a = self._resolve(instr.a)
+            elif instr.op is Op.TABLESWITCH:
+                low, default = instr.a
+                instr.a = (low, self._resolve(default))
+                instr.b = tuple(self._resolve(t) for t in instr.b)
+        for label in self._labels:
+            if label.index is not None and label.index > len(code):
+                raise AssemblerError(f"label {label.name} out of range")
+        return code
+
+    def exception_table(self) -> list[ExceptionEntry]:
+        """Resolved exception entries (call after :meth:`finish`)."""
+        entries = []
+        for region in self._regions:
+            if region.end is None:
+                raise AssemblerError("unterminated try region")
+            entries.append(ExceptionEntry(
+                start=region.start,
+                end=region.end,
+                handler=self._resolve(region.label_handler),
+                class_name=region.class_name,
+            ))
+        return entries
+
+    def _resolve(self, label: Label) -> int:
+        if label.index is None:
+            raise AssemblerError(f"undefined label {label.name}")
+        return label.index

@@ -1,0 +1,149 @@
+"""Basic-block discovery for the direct-threaded-inlining model.
+
+A *basic block* here is the unit the threaded interpreter dispatches:
+a maximal straight-line instruction run.  Following SableVM's selective
+inlining model, blocks end at:
+
+- conditional branches, gotos and table switches,
+- method invocations (inlining stops at call edges, which is what lets
+  traces cross method boundaries),
+- returns and throws,
+- any instruction whose successor is a branch target or exception
+  handler (the successor starts a new block).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bytecode import (
+    BLOCK_TERMINATOR_OPS, CONDITIONAL_BRANCH_OPS, INVOKE_OPS, Op,
+    RETURN_OPS, branch_targets, can_fall_through,
+)
+from .classfile import MethodDef
+from .errors import VerifyError
+
+
+# Successor kinds, stored on BasicBlock.kind.
+KIND_COND = "cond"          # conditional branch: target or fallthrough
+KIND_GOTO = "goto"          # unconditional: target
+KIND_SWITCH = "switch"      # tableswitch: one of targets or default
+KIND_INVOKE = "invoke"      # call: callee entry, then continuation
+KIND_RETURN = "return"      # pop frame
+KIND_THROW = "throw"        # unwind to handler
+KIND_FALL = "fall"          # block split by a leader: next block
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    """A run of instructions [start, end) within one method.
+
+    `bid` is a process-global integer assigned by the linker; the
+    profiler and trace machinery key everything on block ids.
+    Successor fields are wired by the linker once all blocks exist.
+    """
+
+    method: object              # RtMethod (forward ref; set by linker)
+    start: int
+    end: int                    # exclusive; code[end - 1] is the terminator
+    kind: str
+    bid: int = -1
+    # Wired successors (BasicBlock or None):
+    succ_target: "BasicBlock | None" = None     # cond taken / goto
+    succ_fall: "BasicBlock | None" = None       # cond not-taken / fall
+    switch_blocks: tuple = ()                   # switch targets
+    switch_default: "BasicBlock | None" = None
+    continuation: "BasicBlock | None" = None    # resume point after invoke
+
+    @property
+    def terminator(self):
+        return self.method.code[self.end - 1]
+
+    @property
+    def length(self) -> int:
+        """Number of instructions in the block."""
+        return self.end - self.start
+
+    def instructions(self):
+        return self.method.code[self.start:self.end]
+
+    def static_successors(self) -> list["BasicBlock"]:
+        """Statically known intra-method successors (for analyses)."""
+        succs = []
+        if self.kind == KIND_COND:
+            succs = [self.succ_target, self.succ_fall]
+        elif self.kind == KIND_GOTO:
+            succs = [self.succ_target]
+        elif self.kind == KIND_SWITCH:
+            succs = list(self.switch_blocks) + [self.switch_default]
+        elif self.kind == KIND_INVOKE:
+            succs = [self.continuation]
+        elif self.kind == KIND_FALL:
+            succs = [self.succ_fall]
+        return [s for s in succs if s is not None]
+
+    def __repr__(self) -> str:
+        name = getattr(self.method, "qualified_name", "?")
+        return f"<block #{self.bid} {name}[{self.start}:{self.end}]>"
+
+
+def find_leaders(method: MethodDef) -> list[int]:
+    """Instruction indices that start a basic block, sorted ascending."""
+    code = method.code
+    if not code:
+        raise VerifyError(f"method {method.name} has empty code")
+    leaders = {0}
+    for i, instr in enumerate(code):
+        for target in branch_targets(instr):
+            if not 0 <= target < len(code):
+                raise VerifyError(
+                    f"{method.name}: branch target {target} out of range")
+            leaders.add(target)
+        if instr.op in BLOCK_TERMINATOR_OPS and i + 1 < len(code):
+            leaders.add(i + 1)
+    for entry in method.exceptions:
+        if not 0 <= entry.handler < len(code):
+            raise VerifyError(
+                f"{method.name}: handler {entry.handler} out of range")
+        leaders.add(entry.handler)
+    return sorted(leaders)
+
+
+def _block_kind(term: Op) -> str:
+    if term in CONDITIONAL_BRANCH_OPS:
+        return KIND_COND
+    if term is Op.GOTO:
+        return KIND_GOTO
+    if term is Op.TABLESWITCH:
+        return KIND_SWITCH
+    if term in INVOKE_OPS:
+        return KIND_INVOKE
+    if term in RETURN_OPS:
+        return KIND_RETURN
+    if term is Op.ATHROW:
+        return KIND_THROW
+    return KIND_FALL
+
+
+def split_blocks(method: MethodDef) -> list[BasicBlock]:
+    """Partition a method body into BasicBlocks (successors unwired).
+
+    The last instruction of a method must not fall off the end.
+    """
+    code = method.code
+    leaders = find_leaders(method)
+    boundaries = leaders + [len(code)]
+    last = code[-1]
+    if can_fall_through(last.op):
+        raise VerifyError(
+            f"method {method.name} can fall off the end of its code")
+    blocks = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        term = code[end - 1].op
+        blocks.append(BasicBlock(
+            method=None,  # patched by the linker
+            start=start,
+            end=end,
+            kind=_block_kind(term),
+        ))
+    return blocks

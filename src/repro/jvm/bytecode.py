@@ -1,0 +1,232 @@
+"""Opcode set and instruction representation.
+
+The instruction set is a compact JVM-like subset: a stack machine with
+typed loads/stores, 32-bit integer and float arithmetic, objects with
+virtual dispatch, arrays, a table switch, and exceptions.  Branch targets
+are instruction indices within the owning method (the assembler resolves
+labels to indices; the linker later maps indices to basic blocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum, auto
+
+
+class Op(IntEnum):
+    """All opcodes understood by the interpreters."""
+
+    NOP = auto()
+
+    # Constants and stack manipulation.
+    ICONST = auto()        # a = int value
+    FCONST = auto()        # a = float value
+    SCONST = auto()        # a = str value (interned constant string)
+    ACONST_NULL = auto()
+    DUP = auto()
+    DUP_X1 = auto()
+    POP = auto()
+    SWAP = auto()
+
+    # Locals.
+    ILOAD = auto()         # a = local index
+    ISTORE = auto()
+    FLOAD = auto()
+    FSTORE = auto()
+    ALOAD = auto()
+    ASTORE = auto()
+    IINC = auto()          # a = local index, b = signed constant delta
+
+    # Arrays.
+    NEWARRAY = auto()      # a = element type name; length popped
+    IALOAD = auto()
+    IASTORE = auto()
+    FALOAD = auto()
+    FASTORE = auto()
+    AALOAD = auto()
+    AASTORE = auto()
+    ARRAYLENGTH = auto()
+
+    # Integer arithmetic (Java 32-bit wrap-around semantics).
+    IADD = auto()
+    ISUB = auto()
+    IMUL = auto()
+    IDIV = auto()
+    IREM = auto()
+    INEG = auto()
+    IAND = auto()
+    IOR = auto()
+    IXOR = auto()
+    ISHL = auto()
+    ISHR = auto()
+    IUSHR = auto()
+
+    # Float arithmetic.
+    FADD = auto()
+    FSUB = auto()
+    FMUL = auto()
+    FDIV = auto()
+    FNEG = auto()
+    FCMPL = auto()         # pushes -1/0/1, NaN -> -1
+    FCMPG = auto()         # pushes -1/0/1, NaN -> +1
+
+    # Conversions.
+    I2F = auto()
+    F2I = auto()
+
+    # Control flow.  a = target instruction index (after assembly).
+    GOTO = auto()
+    IF_ICMPEQ = auto()
+    IF_ICMPNE = auto()
+    IF_ICMPLT = auto()
+    IF_ICMPLE = auto()
+    IF_ICMPGT = auto()
+    IF_ICMPGE = auto()
+    IFEQ = auto()
+    IFNE = auto()
+    IFLT = auto()
+    IFLE = auto()
+    IFGT = auto()
+    IFGE = auto()
+    IF_ACMPEQ = auto()
+    IF_ACMPNE = auto()
+    IFNULL = auto()
+    IFNONNULL = auto()
+    TABLESWITCH = auto()   # a = (low, default target), b = tuple of targets
+
+    # Objects.
+    NEW = auto()           # a = class name -> RtClass after linking
+    GETFIELD = auto()      # a = field name
+    PUTFIELD = auto()
+    GETSTATIC = auto()     # a = (class name, field name) -> RtClass binding
+    PUTSTATIC = auto()
+    INSTANCEOF = auto()    # a = class name -> RtClass
+
+    # Calls.  b = argument count (excluding receiver for virtual/special).
+    INVOKESTATIC = auto()  # a = (class name, method name) -> RtMethod
+    INVOKEVIRTUAL = auto() # a = method name (vtable lookup at runtime)
+    INVOKESPECIAL = auto() # a = (class name, method name) -> RtMethod
+
+    # Returns and exceptions.
+    RETURN = auto()
+    IRETURN = auto()
+    FRETURN = auto()
+    ARETURN = auto()
+    ATHROW = auto()
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One bytecode instruction: an opcode plus up to two operands.
+
+    Operand meaning depends on the opcode (see :class:`Op` comments).
+    Instances start with symbolic operands (names, labels) and are
+    resolved in place by the assembler (labels -> indices) and the
+    linker (names -> runtime objects).
+    """
+
+    op: Op
+    a: object = None
+    b: object = None
+
+    def __repr__(self) -> str:
+        parts = [self.op.name]
+        if self.a is not None:
+            parts.append(repr(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        return f"<{' '.join(parts)}>"
+
+
+# Conditional branches: fall through or jump to instruction index `a`.
+CONDITIONAL_BRANCH_OPS = frozenset({
+    Op.IF_ICMPEQ, Op.IF_ICMPNE, Op.IF_ICMPLT, Op.IF_ICMPLE,
+    Op.IF_ICMPGT, Op.IF_ICMPGE,
+    Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT, Op.IFGE,
+    Op.IF_ACMPEQ, Op.IF_ACMPNE, Op.IFNULL, Op.IFNONNULL,
+})
+
+# Two-operand int comparisons mapped to Python comparison results.
+ICMP_CONDITIONS = {
+    Op.IF_ICMPEQ: "==", Op.IF_ICMPNE: "!=",
+    Op.IF_ICMPLT: "<", Op.IF_ICMPLE: "<=",
+    Op.IF_ICMPGT: ">", Op.IF_ICMPGE: ">=",
+}
+
+INVOKE_OPS = frozenset({Op.INVOKESTATIC, Op.INVOKEVIRTUAL, Op.INVOKESPECIAL})
+
+RETURN_OPS = frozenset({Op.RETURN, Op.IRETURN, Op.FRETURN, Op.ARETURN})
+
+# Instructions that always end a basic block in the threaded model.
+# Invokes end blocks because a direct-threaded-inlining interpreter
+# dispatches across the call edge (Piumarta & Riccardi inlining stops at
+# calls); this is what makes traces cross method boundaries.
+BLOCK_TERMINATOR_OPS = (
+    CONDITIONAL_BRANCH_OPS
+    | INVOKE_OPS
+    | RETURN_OPS
+    | frozenset({Op.GOTO, Op.TABLESWITCH, Op.ATHROW})
+)
+
+
+def branch_targets(instr: Instruction) -> tuple[int, ...]:
+    """Explicit jump targets of a control-flow instruction (indices)."""
+    op = instr.op
+    if op is Op.GOTO or op in CONDITIONAL_BRANCH_OPS:
+        return (instr.a,)
+    if op is Op.TABLESWITCH:
+        low, default = instr.a
+        return tuple(instr.b) + (default,)
+    return ()
+
+
+def can_fall_through(op: Op) -> bool:
+    """Whether control may continue to the next instruction index."""
+    if op is Op.GOTO or op is Op.TABLESWITCH or op is Op.ATHROW:
+        return False
+    if op in RETURN_OPS:
+        return False
+    return True
+
+
+# Static stack effect (pops, pushes) for the verifier.  Invokes are
+# handled specially because the pop count depends on the argument count.
+STACK_EFFECT: dict[Op, tuple[int, int]] = {
+    Op.NOP: (0, 0),
+    Op.ICONST: (0, 1), Op.FCONST: (0, 1), Op.SCONST: (0, 1),
+    Op.ACONST_NULL: (0, 1),
+    Op.DUP: (1, 2), Op.DUP_X1: (2, 3), Op.POP: (1, 0), Op.SWAP: (2, 2),
+    Op.ILOAD: (0, 1), Op.ISTORE: (1, 0),
+    Op.FLOAD: (0, 1), Op.FSTORE: (1, 0),
+    Op.ALOAD: (0, 1), Op.ASTORE: (1, 0),
+    Op.IINC: (0, 0),
+    Op.NEWARRAY: (1, 1),
+    Op.IALOAD: (2, 1), Op.IASTORE: (3, 0),
+    Op.FALOAD: (2, 1), Op.FASTORE: (3, 0),
+    Op.AALOAD: (2, 1), Op.AASTORE: (3, 0),
+    Op.ARRAYLENGTH: (1, 1),
+    Op.IADD: (2, 1), Op.ISUB: (2, 1), Op.IMUL: (2, 1),
+    Op.IDIV: (2, 1), Op.IREM: (2, 1), Op.INEG: (1, 1),
+    Op.IAND: (2, 1), Op.IOR: (2, 1), Op.IXOR: (2, 1),
+    Op.ISHL: (2, 1), Op.ISHR: (2, 1), Op.IUSHR: (2, 1),
+    Op.FADD: (2, 1), Op.FSUB: (2, 1), Op.FMUL: (2, 1),
+    Op.FDIV: (2, 1), Op.FNEG: (1, 1),
+    Op.FCMPL: (2, 1), Op.FCMPG: (2, 1),
+    Op.I2F: (1, 1), Op.F2I: (1, 1),
+    Op.GOTO: (0, 0),
+    Op.IF_ICMPEQ: (2, 0), Op.IF_ICMPNE: (2, 0),
+    Op.IF_ICMPLT: (2, 0), Op.IF_ICMPLE: (2, 0),
+    Op.IF_ICMPGT: (2, 0), Op.IF_ICMPGE: (2, 0),
+    Op.IFEQ: (1, 0), Op.IFNE: (1, 0), Op.IFLT: (1, 0),
+    Op.IFLE: (1, 0), Op.IFGT: (1, 0), Op.IFGE: (1, 0),
+    Op.IF_ACMPEQ: (2, 0), Op.IF_ACMPNE: (2, 0),
+    Op.IFNULL: (1, 0), Op.IFNONNULL: (1, 0),
+    Op.TABLESWITCH: (1, 0),
+    Op.NEW: (0, 1),
+    Op.GETFIELD: (1, 1), Op.PUTFIELD: (2, 0),
+    Op.GETSTATIC: (0, 1), Op.PUTSTATIC: (1, 0),
+    Op.INSTANCEOF: (1, 1),
+    Op.RETURN: (0, 0), Op.IRETURN: (1, 0),
+    Op.FRETURN: (1, 0), Op.ARETURN: (1, 0),
+    Op.ATHROW: (1, 0),
+}

@@ -1,0 +1,77 @@
+"""Symbolic class/method/field model — the output of the compiler and
+assembler, and the input of the linker.
+
+Everything here is name-based: method bodies reference classes, fields
+and methods by name.  The linker (:mod:`repro.jvm.linker`) resolves these
+into runtime objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bytecode import Instruction
+
+OBJECT_CLASS = "Object"
+
+
+@dataclass(slots=True)
+class ExceptionEntry:
+    """A try/catch region: instruction range [start, end) handled at
+    `handler`, catching throwables of class `class_name` (subclasses
+    included); `class_name` of None means catch-all."""
+
+    start: int
+    end: int
+    handler: int
+    class_name: str | None = None
+
+
+@dataclass(slots=True)
+class FieldDef:
+    name: str
+    type_name: str = "int"
+    is_static: bool = False
+
+
+@dataclass(slots=True)
+class MethodDef:
+    """A method body.
+
+    `param_types` excludes the receiver; instance methods receive `this`
+    in local 0 and their declared parameters in locals 1..n.
+    """
+
+    name: str
+    param_types: list[str] = field(default_factory=list)
+    return_type: str = "void"
+    max_locals: int = 0
+    is_static: bool = False
+    code: list[Instruction] = field(default_factory=list)
+    exceptions: list[ExceptionEntry] = field(default_factory=list)
+
+    @property
+    def arg_slots(self) -> int:
+        """Number of locals consumed by arguments (receiver included)."""
+        return len(self.param_types) + (0 if self.is_static else 1)
+
+
+@dataclass(slots=True)
+class ClassDef:
+    """A class: name, superclass name, fields and methods."""
+
+    name: str
+    super_name: str | None = OBJECT_CLASS
+    fields: list[FieldDef] = field(default_factory=list)
+    methods: list[MethodDef] = field(default_factory=list)
+
+    def method(self, name: str) -> MethodDef:
+        """Find a declared method by name (single dispatch-by-name model)."""
+        for m in self.methods:
+            if m.name == name:
+                return m
+        raise KeyError(f"{self.name}.{name}")
+
+    def add_method(self, method: MethodDef) -> MethodDef:
+        self.methods.append(method)
+        return method

@@ -1,0 +1,81 @@
+"""Human-readable disassembly of methods and programs."""
+
+from __future__ import annotations
+
+from .bytecode import Instruction, Op, branch_targets
+from .intrinsics import NativeMethod
+from .linker import Program, RtMethod
+
+
+def _operand_str(instr: Instruction) -> str:
+    op = instr.op
+    if op is Op.TABLESWITCH:
+        low, default = instr.a
+        targets = ", ".join(str(t) for t in instr.b)
+        return f"low={low} [{targets}] default={default}"
+    parts = []
+    for operand in (instr.a, instr.b):
+        if operand is None:
+            continue
+        if isinstance(operand, NativeMethod):
+            parts.append(operand.qualified_name)
+        elif isinstance(operand, RtMethod):
+            parts.append(operand.qualified_name)
+        elif isinstance(operand, tuple):
+            parts.append(".".join(getattr(x, "name", str(x))
+                                  for x in operand))
+        elif hasattr(operand, "name") and not isinstance(operand, str):
+            parts.append(operand.name)
+        else:
+            parts.append(repr(operand))
+    return " ".join(parts)
+
+
+def disassemble_method(method: RtMethod) -> str:
+    """One line per instruction, with block boundaries and jump targets."""
+    targets = set()
+    for instr in method.code:
+        targets.update(branch_targets(instr))
+    block_starts = set(method.block_at)
+    lines = [f"method {method.qualified_name}"
+             f"({', '.join(method.param_types)}) -> {method.return_type}"
+             f"  [max_locals={method.max_locals}]"]
+    for index, instr in enumerate(method.code):
+        marks = ""
+        if index in block_starts:
+            block = method.block_at[index]
+            marks = f"  ; block #{block.bid} ({block.kind})"
+        arrow = "->" if index in targets else "  "
+        lines.append(
+            f"  {arrow} {index:4d}: {instr.op.name:<14s}"
+            f"{_operand_str(instr)}{marks}")
+    for entry in method.exceptions:
+        catch = entry.class_name or "<any>"
+        lines.append(f"  try [{entry.start}, {entry.end}) "
+                     f"catch {catch} -> {entry.handler}")
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program) -> str:
+    """Disassembly of every method, grouped by class."""
+    sections = []
+    for cls_name in sorted(program.classes):
+        cls = program.classes[cls_name]
+        if not cls.methods:
+            continue
+        sections.append(f"class {cls.name}"
+                        + (f" extends {cls.superclass.name}"
+                           if cls.superclass else ""))
+        for mname in sorted(cls.methods):
+            sections.append(disassemble_method(cls.methods[mname]))
+    return "\n\n".join(sections)
+
+
+def program_summary(program: Program) -> str:
+    """One-paragraph structural summary (classes/methods/blocks)."""
+    n_methods = len(program.methods)
+    n_blocks = program.block_count
+    n_instrs = sum(len(m.code) for m in program.methods)
+    return (f"{len(program.classes)} classes, {n_methods} methods, "
+            f"{n_blocks} basic blocks, {n_instrs} instructions; "
+            f"entry {program.entry.qualified_name if program.entry else '?'}")

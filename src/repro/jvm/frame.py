@@ -1,0 +1,29 @@
+"""Activation frames for the explicit (non-recursive) call stack.
+
+The dispatch loops keep an explicit frame stack so that control
+transfers between methods are ordinary block-to-block dispatches —
+which is what lets traces cross method boundaries.
+"""
+
+from __future__ import annotations
+
+
+class Frame:
+    """One method activation: locals, operand stack and return point.
+
+    `return_block` is the caller's continuation block (the block that
+    starts right after the invoke instruction), or None for the entry
+    frame.
+    """
+
+    __slots__ = ("method", "locals", "stack", "return_block")
+
+    def __init__(self, method, args: list, return_block) -> None:
+        self.method = method
+        self.locals = args + [None] * (method.max_locals - len(args))
+        self.stack: list = []
+        self.return_block = return_block
+
+    def __repr__(self) -> str:
+        return (f"<frame {self.method.qualified_name} "
+                f"stack={len(self.stack)}>")

@@ -1,0 +1,64 @@
+"""Heap objects: instances and arrays.
+
+The VM heap is the Python heap; these classes only carry the metadata
+the interpreter needs (class identity for virtual dispatch and
+`instanceof`, element defaults for arrays).
+"""
+
+from __future__ import annotations
+
+from .errors import VMRuntimeError
+from .values import default_value
+
+
+class ObjRef:
+    """An instance of a linked runtime class."""
+
+    __slots__ = ("rtclass", "fields")
+
+    def __init__(self, rtclass) -> None:
+        self.rtclass = rtclass
+        # Field storage pre-populated with defaults for the full layout
+        # (superclass fields included).
+        self.fields = dict(rtclass.field_defaults)
+
+    def get_field(self, name: str):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise VMRuntimeError(
+                f"no field {name!r} on {self.rtclass.name}") from None
+
+    def put_field(self, name: str, value) -> None:
+        if name not in self.fields:
+            raise VMRuntimeError(
+                f"no field {name!r} on {self.rtclass.name}")
+        self.fields[name] = value
+
+    def __repr__(self) -> str:
+        return f"<{self.rtclass.name} object>"
+
+
+class ArrayRef:
+    """A typed array ("int", "float", or a reference type name)."""
+
+    __slots__ = ("elem_type", "data")
+
+    def __init__(self, elem_type: str, length: int) -> None:
+        if length < 0:
+            raise VMRuntimeError(f"negative array size {length}")
+        self.elem_type = elem_type
+        self.data = [default_value(elem_type)] * length
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def check_index(self, index: int) -> int:
+        if not 0 <= index < len(self.data):
+            raise VMRuntimeError(
+                f"array index {index} out of bounds for length "
+                f"{len(self.data)}")
+        return index
+
+    def __repr__(self) -> str:
+        return f"<{self.elem_type}[{len(self.data)}]>"

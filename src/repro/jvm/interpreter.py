@@ -1,0 +1,315 @@
+"""The ordinary switch interpreter (Figure 1 of the paper).
+
+Dispatches one *instruction* at a time with a program counter, exactly
+like a classic bytecode interpreter.  It is implemented independently of
+the threaded executor so the two can be differentially tested against
+each other; its dispatch count equals the number of executed
+instructions, which is the Figure-1 data point.
+"""
+
+from __future__ import annotations
+
+from .bytecode import ICMP_CONDITIONS, Op
+from .errors import (StepLimitExceeded, UncaughtVMException, VMRuntimeError)
+from .heap import ArrayRef, ObjRef
+from .intrinsics import NativeMethod
+from .linker import Program, RtMethod
+from .values import (fcmp, java_f2i, java_idiv, java_irem, java_ishl,
+                     java_ishr, java_iushr, wrap_int)
+
+_BIN_INT = {
+    Op.IADD: lambda a, b: wrap_int(a + b),
+    Op.ISUB: lambda a, b: wrap_int(a - b),
+    Op.IMUL: lambda a, b: wrap_int(a * b),
+    Op.IDIV: java_idiv,
+    Op.IREM: java_irem,
+    Op.IAND: lambda a, b: a & b,
+    Op.IOR: lambda a, b: a | b,
+    Op.IXOR: lambda a, b: a ^ b,
+    Op.ISHL: java_ishl,
+    Op.ISHR: java_ishr,
+    Op.IUSHR: java_iushr,
+}
+
+_BIN_FLOAT = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+}
+
+_ICMP = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_UNARY_IF = {
+    Op.IFEQ: lambda v: v == 0,
+    Op.IFNE: lambda v: v != 0,
+    Op.IFLT: lambda v: v < 0,
+    Op.IFLE: lambda v: v <= 0,
+    Op.IFGT: lambda v: v > 0,
+    Op.IFGE: lambda v: v >= 0,
+}
+
+_LOADS = frozenset({Op.ILOAD, Op.FLOAD, Op.ALOAD})
+_STORES = frozenset({Op.ISTORE, Op.FSTORE, Op.ASTORE})
+_CONSTS = frozenset({Op.ICONST, Op.FCONST, Op.SCONST})
+_ARRAY_LOADS = frozenset({Op.IALOAD, Op.FALOAD, Op.AALOAD})
+_ARRAY_STORES = frozenset({Op.IASTORE, Op.FASTORE, Op.AASTORE})
+_RETURNS_VALUE = frozenset({Op.IRETURN, Op.FRETURN, Op.ARETURN})
+
+_NO_VALUE = object()
+
+
+class _SFrame:
+    __slots__ = ("method", "locals", "stack", "pc")
+
+    def __init__(self, method: RtMethod, args: list) -> None:
+        self.method = method
+        self.locals = args + [None] * (method.max_locals - len(args))
+        self.stack: list = []
+        self.pc = 0
+
+
+class SwitchInterpreter:
+    """Instruction-at-a-time reference interpreter."""
+
+    def __init__(self, program: Program,
+                 max_instructions: int = 200_000_000) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.dispatch_count = 0
+        self.output: list[str] = []
+        self.instr_count = 0
+        self.result = None
+
+    # The natives expect a machine-like object exposing `output` and
+    # `instr_count`; this interpreter satisfies the same protocol.
+
+    def run(self, method: RtMethod | None = None) -> "SwitchInterpreter":
+        self.program.reset_statics()
+        method = method or self.program.entry
+        if method is None:
+            raise VMRuntimeError("program has no entry method")
+        frames = [_SFrame(method, [])]
+        classes = self.program.classes
+
+        while frames:
+            frame = frames[-1]
+            instr = frame.method.code[frame.pc]
+            op = instr.op
+            stack = frame.stack
+            self.instr_count += 1
+            self.dispatch_count += 1
+            if self.instr_count > self.max_instructions:
+                raise StepLimitExceeded(
+                    f"exceeded {self.max_instructions} instructions")
+            next_pc = frame.pc + 1
+
+            if op in _LOADS:
+                stack.append(frame.locals[instr.a])
+            elif op in _CONSTS:
+                stack.append(instr.a)
+            elif op in _STORES:
+                frame.locals[instr.a] = stack.pop()
+            elif op is Op.IINC:
+                frame.locals[instr.a] = wrap_int(
+                    frame.locals[instr.a] + instr.b)
+            elif op in _BIN_INT:
+                b = stack.pop()
+                stack[-1] = _BIN_INT[op](stack[-1], b)
+            elif op is Op.INEG:
+                stack[-1] = wrap_int(-stack[-1])
+            elif op in _BIN_FLOAT:
+                b = stack.pop()
+                stack[-1] = _BIN_FLOAT[op](stack[-1], b)
+            elif op is Op.FDIV:
+                b = stack.pop()
+                a = stack[-1]
+                if b == 0.0:
+                    if a == 0.0:
+                        stack[-1] = float("nan")
+                    else:
+                        stack[-1] = float("inf") if a > 0 else float("-inf")
+                else:
+                    stack[-1] = a / b
+            elif op is Op.FNEG:
+                stack[-1] = -stack[-1]
+            elif op is Op.FCMPL:
+                b = stack.pop()
+                stack[-1] = fcmp(stack[-1], b, -1)
+            elif op is Op.FCMPG:
+                b = stack.pop()
+                stack[-1] = fcmp(stack[-1], b, 1)
+            elif op is Op.I2F:
+                stack[-1] = float(stack[-1])
+            elif op is Op.F2I:
+                stack[-1] = java_f2i(stack[-1])
+            elif op is Op.GOTO:
+                next_pc = instr.a
+            elif op in ICMP_CONDITIONS:
+                b = stack.pop()
+                a = stack.pop()
+                if _ICMP[ICMP_CONDITIONS[op]](a, b):
+                    next_pc = instr.a
+            elif op in _UNARY_IF:
+                if _UNARY_IF[op](stack.pop()):
+                    next_pc = instr.a
+            elif op is Op.IF_ACMPEQ:
+                b = stack.pop()
+                if stack.pop() is b:
+                    next_pc = instr.a
+            elif op is Op.IF_ACMPNE:
+                b = stack.pop()
+                if stack.pop() is not b:
+                    next_pc = instr.a
+            elif op is Op.IFNULL:
+                if stack.pop() is None:
+                    next_pc = instr.a
+            elif op is Op.IFNONNULL:
+                if stack.pop() is not None:
+                    next_pc = instr.a
+            elif op is Op.TABLESWITCH:
+                value = stack.pop()
+                low, default = instr.a
+                offset = value - low
+                if 0 <= offset < len(instr.b):
+                    next_pc = instr.b[offset]
+                else:
+                    next_pc = default
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+            elif op is Op.DUP_X1:
+                stack.insert(-2, stack[-1])
+            elif op is Op.POP:
+                stack.pop()
+            elif op is Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+            elif op is Op.ACONST_NULL:
+                stack.append(None)
+            elif op is Op.NEW:
+                stack.append(ObjRef(instr.a))
+            elif op is Op.NEWARRAY:
+                stack.append(ArrayRef(instr.a, stack.pop()))
+            elif op in _ARRAY_LOADS:
+                i = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise VMRuntimeError("array load through null")
+                stack.append(arr.data[arr.check_index(i)])
+            elif op in _ARRAY_STORES:
+                value = stack.pop()
+                i = stack.pop()
+                arr = stack.pop()
+                if arr is None:
+                    raise VMRuntimeError("array store through null")
+                arr.data[arr.check_index(i)] = value
+            elif op is Op.ARRAYLENGTH:
+                arr = stack.pop()
+                if arr is None:
+                    raise VMRuntimeError("arraylength of null")
+                stack.append(len(arr.data))
+            elif op is Op.GETFIELD:
+                obj = stack.pop()
+                if obj is None:
+                    raise VMRuntimeError(f"getfield {instr.a!r} on null")
+                stack.append(obj.get_field(instr.a))
+            elif op is Op.PUTFIELD:
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is None:
+                    raise VMRuntimeError(f"putfield {instr.a!r} on null")
+                obj.put_field(instr.a, value)
+            elif op is Op.GETSTATIC:
+                owner, field = instr.a
+                stack.append(owner.statics[field])
+            elif op is Op.PUTSTATIC:
+                owner, field = instr.a
+                owner.statics[field] = stack.pop()
+            elif op is Op.INSTANCEOF:
+                obj = stack.pop()
+                stack.append(
+                    1 if isinstance(obj, ObjRef)
+                    and obj.rtclass.is_subclass_of(instr.a) else 0)
+            elif op is Op.INVOKESTATIC:
+                target = instr.a
+                argc = instr.b
+                args = stack[-argc:] if argc else []
+                if argc:
+                    del stack[-argc:]
+                if type(target) is NativeMethod:
+                    result = target.fn(self, args)
+                    if target.returns_value:
+                        stack.append(result)
+                else:
+                    frame.pc = next_pc
+                    frames.append(_SFrame(target, args))
+                    continue
+            elif op is Op.INVOKEVIRTUAL or op is Op.INVOKESPECIAL:
+                argc = instr.b
+                args = stack[-argc:] if argc else []
+                if argc:
+                    del stack[-argc:]
+                receiver = stack.pop()
+                if receiver is None:
+                    raise VMRuntimeError(
+                        f"invoke {instr.a!r} on null receiver")
+                if op is Op.INVOKEVIRTUAL:
+                    target = receiver.rtclass.vtable.get(instr.a)
+                    if target is None:
+                        raise VMRuntimeError(
+                            f"no virtual method {instr.a!r} on "
+                            f"{receiver.rtclass.name}")
+                else:
+                    target = instr.a
+                frame.pc = next_pc
+                frames.append(_SFrame(target, [receiver] + args))
+                continue
+            elif op is Op.RETURN or op in _RETURNS_VALUE:
+                value = stack.pop() if op in _RETURNS_VALUE else _NO_VALUE
+                frames.pop()
+                if not frames:
+                    self.result = None if value is _NO_VALUE else value
+                    return self
+                if value is not _NO_VALUE:
+                    frames[-1].stack.append(value)
+                continue
+            elif op is Op.ATHROW:
+                exc = stack.pop()
+                throwable = classes["Throwable"]
+                if not isinstance(exc, ObjRef) or \
+                        not exc.rtclass.is_subclass_of(throwable):
+                    raise VMRuntimeError(
+                        f"athrow of non-Throwable value {exc!r}")
+                self._unwind(frames, exc, classes)
+                continue
+            elif op is Op.NOP:
+                pass
+            else:
+                raise VMRuntimeError(f"unimplemented opcode {op.name}")
+
+            frame.pc = next_pc
+        return self
+
+    @staticmethod
+    def _unwind(frames: list[_SFrame], exc: ObjRef, classes) -> None:
+        """Pop frames until a handler is found; sets pc to the handler."""
+        while frames:
+            frame = frames[-1]
+            handler = frame.method.find_handler(frame.pc, exc.rtclass,
+                                                classes)
+            if handler is not None:
+                frame.stack.clear()
+                frame.stack.append(exc)
+                frame.pc = handler.start
+                return
+            frames.pop()
+            if frames:
+                # Caller's pc already points after the invoke; the throw
+                # site for handler matching is the invoke itself.
+                frames[-1].pc -= 1
+        raise UncaughtVMException(exc)

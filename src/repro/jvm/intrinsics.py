@@ -1,0 +1,136 @@
+"""Native methods exposed to bytecode as static calls on class ``Sys``.
+
+Natives execute inline (no frame push, no dispatch event beyond the one
+the invoke terminator already causes), mirroring how a threaded
+interpreter calls out to C helpers.
+
+All natives are deterministic: randomness comes from an in-VM LCG
+(workloads implement their own), and ``Sys.ticks`` returns the executed
+instruction count rather than wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import VMRuntimeError
+from .values import java_f2i, wrap_int
+
+NATIVE_CLASS = "Sys"
+
+
+class NativeMethod:
+    """A Python-implemented static method callable from bytecode."""
+
+    __slots__ = ("name", "argc", "returns_value", "fn")
+
+    def __init__(self, name: str, argc: int, returns_value: bool, fn) -> None:
+        self.name = name
+        self.argc = argc
+        self.returns_value = returns_value
+        self.fn = fn
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{NATIVE_CLASS}.{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<native {self.qualified_name}/{self.argc}>"
+
+
+def _check_number(value, who: str) -> None:
+    if type(value) not in (int, float):
+        raise VMRuntimeError(f"{who}: expected a number, got {value!r}")
+
+
+def _build_table() -> dict[str, NativeMethod]:
+    table: dict[str, NativeMethod] = {}
+
+    def native(name: str, argc: int, returns_value: bool = True):
+        def register(fn):
+            table[name] = NativeMethod(name, argc, returns_value, fn)
+            return fn
+        return register
+
+    @native("print", 1, returns_value=False)
+    def _print(machine, args):
+        machine.output.append(str(args[0]))
+
+    @native("printf", 1, returns_value=False)
+    def _printf(machine, args):
+        machine.output.append(repr(float(args[0])))
+
+    @native("prints", 1, returns_value=False)
+    def _prints(machine, args):
+        machine.output.append(str(args[0]))
+
+    @native("abs", 1)
+    def _abs(machine, args):
+        _check_number(args[0], "Sys.abs")
+        return wrap_int(abs(args[0]))
+
+    @native("min", 2)
+    def _min(machine, args):
+        return min(args[0], args[1])
+
+    @native("max", 2)
+    def _max(machine, args):
+        return max(args[0], args[1])
+
+    @native("isqrt", 1)
+    def _isqrt(machine, args):
+        if args[0] < 0:
+            raise VMRuntimeError("Sys.isqrt of negative value")
+        return math.isqrt(args[0])
+
+    @native("fsqrt", 1)
+    def _fsqrt(machine, args):
+        if args[0] < 0:
+            return float("nan")
+        return math.sqrt(args[0])
+
+    @native("fsin", 1)
+    def _fsin(machine, args):
+        return math.sin(args[0])
+
+    @native("fcos", 1)
+    def _fcos(machine, args):
+        return math.cos(args[0])
+
+    @native("fexp", 1)
+    def _fexp(machine, args):
+        return math.exp(args[0])
+
+    @native("flog", 1)
+    def _flog(machine, args):
+        if args[0] <= 0:
+            raise VMRuntimeError("Sys.flog of non-positive value")
+        return math.log(args[0])
+
+    @native("fabs", 1)
+    def _fabs(machine, args):
+        return abs(float(args[0]))
+
+    @native("ffloor", 1)
+    def _ffloor(machine, args):
+        return float(math.floor(args[0]))
+
+    @native("f2i", 1)
+    def _f2i(machine, args):
+        return java_f2i(float(args[0]))
+
+    @native("ticks", 0)
+    def _ticks(machine, args):
+        return wrap_int(machine.instr_count)
+
+    return table
+
+
+NATIVES: dict[str, NativeMethod] = _build_table()
+
+
+def lookup_native(name: str) -> NativeMethod:
+    try:
+        return NATIVES[name]
+    except KeyError:
+        raise VMRuntimeError(f"unknown native Sys.{name}") from None

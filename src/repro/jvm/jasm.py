@@ -1,0 +1,393 @@
+"""jasm — a line-oriented textual assembly for the repro bytecode.
+
+Lets VM-level programs be written (and generated programs be saved)
+without going through the mini-Java compiler::
+
+    class Main
+      static method main() -> int
+        iconst 0
+        istore 0
+      loop:
+        iload 0
+        iconst 100
+        if_icmpge done
+        iinc 0 1
+        goto loop
+      done:
+        iload 0
+        ireturn
+      end
+    end
+
+Grammar (one construct per line, ``#`` starts a comment):
+
+- ``class NAME [extends SUPER]`` ... ``end``
+- ``[static] field NAME TYPE``
+- ``[static] method NAME(T1, T2) -> RET`` ... ``end``
+- ``locals N``                       (optional minimum local count)
+- ``LABEL:``                         (position marker)
+- ``try START END HANDLER [CLASS]``  (labels; CLASS omitted = catch-all)
+- ``OPCODE [operands...]``           (lower-case opcode names)
+
+Operand forms: ints, floats (must contain ``.``/``e``), quoted strings,
+labels (branch targets), ``Cls.member`` pairs (static refs), bare names
+(fields, virtual methods, classes, array element types).
+``tableswitch LOW [L1 L2 ...] default LD`` and
+``invokevirtual NAME ARGC`` are the two multi-operand special cases.
+
+:func:`parse_jasm` -> list[ClassDef]; :func:`format_jasm` round-trips.
+"""
+
+from __future__ import annotations
+
+from .assembler import Assembler
+from .bytecode import (CONDITIONAL_BRANCH_OPS, Op, branch_targets)
+from .classfile import ClassDef, ExceptionEntry, FieldDef, MethodDef
+from .errors import AssemblerError
+
+_PRIMITIVES = ("int", "float", "boolean", "void", "String")
+
+
+class JasmError(AssemblerError):
+    """Syntax error in jasm input."""
+
+    def __init__(self, message: str, line_no: int) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+# Opcodes taking a label operand.
+_BRANCH_NAMES = {op.name.lower() for op in CONDITIONAL_BRANCH_OPS} \
+    | {"goto"}
+# Opcodes taking a Cls.member operand.
+_PAIR_OPS = {"invokestatic", "invokespecial", "getstatic", "putstatic"}
+# Opcodes taking a bare-name operand.
+_NAME_OPS = {"new", "instanceof", "newarray", "getfield", "putfield"}
+
+
+def _tokenize_line(line: str, line_no: int) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c in " \t":
+            i += 1
+            continue
+        if c == "#":
+            break
+        if c == '"':
+            j = i + 1
+            out = []
+            while j < n and line[j] != '"':
+                if line[j] == "\\" and j + 1 < n:
+                    esc = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    out.append(esc.get(line[j + 1], line[j + 1]))
+                    j += 2
+                else:
+                    out.append(line[j])
+                    j += 1
+            if j >= n:
+                raise JasmError("unterminated string", line_no)
+            tokens.append('"' + "".join(out))
+            i = j + 1
+            continue
+        if c in "[]":
+            # Standalone bracket (tableswitch list delimiters); array
+            # type suffixes like `int[]` stay glued to their word.
+            tokens.append(c)
+            i += 1
+            continue
+        j = i
+        while j < n and line[j] not in " \t#":
+            j += 1
+        tokens.append(line[i:j])
+        i = j
+    return tokens
+
+
+def parse_jasm(text: str) -> list[ClassDef]:
+    """Parse jasm text into symbolic ClassDefs."""
+    classes: list[ClassDef] = []
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        tokens = _tokenize_line(lines[i], i + 1)
+        if not tokens:
+            i += 1
+            continue
+        if tokens[0] != "class":
+            raise JasmError(f"expected 'class', got {tokens[0]!r}", i + 1)
+        cls, i = _parse_class(lines, i)
+        classes.append(cls)
+    return classes
+
+
+def _parse_class(lines: list[str], index: int) -> tuple[ClassDef, int]:
+    tokens = _tokenize_line(lines[index], index + 1)
+    if len(tokens) == 2:
+        name, super_name = tokens[1], "Object"
+    elif len(tokens) == 4 and tokens[2] == "extends":
+        name, super_name = tokens[1], tokens[3]
+    else:
+        raise JasmError("malformed class header", index + 1)
+    cls = ClassDef(name=name, super_name=super_name)
+    i = index + 1
+    while i < len(lines):
+        tokens = _tokenize_line(lines[i], i + 1)
+        if not tokens:
+            i += 1
+            continue
+        head = tokens[0]
+        is_static = head == "static"
+        if is_static:
+            tokens = tokens[1:]
+            head = tokens[0] if tokens else ""
+        if head == "end":
+            return cls, i + 1
+        if head == "field":
+            if len(tokens) != 3:
+                raise JasmError("field NAME TYPE", i + 1)
+            cls.fields.append(FieldDef(tokens[1], tokens[2], is_static))
+            i += 1
+        elif head == "method":
+            method, i = _parse_method(lines, i, tokens, is_static)
+            cls.methods.append(method)
+        else:
+            raise JasmError(
+                f"expected field/method/end, got {head!r}", i + 1)
+    raise JasmError(f"class {name} not terminated with 'end'",
+                    len(lines))
+
+
+def _parse_signature(tokens: list[str], line_no: int):
+    # method NAME(T1, T2) -> RET   — tokens split on whitespace, so the
+    # name and parameter list may be glued: rebuild from raw text.
+    text = " ".join(tokens[1:])
+    if "->" not in text:
+        raise JasmError("method signature needs '-> RET'", line_no)
+    sig, _, ret = text.partition("->")
+    ret = ret.strip()
+    sig = sig.strip()
+    if "(" not in sig or not sig.endswith(")"):
+        raise JasmError("method signature needs '(params)'", line_no)
+    name, _, params = sig.partition("(")
+    params = params[:-1].strip()
+    param_types = [p.strip() for p in params.split(",") if p.strip()]
+    return name.strip(), param_types, ret
+
+
+def _parse_method(lines: list[str], index: int, header: list[str],
+                  is_static: bool) -> tuple[MethodDef, int]:
+    name, param_types, return_type = _parse_signature(header, index + 1)
+    asm = Assembler()
+    labels: dict[str, object] = {}
+    pending_tries: list[tuple] = []
+    max_locals = 0
+
+    def label(label_name: str):
+        if label_name not in labels:
+            labels[label_name] = asm.new_label(label_name)
+        return labels[label_name]
+
+    i = index + 1
+    while i < len(lines):
+        line_no = i + 1
+        tokens = _tokenize_line(lines[i], line_no)
+        i += 1
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head == "end":
+            _check_labels(labels, line_no)
+            code = asm.finish()
+            exceptions = asm.exception_table()
+            for start, end, handler, cls_name in pending_tries:
+                exceptions.append(ExceptionEntry(
+                    labels[start].index, labels[end].index,
+                    labels[handler].index, cls_name))
+            return MethodDef(
+                name=name, param_types=param_types,
+                return_type=return_type, is_static=is_static,
+                max_locals=max_locals, code=code,
+                exceptions=exceptions), i
+        if head.endswith(":"):
+            asm.bind(label(head[:-1]))
+            continue
+        if head == "locals":
+            max_locals = int(tokens[1])
+            continue
+        if head == "try":
+            if len(tokens) not in (4, 5):
+                raise JasmError("try START END HANDLER [CLASS]", line_no)
+            cls_name = tokens[4] if len(tokens) == 5 else None
+            for lbl in tokens[1:4]:
+                label(lbl)
+            pending_tries.append(
+                (tokens[1], tokens[2], tokens[3], cls_name))
+            continue
+        _emit(asm, label, tokens, line_no)
+    raise JasmError(f"method {name} not terminated with 'end'",
+                    len(lines))
+
+
+def _check_labels(labels: dict, line_no: int) -> None:
+    for name, lbl in labels.items():
+        if lbl.index is None:
+            raise JasmError(f"label {name!r} referenced but never bound",
+                            line_no)
+
+
+def _parse_value(token: str, line_no: int):
+    if token.startswith('"'):
+        return token[1:]
+    try:
+        if any(c in token for c in ".eE") and not token.startswith("0x"):
+            return float(token)
+        return int(token, 0)
+    except ValueError:
+        raise JasmError(f"bad numeric operand {token!r}",
+                        line_no) from None
+
+
+def _emit(asm: Assembler, label, tokens: list[str], line_no: int) -> None:
+    mnemonic = tokens[0].lower()
+    operands = tokens[1:]
+    try:
+        op = Op[mnemonic.upper()]
+    except KeyError:
+        raise JasmError(f"unknown opcode {mnemonic!r}", line_no) from None
+
+    if mnemonic in _BRANCH_NAMES:
+        if len(operands) != 1:
+            raise JasmError(f"{mnemonic} takes one label", line_no)
+        asm.branch(op, label(operands[0]))
+        return
+    if mnemonic == "tableswitch":
+        # tableswitch LOW [ L1 L2 ... ] default LD
+        if len(operands) < 5 or operands[1] != "[":
+            raise JasmError(
+                "tableswitch LOW [ labels... ] default LABEL", line_no)
+        low = int(operands[0])
+        close = operands.index("]")
+        case_labels = [label(t) for t in operands[2:close]]
+        if operands[close + 1] != "default":
+            raise JasmError("tableswitch needs 'default LABEL'", line_no)
+        asm.tableswitch(low, case_labels, label(operands[close + 2]))
+        return
+    if mnemonic in _PAIR_OPS:
+        if len(operands) != 1 or "." not in operands[0]:
+            raise JasmError(f"{mnemonic} takes Cls.member", line_no)
+        cls_name, _, member = operands[0].partition(".")
+        asm.emit(op, (cls_name, member))
+        return
+    if mnemonic == "invokevirtual":
+        if len(operands) != 2:
+            raise JasmError("invokevirtual NAME ARGC", line_no)
+        asm.emit(op, operands[0], int(operands[1]))
+        return
+    if mnemonic in _NAME_OPS:
+        if len(operands) != 1:
+            raise JasmError(f"{mnemonic} takes one name", line_no)
+        asm.emit(op, operands[0])
+        return
+    if mnemonic == "iinc":
+        if len(operands) != 2:
+            raise JasmError("iinc SLOT DELTA", line_no)
+        asm.emit(op, int(operands[0]), int(operands[1]))
+        return
+    # Generic: zero or one literal operand.
+    if not operands:
+        asm.emit(op)
+        return
+    if len(operands) == 1:
+        asm.emit(op, _parse_value(operands[0], line_no))
+        return
+    raise JasmError(f"too many operands for {mnemonic}", line_no)
+
+
+# ---------------------------------------------------------------------------
+# Formatting (ClassDefs -> jasm text).
+
+def _format_operand(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n").replace("\t", "\\t")
+        return f'"{escaped}"'
+    if isinstance(value, float):
+        text = repr(value)
+        return text if any(c in text for c in ".eE") else text + ".0"
+    return str(value)
+
+
+def format_jasm(classes: list[ClassDef]) -> str:
+    """Serialize symbolic ClassDefs to jasm text (parse round-trips)."""
+    out: list[str] = []
+    for cls in classes:
+        extends = (f" extends {cls.super_name}"
+                   if cls.super_name not in (None, "Object") else "")
+        out.append(f"class {cls.name}{extends}")
+        for fdef in cls.fields:
+            static = "static " if fdef.is_static else ""
+            out.append(f"  {static}field {fdef.name} {fdef.type_name}")
+        for method in cls.methods:
+            out.append(_format_method(method))
+        out.append("end")
+        out.append("")
+    return "\n".join(out)
+
+
+def _format_method(method: MethodDef) -> str:
+    static = "static " if method.is_static else ""
+    params = ", ".join(method.param_types)
+    lines = [f"  {static}method {method.name}({params}) "
+             f"-> {method.return_type}"]
+    if method.max_locals:
+        lines.append(f"    locals {method.max_locals}")
+
+    # Collect label positions: branch targets + exception boundaries.
+    targets = set()
+    for instr in method.code:
+        targets.update(branch_targets(instr))
+    for entry in method.exceptions:
+        targets.update((entry.start, entry.end, entry.handler))
+    label_at = {pos: f"L{pos}" for pos in sorted(targets)}
+
+    for entry in method.exceptions:
+        catch = f" {entry.class_name}" if entry.class_name else ""
+        lines.append(f"    try L{entry.start} L{entry.end} "
+                     f"L{entry.handler}{catch}")
+
+    for index, instr in enumerate(method.code):
+        if index in label_at:
+            lines.append(f"  {label_at[index]}:")
+        lines.append("    " + _format_instr(instr, label_at))
+    end = len(method.code)
+    if end in label_at:
+        lines.append(f"  {label_at[end]}:")
+    lines.append("  end")
+    return "\n".join(lines)
+
+
+def _format_instr(instr, label_at: dict) -> str:
+    mnemonic = instr.op.name.lower()
+    if mnemonic in _BRANCH_NAMES:
+        return f"{mnemonic} {label_at[instr.a]}"
+    if instr.op is Op.TABLESWITCH:
+        low, default = instr.a
+        cases = " ".join(label_at[t] for t in instr.b)
+        return (f"tableswitch {low} [ {cases} ] default "
+                f"{label_at[default]}")
+    if mnemonic in _PAIR_OPS:
+        cls_name, member = instr.a
+        return f"{mnemonic} {cls_name}.{member}"
+    if mnemonic in _NAME_OPS:
+        return f"{mnemonic} {instr.a}"
+    if mnemonic == "invokevirtual":
+        return f"invokevirtual {instr.a} {instr.b}"
+    if mnemonic == "iinc":
+        return f"iinc {instr.a} {instr.b}"
+    parts = [mnemonic]
+    if instr.a is not None:
+        parts.append(_format_operand(instr.a))
+    return " ".join(parts)

@@ -1,0 +1,339 @@
+"""The linker: symbolic ClassDefs -> an executable runtime Program.
+
+Linking performs, in order:
+
+1. class hierarchy resolution (builtins ``Object``/``Throwable``/
+   ``Exception`` are always present),
+2. runtime method creation — instructions are *copied* so a ClassDef can
+   be linked many times,
+3. basic-block splitting and process-global block-id assignment,
+4. intra-method successor wiring,
+5. operand resolution (class names -> RtClass, static call targets ->
+   RtMethod / NativeMethod).
+
+The resulting :class:`Program` is immutable during execution except for
+static fields, which :meth:`Program.reset_statics` restores.
+"""
+
+from __future__ import annotations
+
+from .basicblock import (
+    BasicBlock, KIND_COND, KIND_FALL, KIND_GOTO, KIND_INVOKE, KIND_SWITCH,
+    split_blocks,
+)
+from .bytecode import Instruction, Op
+from .classfile import ClassDef, ExceptionEntry, FieldDef, MethodDef
+from .errors import LinkError
+from .intrinsics import NATIVE_CLASS, lookup_native
+from .values import default_value
+
+_LOCAL_OPS = frozenset({
+    Op.ILOAD, Op.ISTORE, Op.FLOAD, Op.FSTORE, Op.ALOAD, Op.ASTORE, Op.IINC,
+})
+
+
+def builtin_classes() -> list[ClassDef]:
+    """Classes every program links against."""
+    obj = ClassDef(name="Object", super_name=None)
+    throwable = ClassDef(
+        name="Throwable",
+        super_name="Object",
+        fields=[FieldDef("code", "int")],
+    )
+    exception = ClassDef(name="Exception", super_name="Throwable")
+    return [obj, throwable, exception]
+
+
+class RtClass:
+    """A linked class: hierarchy, vtable, field layout, static storage."""
+
+    __slots__ = ("name", "superclass", "methods", "vtable",
+                 "instance_fields", "field_defaults", "static_fields",
+                 "statics", "_mro_names")
+
+    def __init__(self, name: str, superclass: "RtClass | None") -> None:
+        self.name = name
+        self.superclass = superclass
+        self.methods: dict[str, RtMethod] = {}
+        # vtable: method name -> RtMethod, overrides applied.
+        self.vtable: dict[str, "RtMethod"] = (
+            dict(superclass.vtable) if superclass else {})
+        self.instance_fields: list[FieldDef] = (
+            list(superclass.instance_fields) if superclass else [])
+        self.field_defaults: dict[str, object] = (
+            dict(superclass.field_defaults) if superclass else {})
+        self.static_fields: dict[str, object] = {}
+        self.statics: dict[str, object] = {}
+        names = [name]
+        cls = superclass
+        while cls is not None:
+            names.append(cls.name)
+            cls = cls.superclass
+        self._mro_names = frozenset(names)
+
+    def is_subclass_of(self, other: "RtClass") -> bool:
+        return other.name in self._mro_names
+
+    def resolve_method(self, name: str) -> "RtMethod":
+        """Static resolution: search this class then superclasses."""
+        cls: RtClass | None = self
+        while cls is not None:
+            method = cls.methods.get(name)
+            if method is not None:
+                return method
+            cls = cls.superclass
+        raise LinkError(f"no method {self.name}.{name}")
+
+    def find_static_owner(self, field: str) -> "RtClass":
+        cls: RtClass | None = self
+        while cls is not None:
+            if field in cls.static_fields:
+                return cls
+            cls = cls.superclass
+        raise LinkError(f"no static field {self.name}.{field}")
+
+    def __repr__(self) -> str:
+        return f"<class {self.name}>"
+
+
+class RtMethod:
+    """A linked method with resolved code and basic blocks."""
+
+    __slots__ = ("rtclass", "name", "is_static", "param_types",
+                 "return_type", "max_locals", "code", "exceptions",
+                 "blocks", "entry_block", "block_at")
+
+    def __init__(self, rtclass: RtClass, mdef: MethodDef) -> None:
+        self.rtclass = rtclass
+        self.name = mdef.name
+        self.is_static = mdef.is_static
+        self.param_types = list(mdef.param_types)
+        self.return_type = mdef.return_type
+        # Copy instructions so the symbolic ClassDef stays relinkable.
+        self.code = [Instruction(i.op, i.a, i.b) for i in mdef.code]
+        self.exceptions = [ExceptionEntry(e.start, e.end, e.handler,
+                                          e.class_name)
+                           for e in mdef.exceptions]
+        self.max_locals = max(mdef.max_locals, self._scan_max_locals(),
+                              self.arg_slots)
+        self.blocks: list[BasicBlock] = []
+        self.entry_block: BasicBlock | None = None
+        self.block_at: dict[int, BasicBlock] = {}
+
+    @property
+    def arg_slots(self) -> int:
+        return len(self.param_types) + (0 if self.is_static else 1)
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.rtclass.name}.{self.name}"
+
+    def _scan_max_locals(self) -> int:
+        highest = -1
+        for instr in self.code:
+            if instr.op in _LOCAL_OPS:
+                highest = max(highest, instr.a)
+        return highest + 1
+
+    def find_handler(self, index: int, exc_class: RtClass,
+                     classes: dict[str, RtClass]) -> BasicBlock | None:
+        """Handler block for an exception thrown at `index`, or None."""
+        for entry in self.exceptions:
+            if not entry.start <= index < entry.end:
+                continue
+            if entry.class_name is not None:
+                catch_cls = classes.get(entry.class_name)
+                if catch_cls is None or not exc_class.is_subclass_of(catch_cls):
+                    continue
+            return self.block_at[entry.handler]
+        return None
+
+    def __repr__(self) -> str:
+        return f"<method {self.qualified_name}>"
+
+
+class Program:
+    """A fully linked program ready for execution."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, RtClass] = {}
+        self.methods: list[RtMethod] = []
+        self.blocks: list[BasicBlock] = []
+        self.entry: RtMethod | None = None
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def method(self, qualified_name: str) -> RtMethod:
+        cls_name, _, mname = qualified_name.partition(".")
+        try:
+            return self.classes[cls_name].resolve_method(mname)
+        except KeyError:
+            raise LinkError(f"no class {cls_name}") from None
+
+    def reset_statics(self) -> None:
+        """Restore every static field to its default value."""
+        for cls in self.classes.values():
+            for fdef in cls.static_fields.values():
+                cls.statics[fdef.name] = default_value(fdef.type_name)
+
+
+def link(class_defs: list[ClassDef], entry: str = "Main.main") -> Program:
+    """Link `class_defs` (plus builtins) into an executable Program."""
+    return _Linker(class_defs).link(entry)
+
+
+class _Linker:
+    def __init__(self, class_defs: list[ClassDef]) -> None:
+        self.defs: dict[str, ClassDef] = {}
+        for cdef in builtin_classes() + list(class_defs):
+            if cdef.name in self.defs:
+                raise LinkError(f"duplicate class {cdef.name}")
+            if cdef.name == NATIVE_CLASS:
+                raise LinkError(f"class name {NATIVE_CLASS} is reserved")
+            self.defs[cdef.name] = cdef
+        self.program = Program()
+
+    def link(self, entry: str) -> Program:
+        for name in self.defs:
+            self._link_class(name, [])
+        self._split_all_blocks()
+        self._resolve_operands()
+        self._bind_entry(entry)
+        self.program.reset_statics()
+        return self.program
+
+    # ------------------------------------------------------------------
+    def _link_class(self, name: str, chain: list[str]) -> RtClass:
+        existing = self.program.classes.get(name)
+        if existing is not None:
+            return existing
+        if name in chain:
+            raise LinkError(f"inheritance cycle through {name}")
+        cdef = self.defs.get(name)
+        if cdef is None:
+            raise LinkError(f"unknown class {name}")
+        superclass = None
+        if cdef.super_name is not None:
+            superclass = self._link_class(cdef.super_name, chain + [name])
+        rtclass = RtClass(name, superclass)
+        for fdef in cdef.fields:
+            if fdef.is_static:
+                rtclass.static_fields[fdef.name] = fdef
+            else:
+                rtclass.instance_fields.append(fdef)
+                rtclass.field_defaults[fdef.name] = default_value(
+                    fdef.type_name)
+        for mdef in cdef.methods:
+            if mdef.name in rtclass.methods:
+                raise LinkError(f"duplicate method {name}.{mdef.name}")
+            method = RtMethod(rtclass, mdef)
+            rtclass.methods[mdef.name] = method
+            if not mdef.is_static:
+                rtclass.vtable[mdef.name] = method
+            self.program.methods.append(method)
+        self.program.classes[name] = rtclass
+        return rtclass
+
+    # ------------------------------------------------------------------
+    def _split_all_blocks(self) -> None:
+        program = self.program
+        for method in program.methods:
+            if not method.code:
+                raise LinkError(
+                    f"method {method.qualified_name} has no code")
+            shadow = MethodDef(
+                name=method.qualified_name,
+                code=method.code,
+                exceptions=method.exceptions,
+            )
+            blocks = split_blocks(shadow)
+            for block in blocks:
+                block.method = method
+                block.bid = len(program.blocks)
+                program.blocks.append(block)
+                method.block_at[block.start] = block
+            method.blocks = blocks
+            method.entry_block = blocks[0]
+            self._wire(method)
+
+    def _wire(self, method: RtMethod) -> None:
+        block_at = method.block_at
+        for block in method.blocks:
+            term = block.terminator
+            if block.kind == KIND_COND:
+                block.succ_target = block_at[term.a]
+                block.succ_fall = block_at[block.end]
+            elif block.kind == KIND_GOTO:
+                block.succ_target = block_at[term.a]
+            elif block.kind == KIND_SWITCH:
+                _low, default = term.a
+                block.switch_default = block_at[default]
+                block.switch_blocks = tuple(block_at[t] for t in term.b)
+            elif block.kind == KIND_INVOKE:
+                block.continuation = block_at[block.end]
+            elif block.kind == KIND_FALL:
+                block.succ_fall = block_at[block.end]
+
+    # ------------------------------------------------------------------
+    def _resolve_operands(self) -> None:
+        classes = self.program.classes
+        for method in self.program.methods:
+            for instr in method.code:
+                op = instr.op
+                if op is Op.NEW or op is Op.INSTANCEOF:
+                    instr.a = self._class(instr.a, method)
+                elif op is Op.GETSTATIC or op is Op.PUTSTATIC:
+                    cls_name, field = instr.a
+                    owner = self._class(cls_name, method)
+                    instr.a = (owner.find_static_owner(field), field)
+                elif op is Op.INVOKESTATIC:
+                    cls_name, mname = instr.a
+                    if cls_name == NATIVE_CLASS:
+                        native = lookup_native(mname)
+                        instr.a = native
+                        instr.b = native.argc
+                    else:
+                        target = self._class(cls_name,
+                                             method).resolve_method(mname)
+                        if not target.is_static:
+                            raise LinkError(
+                                f"invokestatic of instance method "
+                                f"{target.qualified_name}")
+                        instr.a = target
+                        instr.b = len(target.param_types)
+                elif op is Op.INVOKESPECIAL:
+                    cls_name, mname = instr.a
+                    target = self._class(cls_name,
+                                         method).resolve_method(mname)
+                    if target.is_static:
+                        raise LinkError(
+                            f"invokespecial of static method "
+                            f"{target.qualified_name}")
+                    instr.a = target
+                    instr.b = len(target.param_types)
+                elif op is Op.INVOKEVIRTUAL:
+                    if not isinstance(instr.b, int) or instr.b < 0:
+                        raise LinkError(
+                            f"{method.qualified_name}: invokevirtual "
+                            f"{instr.a!r} missing argument count")
+
+    def _class(self, name: str, method: RtMethod) -> RtClass:
+        cls = self.program.classes.get(name)
+        if cls is None:
+            raise LinkError(
+                f"{method.qualified_name}: unknown class {name!r}")
+        return cls
+
+    # ------------------------------------------------------------------
+    def _bind_entry(self, entry: str) -> None:
+        method = self.program.method(entry)
+        if not method.is_static:
+            raise LinkError(f"entry {entry} must be static")
+        if method.param_types:
+            raise LinkError(f"entry {entry} must take no arguments")
+        self.program.entry = method

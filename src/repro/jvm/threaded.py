@@ -1,0 +1,479 @@
+"""The direct-threaded-inlining execution model (Figure 2 of the paper).
+
+:func:`execute_block` runs one basic block straight-line and returns the
+dynamically chosen successor block (or None when the program finishes).
+:class:`Machine` holds all mutable execution state.
+:class:`ThreadedInterpreter` is the plain block-at-a-time dispatch loop:
+one dispatch per basic block, with an optional per-dispatch hook — the
+attachment point for the paper's profiler.
+"""
+
+from __future__ import annotations
+
+from .basicblock import BasicBlock
+from .bytecode import Op
+from .errors import (StepLimitExceeded, UncaughtVMException, VMRuntimeError,
+                     VMThrow)
+from .frame import Frame
+from .heap import ArrayRef, ObjRef
+from .intrinsics import NativeMethod
+from .linker import Program, RtMethod
+from .values import (fcmp, java_f2i, java_idiv, java_irem, java_ishl,
+                     java_ishr, java_iushr, wrap_int)
+
+# Cached opcode members: `is` comparisons against these are the hot path.
+_NOP = Op.NOP
+_ICONST = Op.ICONST
+_FCONST = Op.FCONST
+_SCONST = Op.SCONST
+_ACONST_NULL = Op.ACONST_NULL
+_DUP = Op.DUP
+_DUP_X1 = Op.DUP_X1
+_POP = Op.POP
+_SWAP = Op.SWAP
+_ILOAD = Op.ILOAD
+_ISTORE = Op.ISTORE
+_FLOAD = Op.FLOAD
+_FSTORE = Op.FSTORE
+_ALOAD = Op.ALOAD
+_ASTORE = Op.ASTORE
+_IINC = Op.IINC
+_NEWARRAY = Op.NEWARRAY
+_IALOAD = Op.IALOAD
+_IASTORE = Op.IASTORE
+_FALOAD = Op.FALOAD
+_FASTORE = Op.FASTORE
+_AALOAD = Op.AALOAD
+_AASTORE = Op.AASTORE
+_ARRAYLENGTH = Op.ARRAYLENGTH
+_IADD = Op.IADD
+_ISUB = Op.ISUB
+_IMUL = Op.IMUL
+_IDIV = Op.IDIV
+_IREM = Op.IREM
+_INEG = Op.INEG
+_IAND = Op.IAND
+_IOR = Op.IOR
+_IXOR = Op.IXOR
+_ISHL = Op.ISHL
+_ISHR = Op.ISHR
+_IUSHR = Op.IUSHR
+_FADD = Op.FADD
+_FSUB = Op.FSUB
+_FMUL = Op.FMUL
+_FDIV = Op.FDIV
+_FNEG = Op.FNEG
+_FCMPL = Op.FCMPL
+_FCMPG = Op.FCMPG
+_I2F = Op.I2F
+_F2I = Op.F2I
+_GOTO = Op.GOTO
+_IF_ICMPEQ = Op.IF_ICMPEQ
+_IF_ICMPNE = Op.IF_ICMPNE
+_IF_ICMPLT = Op.IF_ICMPLT
+_IF_ICMPLE = Op.IF_ICMPLE
+_IF_ICMPGT = Op.IF_ICMPGT
+_IF_ICMPGE = Op.IF_ICMPGE
+_IFEQ = Op.IFEQ
+_IFNE = Op.IFNE
+_IFLT = Op.IFLT
+_IFLE = Op.IFLE
+_IFGT = Op.IFGT
+_IFGE = Op.IFGE
+_IF_ACMPEQ = Op.IF_ACMPEQ
+_IF_ACMPNE = Op.IF_ACMPNE
+_IFNULL = Op.IFNULL
+_IFNONNULL = Op.IFNONNULL
+_TABLESWITCH = Op.TABLESWITCH
+_NEW = Op.NEW
+_GETFIELD = Op.GETFIELD
+_PUTFIELD = Op.PUTFIELD
+_GETSTATIC = Op.GETSTATIC
+_PUTSTATIC = Op.PUTSTATIC
+_INSTANCEOF = Op.INSTANCEOF
+_INVOKESTATIC = Op.INVOKESTATIC
+_INVOKEVIRTUAL = Op.INVOKEVIRTUAL
+_INVOKESPECIAL = Op.INVOKESPECIAL
+_RETURN = Op.RETURN
+_IRETURN = Op.IRETURN
+_FRETURN = Op.FRETURN
+_ARETURN = Op.ARETURN
+_ATHROW = Op.ATHROW
+
+_NO_VALUE = object()
+
+DEFAULT_MAX_INSTRUCTIONS = 200_000_000
+
+
+class Machine:
+    """All mutable state of one program execution."""
+
+    __slots__ = ("program", "frames", "output", "instr_count",
+                 "max_instructions", "result", "classes")
+
+    def __init__(self, program: Program,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
+        self.program = program
+        self.frames: list[Frame] = []
+        self.output: list[str] = []
+        self.instr_count = 0
+        self.max_instructions = max_instructions
+        self.result = None
+        self.classes = program.classes
+
+    def start(self, method: RtMethod | None = None,
+              args: list | None = None) -> BasicBlock:
+        """Push the entry frame; returns the first block to dispatch."""
+        method = method or self.program.entry
+        if method is None:
+            raise VMRuntimeError("program has no entry method")
+        self.frames.append(Frame(method, list(args or []), None))
+        return method.entry_block
+
+    @property
+    def current_frame(self) -> Frame:
+        return self.frames[-1]
+
+
+def _unwind(machine: Machine, throw_index: int, exc: ObjRef) -> BasicBlock:
+    """Pop frames until a handler catches `exc`; returns the handler block."""
+    frames = machine.frames
+    classes = machine.classes
+    while frames:
+        frame = frames[-1]
+        handler = frame.method.find_handler(throw_index, exc.rtclass, classes)
+        if handler is not None:
+            frame.stack.clear()
+            frame.stack.append(exc)
+            return handler
+        popped = frames.pop()
+        if frames:
+            throw_index = popped.return_block.start - 1
+    raise UncaughtVMException(exc)
+
+
+def _throw(machine: Machine, value, throw_index: int) -> BasicBlock:
+    throwable = machine.classes["Throwable"]
+    if not isinstance(value, ObjRef) or not value.rtclass.is_subclass_of(
+            throwable):
+        raise VMRuntimeError(f"athrow of non-Throwable value {value!r}")
+    return _unwind(machine, throw_index, value)
+
+
+def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
+    """Execute `block` straight-line; return the successor block.
+
+    Returns None exactly when the entry frame returned (program end).
+    Raises StepLimitExceeded when the instruction budget is exhausted,
+    and VMRuntimeError subclasses for fatal conditions.
+    """
+    machine.instr_count += block.end - block.start
+    if machine.instr_count > machine.max_instructions:
+        raise StepLimitExceeded(
+            f"exceeded {machine.max_instructions} instructions")
+
+    frame = machine.frames[-1]
+    stack = frame.stack
+    locals_ = frame.locals
+    code = block.method.code
+
+    for index in range(block.start, block.end):
+        instr = code[index]
+        op = instr.op
+
+        if op is _ILOAD or op is _FLOAD or op is _ALOAD:
+            stack.append(locals_[instr.a])
+        elif op is _ICONST or op is _FCONST or op is _SCONST:
+            stack.append(instr.a)
+        elif op is _ISTORE or op is _FSTORE or op is _ASTORE:
+            locals_[instr.a] = stack.pop()
+        elif op is _IINC:
+            locals_[instr.a] = wrap_int(locals_[instr.a] + instr.b)
+        elif op is _IADD:
+            b = stack.pop()
+            stack[-1] = wrap_int(stack[-1] + b)
+        elif op is _ISUB:
+            b = stack.pop()
+            stack[-1] = wrap_int(stack[-1] - b)
+        elif op is _IMUL:
+            b = stack.pop()
+            stack[-1] = wrap_int(stack[-1] * b)
+        elif op is _IDIV:
+            b = stack.pop()
+            stack[-1] = java_idiv(stack[-1], b)
+        elif op is _IREM:
+            b = stack.pop()
+            stack[-1] = java_irem(stack[-1], b)
+        elif op is _INEG:
+            stack[-1] = wrap_int(-stack[-1])
+        elif op is _IAND:
+            b = stack.pop()
+            stack[-1] = stack[-1] & b
+        elif op is _IOR:
+            b = stack.pop()
+            stack[-1] = stack[-1] | b
+        elif op is _IXOR:
+            b = stack.pop()
+            stack[-1] = stack[-1] ^ b
+        elif op is _ISHL:
+            b = stack.pop()
+            stack[-1] = java_ishl(stack[-1], b)
+        elif op is _ISHR:
+            b = stack.pop()
+            stack[-1] = java_ishr(stack[-1], b)
+        elif op is _IUSHR:
+            b = stack.pop()
+            stack[-1] = java_iushr(stack[-1], b)
+        elif op is _IALOAD or op is _FALOAD or op is _AALOAD:
+            i = stack.pop()
+            arr = stack.pop()
+            if arr is None:
+                raise VMRuntimeError("array load through null")
+            stack.append(arr.data[arr.check_index(i)])
+        elif op is _IASTORE or op is _FASTORE or op is _AASTORE:
+            value = stack.pop()
+            i = stack.pop()
+            arr = stack.pop()
+            if arr is None:
+                raise VMRuntimeError("array store through null")
+            arr.data[arr.check_index(i)] = value
+        elif op is _GETFIELD:
+            obj = stack.pop()
+            if obj is None:
+                raise VMRuntimeError(f"getfield {instr.a!r} on null")
+            stack.append(obj.fields[instr.a])
+        elif op is _PUTFIELD:
+            value = stack.pop()
+            obj = stack.pop()
+            if obj is None:
+                raise VMRuntimeError(f"putfield {instr.a!r} on null")
+            if instr.a not in obj.fields:
+                raise VMRuntimeError(
+                    f"no field {instr.a!r} on {obj.rtclass.name}")
+            obj.fields[instr.a] = value
+        elif op is _GETSTATIC:
+            owner, field = instr.a
+            stack.append(owner.statics[field])
+        elif op is _PUTSTATIC:
+            owner, field = instr.a
+            owner.statics[field] = stack.pop()
+        elif op is _FADD:
+            b = stack.pop()
+            stack[-1] = stack[-1] + b
+        elif op is _FSUB:
+            b = stack.pop()
+            stack[-1] = stack[-1] - b
+        elif op is _FMUL:
+            b = stack.pop()
+            stack[-1] = stack[-1] * b
+        elif op is _FDIV:
+            b = stack.pop()
+            a = stack[-1]
+            if b == 0.0:
+                # Java float division by zero yields infinity/NaN.
+                if a == 0.0:
+                    stack[-1] = float("nan")
+                else:
+                    stack[-1] = float("inf") if a > 0 else float("-inf")
+            else:
+                stack[-1] = a / b
+        elif op is _FNEG:
+            stack[-1] = -stack[-1]
+        elif op is _FCMPL:
+            b = stack.pop()
+            stack[-1] = fcmp(stack[-1], b, -1)
+        elif op is _FCMPG:
+            b = stack.pop()
+            stack[-1] = fcmp(stack[-1], b, 1)
+        elif op is _I2F:
+            stack[-1] = float(stack[-1])
+        elif op is _F2I:
+            stack[-1] = java_f2i(stack[-1])
+        elif op is _DUP:
+            stack.append(stack[-1])
+        elif op is _DUP_X1:
+            stack.insert(-2, stack[-1])
+        elif op is _POP:
+            stack.pop()
+        elif op is _SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif op is _ACONST_NULL:
+            stack.append(None)
+        elif op is _NEW:
+            stack.append(ObjRef(instr.a))
+        elif op is _NEWARRAY:
+            stack.append(ArrayRef(instr.a, stack.pop()))
+        elif op is _ARRAYLENGTH:
+            arr = stack.pop()
+            if arr is None:
+                raise VMRuntimeError("arraylength of null")
+            stack.append(len(arr.data))
+        elif op is _INSTANCEOF:
+            obj = stack.pop()
+            stack.append(
+                1 if isinstance(obj, ObjRef)
+                and obj.rtclass.is_subclass_of(instr.a) else 0)
+        elif op is _NOP:
+            pass
+
+        # --- terminators -------------------------------------------------
+        elif op is _GOTO:
+            return block.succ_target
+        elif op is _IF_ICMPLT:
+            b = stack.pop()
+            return block.succ_target if stack.pop() < b else block.succ_fall
+        elif op is _IF_ICMPGE:
+            b = stack.pop()
+            return block.succ_target if stack.pop() >= b else block.succ_fall
+        elif op is _IF_ICMPEQ:
+            b = stack.pop()
+            return block.succ_target if stack.pop() == b else block.succ_fall
+        elif op is _IF_ICMPNE:
+            b = stack.pop()
+            return block.succ_target if stack.pop() != b else block.succ_fall
+        elif op is _IF_ICMPLE:
+            b = stack.pop()
+            return block.succ_target if stack.pop() <= b else block.succ_fall
+        elif op is _IF_ICMPGT:
+            b = stack.pop()
+            return block.succ_target if stack.pop() > b else block.succ_fall
+        elif op is _IFEQ:
+            return block.succ_target if stack.pop() == 0 else block.succ_fall
+        elif op is _IFNE:
+            return block.succ_target if stack.pop() != 0 else block.succ_fall
+        elif op is _IFLT:
+            return block.succ_target if stack.pop() < 0 else block.succ_fall
+        elif op is _IFLE:
+            return block.succ_target if stack.pop() <= 0 else block.succ_fall
+        elif op is _IFGT:
+            return block.succ_target if stack.pop() > 0 else block.succ_fall
+        elif op is _IFGE:
+            return block.succ_target if stack.pop() >= 0 else block.succ_fall
+        elif op is _IF_ACMPEQ:
+            b = stack.pop()
+            return block.succ_target if stack.pop() is b else block.succ_fall
+        elif op is _IF_ACMPNE:
+            b = stack.pop()
+            return (block.succ_target if stack.pop() is not b
+                    else block.succ_fall)
+        elif op is _IFNULL:
+            return (block.succ_target if stack.pop() is None
+                    else block.succ_fall)
+        elif op is _IFNONNULL:
+            return (block.succ_target if stack.pop() is not None
+                    else block.succ_fall)
+        elif op is _TABLESWITCH:
+            value = stack.pop()
+            low = instr.a[0]
+            offset = value - low
+            if 0 <= offset < len(block.switch_blocks):
+                return block.switch_blocks[offset]
+            return block.switch_default
+        elif op is _INVOKESTATIC:
+            target = instr.a
+            argc = instr.b
+            if type(target) is NativeMethod:
+                if argc:
+                    args = stack[-argc:]
+                    del stack[-argc:]
+                else:
+                    args = []
+                result = target.fn(machine, args)
+                if target.returns_value:
+                    stack.append(result)
+                return block.continuation
+            if argc:
+                args = stack[-argc:]
+                del stack[-argc:]
+            else:
+                args = []
+            machine.frames.append(Frame(target, args, block.continuation))
+            return target.entry_block
+        elif op is _INVOKEVIRTUAL:
+            argc = instr.b
+            if argc:
+                args = stack[-argc:]
+                del stack[-argc:]
+            else:
+                args = []
+            receiver = stack.pop()
+            if receiver is None:
+                raise VMRuntimeError(
+                    f"invokevirtual {instr.a!r} on null receiver")
+            target = receiver.rtclass.vtable.get(instr.a)
+            if target is None:
+                raise VMRuntimeError(
+                    f"no virtual method {instr.a!r} on "
+                    f"{receiver.rtclass.name}")
+            machine.frames.append(
+                Frame(target, [receiver] + args, block.continuation))
+            return target.entry_block
+        elif op is _INVOKESPECIAL:
+            target = instr.a
+            argc = instr.b
+            if argc:
+                args = stack[-argc:]
+                del stack[-argc:]
+            else:
+                args = []
+            receiver = stack.pop()
+            if receiver is None:
+                raise VMRuntimeError(
+                    f"invokespecial {target.qualified_name} on null")
+            machine.frames.append(
+                Frame(target, [receiver] + args, block.continuation))
+            return target.entry_block
+        elif op is _RETURN or op is _IRETURN or op is _FRETURN \
+                or op is _ARETURN:
+            value = _NO_VALUE if op is _RETURN else stack.pop()
+            popped = machine.frames.pop()
+            if not machine.frames:
+                machine.result = None if value is _NO_VALUE else value
+                return None
+            if value is not _NO_VALUE:
+                machine.frames[-1].stack.append(value)
+            return popped.return_block
+        elif op is _ATHROW:
+            return _throw(machine, stack.pop(), index)
+        else:
+            raise VMRuntimeError(f"unimplemented opcode {op.name}")
+
+    # A KIND_FALL block: split only because the next instruction is a
+    # leader; control continues to the next block.
+    return block.succ_fall
+
+
+class ThreadedInterpreter:
+    """Block-at-a-time dispatch loop (the paper's Figure 2 model).
+
+    `dispatch_hook(prev_block, next_block)`, when provided, runs once
+    per dispatch — exactly where SableVM's augmented dispatch code sits.
+    """
+
+    def __init__(self, program: Program,
+                 max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> None:
+        self.program = program
+        self.max_instructions = max_instructions
+        self.dispatch_count = 0
+        self.machine: Machine | None = None
+
+    def run(self, dispatch_hook=None) -> Machine:
+        """Execute the program's entry method to completion."""
+        self.program.reset_statics()
+        machine = Machine(self.program, self.max_instructions)
+        self.machine = machine
+        current = machine.start()
+        previous = None
+        dispatches = 0
+        if dispatch_hook is None:
+            while current is not None:
+                dispatches += 1
+                current = execute_block(machine, current)
+        else:
+            while current is not None:
+                dispatches += 1
+                dispatch_hook(previous, current)
+                previous = current
+                current = execute_block(machine, current)
+        self.dispatch_count = dispatches
+        return machine

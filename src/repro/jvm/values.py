@@ -1,0 +1,93 @@
+"""Runtime value semantics for the JVM-like virtual machine.
+
+The VM is dynamically typed internally (the verifier provides static
+checking), but integer arithmetic follows Java's 32-bit two's-complement
+wrap-around semantics so that workloads behave like their Java namesakes.
+"""
+
+from __future__ import annotations
+
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+_INT_MASK = (1 << 32) - 1
+_SIGN_BIT = 1 << 31
+
+
+def wrap_int(value: int) -> int:
+    """Wrap a Python int to Java 32-bit two's-complement range."""
+    value &= _INT_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << 32
+    return value
+
+
+def java_idiv(a: int, b: int) -> int:
+    """Java integer division: truncates toward zero, wraps INT_MIN / -1."""
+    if b == 0:
+        raise ZeroDivisionError("/ by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap_int(q)
+
+
+def java_irem(a: int, b: int) -> int:
+    """Java integer remainder: sign follows the dividend."""
+    if b == 0:
+        raise ZeroDivisionError("% by zero")
+    return a - java_idiv(a, b) * b
+
+
+def java_ishl(a: int, b: int) -> int:
+    """Java `<<`: shift distance masked to 5 bits, result wrapped."""
+    return wrap_int(a << (b & 31))
+
+
+def java_ishr(a: int, b: int) -> int:
+    """Java `>>` (arithmetic shift right)."""
+    return wrap_int(a >> (b & 31))
+
+
+def java_iushr(a: int, b: int) -> int:
+    """Java `>>>` (logical shift right on the 32-bit pattern)."""
+    return wrap_int((a & _INT_MASK) >> (b & 31))
+
+
+def java_f2i(value: float) -> int:
+    """Java f2i: truncate toward zero, saturating at int bounds, NaN -> 0."""
+    if value != value:  # NaN
+        return 0
+    if value >= INT_MAX:
+        return INT_MAX
+    if value <= INT_MIN:
+        return INT_MIN
+    return int(value)
+
+
+def fcmp(a: float, b: float, nan_result: int) -> int:
+    """Java fcmpl/fcmpg semantics: -1/0/1, `nan_result` on any NaN."""
+    if a != a or b != b:
+        return nan_result
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def is_int(value: object) -> bool:
+    """True for VM int values (bool excluded: the VM has no bool type)."""
+    return type(value) is int
+
+
+def is_float(value: object) -> bool:
+    return type(value) is float
+
+
+def default_value(type_name: str):
+    """The JVM default for a field/array slot of the given type descriptor."""
+    if type_name == "int" or type_name == "boolean":
+        return 0
+    if type_name == "float":
+        return 0.0
+    return None

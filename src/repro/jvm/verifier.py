@@ -1,0 +1,142 @@
+"""Static bytecode verification over linked methods.
+
+Performs an abstract interpretation of operand-stack *depth*:
+
+- every instruction has a single well-defined stack depth on entry,
+  consistent across all control-flow paths reaching it,
+- depth never goes negative,
+- returns see exactly the depth they pop,
+- local indices are within `max_locals`,
+- exception handlers start at depth 1 (the pushed throwable).
+
+Virtual calls are checked against the closed world: every method with
+the invoked name (in any class) must agree on whether it returns a
+value, otherwise the stack depth would be path-dependent at runtime.
+"""
+
+from __future__ import annotations
+
+from .bytecode import (INVOKE_OPS, Op, RETURN_OPS, STACK_EFFECT,
+                       branch_targets, can_fall_through)
+from .errors import VerifyError
+from .intrinsics import NativeMethod
+from .linker import Program, RtMethod
+
+_LOCAL_OPS = frozenset({
+    Op.ILOAD, Op.ISTORE, Op.FLOAD, Op.FSTORE, Op.ALOAD, Op.ASTORE, Op.IINC,
+})
+
+
+def verify_program(program: Program) -> None:
+    """Verify every method in `program`; raises VerifyError on failure."""
+    virtual_returns = _virtual_return_table(program)
+    for method in program.methods:
+        _verify_method(method, virtual_returns)
+
+
+def _virtual_return_table(program: Program) -> dict[str, bool]:
+    """name -> returns-a-value, consistent across all declaring classes."""
+    table: dict[str, bool] = {}
+    for method in program.methods:
+        if method.is_static:
+            continue
+        returns = method.return_type != "void"
+        if method.name in table and table[method.name] != returns:
+            raise VerifyError(
+                f"virtual method {method.name!r} declared both void and "
+                f"value-returning; stack depth would be path-dependent")
+        table[method.name] = returns
+    return table
+
+
+def _invoke_effect(instr, virtual_returns: dict[str, bool],
+                   method: RtMethod) -> tuple[int, int]:
+    op = instr.op
+    if op is Op.INVOKESTATIC:
+        target = instr.a
+        if type(target) is NativeMethod:
+            return target.argc, 1 if target.returns_value else 0
+        return (len(target.param_types),
+                0 if target.return_type == "void" else 1)
+    if op is Op.INVOKESPECIAL:
+        target = instr.a
+        return (len(target.param_types) + 1,
+                0 if target.return_type == "void" else 1)
+    # invokevirtual: closed-world name lookup.
+    name = instr.a
+    if name not in virtual_returns:
+        raise VerifyError(
+            f"{method.qualified_name}: invokevirtual of unknown "
+            f"method name {name!r}")
+    return instr.b + 1, 1 if virtual_returns[name] else 0
+
+
+def _verify_method(method: RtMethod,
+                   virtual_returns: dict[str, bool]) -> None:
+    code = method.code
+    name = method.qualified_name
+    depth_in: list[int | None] = [None] * len(code)
+    worklist: list[int] = [0]
+    depth_in[0] = 0
+    for entry in method.exceptions:
+        if not (0 <= entry.start < entry.end <= len(code)):
+            raise VerifyError(f"{name}: bad exception range "
+                              f"[{entry.start}, {entry.end})")
+        _merge(depth_in, worklist, entry.handler, 1, name)
+
+    while worklist:
+        index = worklist.pop()
+        depth = depth_in[index]
+        instr = code[index]
+        op = instr.op
+
+        if op in _LOCAL_OPS:
+            if not 0 <= instr.a < method.max_locals:
+                raise VerifyError(
+                    f"{name}@{index}: local index {instr.a} out of range "
+                    f"(max_locals={method.max_locals})")
+
+        if op in INVOKE_OPS:
+            pops, pushes = _invoke_effect(instr, virtual_returns, method)
+        else:
+            try:
+                pops, pushes = STACK_EFFECT[op]
+            except KeyError:
+                raise VerifyError(f"{name}@{index}: no stack effect for "
+                                  f"{op.name}") from None
+
+        if depth < pops:
+            raise VerifyError(
+                f"{name}@{index}: {op.name} pops {pops} but stack depth "
+                f"is only {depth}")
+        depth_out = depth - pops + pushes
+
+        if op in RETURN_OPS:
+            if depth_out != 0:
+                raise VerifyError(
+                    f"{name}@{index}: {op.name} leaves {depth_out} values "
+                    f"on the operand stack")
+            continue
+        if op is Op.ATHROW:
+            continue
+
+        for target in branch_targets(instr):
+            _merge(depth_in, worklist, target, depth_out, name)
+        if can_fall_through(op):
+            if index + 1 >= len(code):
+                raise VerifyError(f"{name}@{index}: falls off end of code")
+            _merge(depth_in, worklist, index + 1, depth_out, name)
+
+
+def _merge(depth_in: list, worklist: list[int], target: int,
+           depth: int, name: str) -> None:
+    if not 0 <= target < len(depth_in):
+        raise VerifyError(f"{name}: jump target {target} out of range")
+    known = depth_in[target]
+    if known is None:
+        depth_in[target] = depth
+        worklist.append(target)
+    elif known != depth:
+        raise VerifyError(
+            f"{name}@{target}: inconsistent stack depth at join "
+            f"({known} vs {depth})")

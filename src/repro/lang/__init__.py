@@ -1,0 +1,20 @@
+"""Mini-Java compiler: the workload-generation substrate.
+
+The paper evaluates on SPECjvm98/soot/scimark Java programs; this
+package provides a small Java-flavoured language and compiler targeting
+the :mod:`repro.jvm` bytecode so the reproduction's workloads can be
+written as real programs with the same *branch structure* as their
+namesakes (loops, polymorphic calls, switches, exceptions).
+"""
+
+from .compiler import compile_classes, compile_source
+from .diagnostics import CompileError, LexError, ParseError, SemanticError
+from .lexer import Token, tokenize
+from .parser import parse
+from .sema import NATIVE_SIGNATURES, World, analyze
+
+__all__ = [
+    "compile_classes", "compile_source", "CompileError", "LexError",
+    "ParseError", "SemanticError", "Token", "tokenize", "parse",
+    "NATIVE_SIGNATURES", "World", "analyze",
+]

@@ -1,0 +1,336 @@
+"""Abstract syntax tree for the mini-Java workload language.
+
+Types are plain strings: ``"int"``, ``"float"``, ``"boolean"``,
+``"void"``, ``"String"``, class names, and array types written with a
+``[]`` suffix (``"int[]"``, ``"Shape[]"``).  The semantic analyzer
+annotates expression nodes in place (``type``, ``binding``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .diagnostics import NO_POS, Pos
+
+
+def is_array(type_name: str) -> bool:
+    return type_name.endswith("[]")
+
+
+def element_type(type_name: str) -> str:
+    if not is_array(type_name):
+        raise ValueError(f"{type_name} is not an array type")
+    return type_name[:-2]
+
+
+def is_reference(type_name: str) -> bool:
+    return (is_array(type_name)
+            or type_name not in ("int", "float", "boolean", "void"))
+
+
+# ---------------------------------------------------------------------------
+# Expressions.  Each carries `pos` and a sema-filled `type`.
+
+@dataclass(slots=True)
+class Expr:
+    pos: Pos = field(default=NO_POS, kw_only=True)
+    type: str | None = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(slots=True)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(slots=True)
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass(slots=True)
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass(slots=True)
+class NullLit(Expr):
+    pass
+
+
+@dataclass(slots=True)
+class This(Expr):
+    pass
+
+
+@dataclass(slots=True)
+class Name(Expr):
+    """An identifier; sema fills `binding`:
+    ("local", slot) | ("field", name) | ("static", (class, name)) |
+    ("class", name)."""
+
+    ident: str = ""
+    binding: tuple | None = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class Unary(Expr):
+    op: str = ""          # "-", "!", "~"
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class Binary(Expr):
+    """Arithmetic / bitwise / comparison; not && or ||."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(slots=True)
+class Logical(Expr):
+    """Short-circuit && or ||."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(slots=True)
+class Assign(Expr):
+    """target = value; target is Name, FieldAccess or Index."""
+
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class CompoundAssign(Expr):
+    """target op= value (also ++/-- desugared with op '+'/'-' and 1).
+
+    The target is evaluated once.  In value position the result is the
+    *new* value (i.e. ++x semantics; x++ in value position is not
+    distinguished — a documented deviation from Java, where compound
+    expressions are overwhelmingly used for effect).
+    """
+
+    target: Expr | None = None
+    op: str = "+"
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class Ternary(Expr):
+    """cond ? then : otherwise."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    otherwise: Expr | None = None
+
+
+@dataclass(slots=True)
+class FieldAccess(Expr):
+    """obj.name; obj of None means an unqualified name resolved by sema."""
+
+    obj: Expr | None = None
+    name: str = ""
+
+
+@dataclass(slots=True)
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """A call; sema fills `resolved`:
+    ("native", name) | ("static", (class, name)) |
+    ("virtual", name) | ("special", (class, name))."""
+
+    target: Expr | None = None      # Name or FieldAccess
+    args: list[Expr] = field(default_factory=list)
+    resolved: tuple | None = field(default=None, kw_only=True)
+
+
+@dataclass(slots=True)
+class NewObject(Expr):
+    class_name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    has_ctor: bool = field(default=False, kw_only=True)
+
+
+@dataclass(slots=True)
+class NewArray(Expr):
+    elem: str = ""
+    size: Expr | None = None
+
+
+@dataclass(slots=True)
+class Cast(Expr):
+    target_type: str = ""
+    operand: Expr | None = None
+
+
+@dataclass(slots=True)
+class InstanceOf(Expr):
+    operand: Expr | None = None
+    class_name: str = ""
+
+
+@dataclass(slots=True)
+class ArrayLength(Expr):
+    """`arr.length`, produced by sema from FieldAccess on an array."""
+
+    array: Expr | None = None
+
+
+# ---------------------------------------------------------------------------
+# Statements.
+
+@dataclass(slots=True)
+class Stmt:
+    pos: Pos = field(default=NO_POS, kw_only=True)
+
+
+@dataclass(slots=True)
+class VarDecl(Stmt):
+    type_name: str = ""
+    name: str = ""
+    init: Expr | None = None
+    slot: int = field(default=-1, kw_only=True)   # sema-assigned local slot
+
+
+@dataclass(slots=True)
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr | None = None
+    then_branch: Stmt | None = None
+    else_branch: Stmt | None = None
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass(slots=True)
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    init: Stmt | None = None        # VarDecl or ExprStmt or None
+    cond: Expr | None = None
+    update: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass(slots=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Throw(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(slots=True)
+class TryCatch(Stmt):
+    body: Block | None = None
+    exc_class: str = ""
+    var_name: str = ""
+    handler: Block | None = None
+    var_slot: int = field(default=-1, kw_only=True)
+
+
+@dataclass(slots=True)
+class SwitchCase:
+    """One `case value:` arm (no fallthrough grouping at the AST level —
+    consecutive case labels share a statement list)."""
+
+    values: list[int]
+    stmts: list[Stmt]
+
+    def __init__(self, values: list[int], stmts: list[Stmt]) -> None:
+        self.values = values
+        self.stmts = stmts
+
+
+@dataclass(slots=True)
+class Switch(Stmt):
+    scrutinee: Expr | None = None
+    cases: list[SwitchCase] = field(default_factory=list)
+    default: list[Stmt] | None = None
+
+
+# ---------------------------------------------------------------------------
+# Declarations.
+
+@dataclass(slots=True)
+class Param:
+    type_name: str
+    name: str
+    pos: Pos = NO_POS
+
+
+@dataclass(slots=True)
+class FieldDecl:
+    type_name: str
+    name: str
+    is_static: bool = False
+    pos: Pos = NO_POS
+
+
+@dataclass(slots=True)
+class MethodDecl:
+    name: str
+    params: list[Param]
+    return_type: str
+    body: Block
+    is_static: bool = False
+    is_ctor: bool = False
+    pos: Pos = NO_POS
+    max_slots: int = 0          # sema-assigned local slot count
+
+
+@dataclass(slots=True)
+class ClassDecl:
+    name: str
+    super_name: str | None
+    fields: list[FieldDecl]
+    methods: list[MethodDecl]
+    pos: Pos = NO_POS
+
+
+@dataclass(slots=True)
+class CompilationUnit:
+    classes: list[ClassDecl]

@@ -1,0 +1,710 @@
+"""Bytecode generation from the analyzed AST.
+
+Walks the sema-annotated AST and emits :class:`repro.jvm` instructions
+through the label-based assembler.  Booleans are represented as 0/1
+ints at runtime; conditions compile to direct conditional branches
+(with short-circuit && and ||), and boolean values in value position
+are materialized as 0/1.
+"""
+
+from __future__ import annotations
+
+from ..jvm.assembler import Assembler, Label
+from ..jvm.bytecode import Op
+from ..jvm.values import wrap_int
+from ..jvm.classfile import ClassDef, FieldDef, MethodDef
+from . import ast
+from .ast import element_type, is_array
+from .diagnostics import CompileError
+from .sema import World
+
+_INT_BINOPS = {
+    "+": Op.IADD, "-": Op.ISUB, "*": Op.IMUL, "/": Op.IDIV, "%": Op.IREM,
+    "&": Op.IAND, "|": Op.IOR, "^": Op.IXOR,
+    "<<": Op.ISHL, ">>": Op.ISHR, ">>>": Op.IUSHR,
+}
+_FLOAT_BINOPS = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV}
+
+# (operator, jump-if-true?) -> int-compare branch opcode.
+_ICMP_JUMP = {
+    ("==", True): Op.IF_ICMPEQ, ("==", False): Op.IF_ICMPNE,
+    ("!=", True): Op.IF_ICMPNE, ("!=", False): Op.IF_ICMPEQ,
+    ("<", True): Op.IF_ICMPLT, ("<", False): Op.IF_ICMPGE,
+    ("<=", True): Op.IF_ICMPLE, ("<=", False): Op.IF_ICMPGT,
+    (">", True): Op.IF_ICMPGT, (">", False): Op.IF_ICMPLE,
+    (">=", True): Op.IF_ICMPGE, (">=", False): Op.IF_ICMPLT,
+}
+
+# Float compares: Java picks fcmpg/fcmpl so that NaN fails the test.
+_FCMP_PREP = {"<": Op.FCMPG, "<=": Op.FCMPG, ">": Op.FCMPL,
+              ">=": Op.FCMPL, "==": Op.FCMPL, "!=": Op.FCMPL}
+_FCMP_JUMP = {
+    ("<", True): Op.IFLT, ("<", False): Op.IFGE,
+    ("<=", True): Op.IFLE, ("<=", False): Op.IFGT,
+    (">", True): Op.IFGT, (">", False): Op.IFLE,
+    (">=", True): Op.IFGE, (">=", False): Op.IFLT,
+    ("==", True): Op.IFEQ, ("==", False): Op.IFNE,
+    ("!=", True): Op.IFNE, ("!=", False): Op.IFEQ,
+}
+
+_COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+
+
+def _is_float_type(t: str | None) -> bool:
+    return t == "float"
+
+
+def _is_ref_type(t: str | None) -> bool:
+    return t is not None and t not in ("int", "float", "boolean", "void")
+
+
+def generate(unit: ast.CompilationUnit, world: World) -> list[ClassDef]:
+    """Generate ClassDefs for every class in the unit."""
+    return [_ClassGen(cls, world).generate() for cls in unit.classes]
+
+
+class _ClassGen:
+    def __init__(self, cls: ast.ClassDecl, world: World) -> None:
+        self.cls = cls
+        self.world = world
+
+    def generate(self) -> ClassDef:
+        fields = [FieldDef(f.name, f.type_name, f.is_static)
+                  for f in self.cls.fields]
+        methods = [_MethodGen(m, self.cls, self.world).generate()
+                   for m in self.cls.methods]
+        return ClassDef(name=self.cls.name, super_name=self.cls.super_name,
+                        fields=fields, methods=methods)
+
+
+class _MethodGen:
+    def __init__(self, method: ast.MethodDecl, cls: ast.ClassDecl,
+                 world: World) -> None:
+        self.method = method
+        self.cls = cls
+        self.world = world
+        self.asm = Assembler()
+        # (break label, continue label or None) innermost-last.
+        self.loop_stack: list[tuple[Label, Label | None]] = []
+
+    def generate(self) -> MethodDef:
+        asm = self.asm
+        self.gen_block(self.method.body)
+        # Epilogue: needed when the body can finish normally (implicit
+        # return, void methods only — sema rejects non-void fallthrough)
+        # or when a control-flow end label (e.g. the join after a
+        # try/catch whose arms both return) points past the last
+        # instruction and needs something to land on.
+        rtype = self.method.return_type
+        if not asm._code or _can_reach_end(self.method.body) \
+                or asm.has_end_label:
+            if rtype == "void":
+                asm.emit(Op.RETURN)
+            elif rtype in ("int", "boolean"):
+                asm.emit(Op.ICONST, 0)
+                asm.emit(Op.IRETURN)
+            elif rtype == "float":
+                asm.emit(Op.FCONST, 0.0)
+                asm.emit(Op.FRETURN)
+            else:
+                asm.emit(Op.ACONST_NULL)
+                asm.emit(Op.ARETURN)
+        code = asm.finish()
+        return MethodDef(
+            name=self.method.name,
+            param_types=[p.type_name for p in self.method.params],
+            return_type=self.method.return_type,
+            max_locals=self.method.max_slots,
+            is_static=self.method.is_static,
+            code=code,
+            exceptions=asm.exception_table(),
+        )
+
+    # ------------------------------------------------------------------
+    # Statements.
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        asm = self.asm
+        if isinstance(stmt, ast.Block):
+            self.gen_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self.gen_expr(stmt.init)
+            else:
+                self._push_default(stmt.type_name)
+            asm.emit(self._store_op(stmt.type_name), stmt.slot)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_expr_for_effect(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            else_label = asm.new_label("else")
+            self.gen_condition(stmt.cond, else_label, jump_if_true=False)
+            self.gen_stmt(stmt.then_branch)
+            if stmt.else_branch is not None:
+                end = asm.new_label("endif")
+                asm.branch(Op.GOTO, end)
+                asm.bind(else_label)
+                self.gen_stmt(stmt.else_branch)
+                asm.bind(end)
+            else:
+                asm.bind(else_label)
+        elif isinstance(stmt, ast.While):
+            cond_label = asm.new_label("wcond")
+            body_label = asm.new_label("wbody")
+            end_label = asm.new_label("wend")
+            asm.branch(Op.GOTO, cond_label)
+            asm.bind(body_label)
+            self.loop_stack.append((end_label, cond_label))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            asm.bind(cond_label)
+            self.gen_condition(stmt.cond, body_label, jump_if_true=True)
+            asm.bind(end_label)
+        elif isinstance(stmt, ast.DoWhile):
+            body_label = asm.new_label("dbody")
+            cond_label = asm.new_label("dcond")
+            end_label = asm.new_label("dend")
+            asm.bind(body_label)
+            self.loop_stack.append((end_label, cond_label))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            asm.bind(cond_label)
+            self.gen_condition(stmt.cond, body_label, jump_if_true=True)
+            asm.bind(end_label)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            cond_label = asm.new_label("fcond")
+            body_label = asm.new_label("fbody")
+            cont_label = asm.new_label("fcont")
+            end_label = asm.new_label("fend")
+            asm.branch(Op.GOTO, cond_label)
+            asm.bind(body_label)
+            self.loop_stack.append((end_label, cont_label))
+            self.gen_stmt(stmt.body)
+            self.loop_stack.pop()
+            asm.bind(cont_label)
+            if stmt.update is not None:
+                self.gen_expr_for_effect(stmt.update)
+            asm.bind(cond_label)
+            if stmt.cond is not None:
+                self.gen_condition(stmt.cond, body_label, jump_if_true=True)
+            else:
+                asm.branch(Op.GOTO, body_label)
+            asm.bind(end_label)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                asm.emit(Op.RETURN)
+            else:
+                self.gen_expr(stmt.value)
+                rtype = self.method.return_type
+                if rtype in ("int", "boolean"):
+                    asm.emit(Op.IRETURN)
+                elif rtype == "float":
+                    asm.emit(Op.FRETURN)
+                else:
+                    asm.emit(Op.ARETURN)
+        elif isinstance(stmt, ast.Break):
+            asm.branch(Op.GOTO, self.loop_stack[-1][0])
+        elif isinstance(stmt, ast.Continue):
+            for break_label, cont_label in reversed(self.loop_stack):
+                if cont_label is not None:
+                    asm.branch(Op.GOTO, cont_label)
+                    return
+            raise CompileError("continue outside loop", stmt.pos)
+        elif isinstance(stmt, ast.Throw):
+            self.gen_expr(stmt.value)
+            asm.emit(Op.ATHROW)
+        elif isinstance(stmt, ast.TryCatch):
+            handler_label = asm.new_label("catch")
+            end_label = asm.new_label("endtry")
+            region = asm.begin_try(handler_label, stmt.exc_class)
+            self.gen_block(stmt.body)
+            asm.end_try(region)
+            asm.branch(Op.GOTO, end_label)
+            asm.bind(handler_label)
+            asm.emit(Op.ASTORE, stmt.var_slot)
+            self.gen_block(stmt.handler)
+            asm.bind(end_label)
+        elif isinstance(stmt, ast.Switch):
+            self.gen_switch(stmt)
+        else:
+            raise CompileError(
+                f"cannot generate {type(stmt).__name__}", stmt.pos)
+
+    def gen_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self.gen_stmt(stmt)
+
+    def gen_switch(self, stmt: ast.Switch) -> None:
+        asm = self.asm
+        end_label = asm.new_label("swend")
+        default_label = asm.new_label("swdefault")
+        group_labels = [asm.new_label(f"case{i}")
+                        for i in range(len(stmt.cases))]
+        value_to_label: dict[int, Label] = {}
+        for case, label in zip(stmt.cases, group_labels):
+            for value in case.values:
+                value_to_label[value] = label
+
+        self.gen_expr(stmt.scrutinee)
+        if value_to_label:
+            low = min(value_to_label)
+            high = max(value_to_label)
+            span = high - low + 1
+            if span <= 3 * len(value_to_label) + 8:
+                targets = [value_to_label.get(low + i, default_label)
+                           for i in range(span)]
+                asm.tableswitch(low, targets, default_label)
+            else:
+                # Sparse: DUP/compare chain.  Taken branches land on a
+                # per-group trampoline that pops the duplicated scrutinee
+                # before entering the case body.
+                trampolines: dict[Label, Label] = {}
+                for value, label in sorted(value_to_label.items()):
+                    tramp = trampolines.get(label)
+                    if tramp is None:
+                        tramp = trampolines[label] = asm.new_label(
+                            f"tramp_{label.name}")
+                    asm.emit(Op.DUP)
+                    asm.emit(Op.ICONST, value)
+                    asm.branch(Op.IF_ICMPEQ, tramp)
+                asm.emit(Op.POP)
+                asm.branch(Op.GOTO, default_label)
+                for group_label, tramp in trampolines.items():
+                    asm.bind(tramp)
+                    asm.emit(Op.POP)
+                    asm.branch(Op.GOTO, group_label)
+        else:
+            asm.emit(Op.POP)
+            asm.branch(Op.GOTO, default_label)
+
+        # Case bodies laid out in order; fallthrough is natural.
+        self.loop_stack.append((end_label, None))
+        for case, label in zip(stmt.cases, group_labels):
+            asm.bind(label)
+            for s in case.stmts:
+                self.gen_stmt(s)
+        asm.bind(default_label)
+        if stmt.default is not None:
+            for s in stmt.default:
+                self.gen_stmt(s)
+        self.loop_stack.pop()
+        asm.bind(end_label)
+
+    # ------------------------------------------------------------------
+    # Expressions (value position).
+    def gen_expr(self, expr: ast.Expr) -> None:
+        asm = self.asm
+        if isinstance(expr, ast.IntLit):
+            asm.emit(Op.ICONST, wrap_int(expr.value))
+        elif isinstance(expr, ast.FloatLit):
+            asm.emit(Op.FCONST, expr.value)
+        elif isinstance(expr, ast.StrLit):
+            asm.emit(Op.SCONST, expr.value)
+        elif isinstance(expr, ast.BoolLit):
+            asm.emit(Op.ICONST, 1 if expr.value else 0)
+        elif isinstance(expr, ast.NullLit):
+            asm.emit(Op.ACONST_NULL)
+        elif isinstance(expr, ast.This):
+            asm.emit(Op.ALOAD, 0)
+        elif isinstance(expr, ast.Name):
+            self.gen_name_load(expr)
+        elif isinstance(expr, ast.Unary):
+            self.gen_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            if expr.op in _COMPARISON_OPS:
+                self._materialize_condition(expr)
+            else:
+                self.gen_binary_arith(expr)
+        elif isinstance(expr, ast.Logical):
+            self._materialize_condition(expr)
+        elif isinstance(expr, ast.InstanceOf):
+            self.gen_expr(expr.operand)
+            asm.emit(Op.INSTANCEOF, expr.class_name)
+        elif isinstance(expr, ast.Assign):
+            self.gen_assign(expr, want_value=True)
+        elif isinstance(expr, ast.CompoundAssign):
+            self.gen_compound_assign(expr, want_value=True)
+        elif isinstance(expr, ast.Ternary):
+            else_label = asm.new_label("telse")
+            end_label = asm.new_label("tend")
+            self.gen_condition(expr.cond, else_label, jump_if_true=False)
+            self.gen_expr(expr.then)
+            asm.branch(Op.GOTO, end_label)
+            asm.bind(else_label)
+            self.gen_expr(expr.otherwise)
+            asm.bind(end_label)
+        elif isinstance(expr, ast.FieldAccess):
+            self.gen_expr(expr.obj)
+            asm.emit(Op.GETFIELD, expr.name)
+        elif isinstance(expr, ast.ArrayLength):
+            self.gen_expr(expr.array)
+            asm.emit(Op.ARRAYLENGTH)
+        elif isinstance(expr, ast.Index):
+            self.gen_expr(expr.array)
+            self.gen_expr(expr.index)
+            asm.emit(self._aload_op(element_type(expr.array.type)))
+        elif isinstance(expr, ast.Call):
+            self.gen_call(expr)
+        elif isinstance(expr, ast.NewObject):
+            asm.emit(Op.NEW, expr.class_name)
+            if expr.has_ctor:
+                asm.emit(Op.DUP)
+                for arg in expr.args:
+                    self.gen_expr(arg)
+                asm.emit(Op.INVOKESPECIAL, (expr.class_name, "<init>"),
+                         len(expr.args))
+        elif isinstance(expr, ast.NewArray):
+            self.gen_expr(expr.size)
+            asm.emit(Op.NEWARRAY, expr.elem)
+        elif isinstance(expr, ast.Cast):
+            self.gen_expr(expr.operand)
+            src = expr.operand.type
+            if src == "int" and expr.target_type == "float":
+                asm.emit(Op.I2F)
+            elif src == "float" and expr.target_type == "int":
+                asm.emit(Op.F2I)
+            # identity casts emit nothing
+        else:
+            raise CompileError(
+                f"cannot generate {type(expr).__name__}", expr.pos)
+
+    def gen_expr_for_effect(self, expr: ast.Expr) -> None:
+        """Compile in statement position, discarding any value."""
+        if isinstance(expr, ast.Assign):
+            self.gen_assign(expr, want_value=False)
+            return
+        if isinstance(expr, ast.CompoundAssign):
+            self.gen_compound_assign(expr, want_value=False)
+            return
+        self.gen_expr(expr)
+        if expr.type not in (None, "void"):
+            self.asm.emit(Op.POP)
+
+    def gen_name_load(self, expr: ast.Name) -> None:
+        asm = self.asm
+        kind = expr.binding[0]
+        if kind == "local":
+            asm.emit(self._load_op(expr.type), expr.binding[1])
+        elif kind == "field":
+            asm.emit(Op.ALOAD, 0)
+            asm.emit(Op.GETFIELD, expr.binding[1])
+        elif kind == "static":
+            asm.emit(Op.GETSTATIC, expr.binding[1])
+        else:
+            raise CompileError(
+                f"class name {expr.ident!r} used as a value", expr.pos)
+
+    def gen_unary(self, expr: ast.Unary) -> None:
+        asm = self.asm
+        if expr.op == "-":
+            self.gen_expr(expr.operand)
+            asm.emit(Op.FNEG if _is_float_type(expr.type) else Op.INEG)
+        elif expr.op == "~":
+            self.gen_expr(expr.operand)
+            asm.emit(Op.ICONST, -1)
+            asm.emit(Op.IXOR)
+        elif expr.op == "!":
+            # Booleans are always 0/1, so ! is xor 1.
+            self.gen_expr(expr.operand)
+            asm.emit(Op.ICONST, 1)
+            asm.emit(Op.IXOR)
+        else:
+            raise CompileError(f"unknown unary {expr.op}", expr.pos)
+
+    def gen_binary_arith(self, expr: ast.Binary) -> None:
+        self.gen_expr(expr.left)
+        self.gen_expr(expr.right)
+        if _is_float_type(expr.type):
+            self.asm.emit(_FLOAT_BINOPS[expr.op])
+        else:
+            self.asm.emit(_INT_BINOPS[expr.op])
+
+    def gen_call(self, expr: ast.Call) -> None:
+        asm = self.asm
+        kind = expr.resolved[0]
+        if kind == "native":
+            for arg in expr.args:
+                self.gen_expr(arg)
+            asm.emit(Op.INVOKESTATIC, ("Sys", expr.resolved[1]),
+                     len(expr.args))
+        elif kind == "static":
+            for arg in expr.args:
+                self.gen_expr(arg)
+            asm.emit(Op.INVOKESTATIC, expr.resolved[1], len(expr.args))
+        elif kind == "virtual-this":
+            asm.emit(Op.ALOAD, 0)
+            for arg in expr.args:
+                self.gen_expr(arg)
+            asm.emit(Op.INVOKEVIRTUAL, expr.resolved[1], len(expr.args))
+        elif kind == "virtual":
+            self.gen_expr(expr.target.obj)
+            for arg in expr.args:
+                self.gen_expr(arg)
+            asm.emit(Op.INVOKEVIRTUAL, expr.resolved[1], len(expr.args))
+        else:
+            raise CompileError(f"unknown call kind {kind}", expr.pos)
+
+    def gen_assign(self, expr: ast.Assign, want_value: bool) -> None:
+        asm = self.asm
+        target = expr.target
+        if isinstance(target, ast.Name):
+            kind = target.binding[0]
+            if kind == "local":
+                self.gen_expr(expr.value)
+                if want_value:
+                    asm.emit(Op.DUP)
+                asm.emit(self._store_op(target.type), target.binding[1])
+            elif kind == "field":
+                asm.emit(Op.ALOAD, 0)
+                self.gen_expr(expr.value)
+                if want_value:
+                    asm.emit(Op.DUP_X1)
+                asm.emit(Op.PUTFIELD, target.binding[1])
+            elif kind == "static":
+                self.gen_expr(expr.value)
+                if want_value:
+                    asm.emit(Op.DUP)
+                asm.emit(Op.PUTSTATIC, target.binding[1])
+            else:
+                raise CompileError("cannot assign to a class name",
+                                   expr.pos)
+        elif isinstance(target, ast.FieldAccess):
+            self.gen_expr(target.obj)
+            self.gen_expr(expr.value)
+            if want_value:
+                asm.emit(Op.DUP_X1)
+            asm.emit(Op.PUTFIELD, target.name)
+        elif isinstance(target, ast.Index):
+            if want_value:
+                raise CompileError(
+                    "array-element assignment cannot be used as a value",
+                    expr.pos)
+            self.gen_expr(target.array)
+            self.gen_expr(target.index)
+            self.gen_expr(expr.value)
+            asm.emit(self._astore_op(element_type(target.array.type)))
+        else:
+            raise CompileError("invalid assignment target", expr.pos)
+
+    def gen_compound_assign(self, expr: ast.CompoundAssign,
+                            want_value: bool) -> None:
+        """target op= value, evaluating the target location once.
+
+        Fast path: `local += int-constant` and ++/-- compile to IINC.
+        """
+        asm = self.asm
+        target = expr.target
+        op = expr.op
+        is_float = target.type == "float"
+        arith = _FLOAT_BINOPS[op] if is_float else _INT_BINOPS[op]
+
+        if isinstance(target, ast.Name):
+            kind = target.binding[0]
+            if kind == "local":
+                slot = target.binding[1]
+                if (not want_value and not is_float
+                        and op in ("+", "-")
+                        and isinstance(expr.value, ast.IntLit)):
+                    delta = expr.value.value
+                    asm.emit(Op.IINC, slot,
+                             wrap_int(delta if op == "+" else -delta))
+                    return
+                asm.emit(self._load_op(target.type), slot)
+                self.gen_expr(expr.value)
+                asm.emit(arith)
+                if want_value:
+                    asm.emit(Op.DUP)
+                asm.emit(self._store_op(target.type), slot)
+            elif kind == "field":
+                asm.emit(Op.ALOAD, 0)
+                asm.emit(Op.DUP)
+                asm.emit(Op.GETFIELD, target.binding[1])
+                self.gen_expr(expr.value)
+                asm.emit(arith)
+                if want_value:
+                    asm.emit(Op.DUP_X1)
+                asm.emit(Op.PUTFIELD, target.binding[1])
+            elif kind == "static":
+                asm.emit(Op.GETSTATIC, target.binding[1])
+                self.gen_expr(expr.value)
+                asm.emit(arith)
+                if want_value:
+                    asm.emit(Op.DUP)
+                asm.emit(Op.PUTSTATIC, target.binding[1])
+            else:
+                raise CompileError("cannot assign to a class name",
+                                   expr.pos)
+        elif isinstance(target, ast.FieldAccess):
+            self.gen_expr(target.obj)
+            asm.emit(Op.DUP)
+            asm.emit(Op.GETFIELD, target.name)
+            self.gen_expr(expr.value)
+            asm.emit(arith)
+            if want_value:
+                asm.emit(Op.DUP_X1)
+            asm.emit(Op.PUTFIELD, target.name)
+        elif isinstance(target, ast.Index):
+            if want_value:
+                raise CompileError(
+                    "compound array-element assignment cannot be used "
+                    "as a value", expr.pos)
+            elem = element_type(target.array.type)
+            self.gen_expr(target.array)
+            asm.emit(Op.DUP)
+            self.gen_expr(target.index)
+            asm.emit(Op.DUP_X1)      # arr, idx, arr, idx
+            asm.emit(self._aload_op(elem))
+            self.gen_expr(expr.value)
+            asm.emit(arith)
+            asm.emit(self._astore_op(elem))
+        else:
+            raise CompileError("invalid assignment target", expr.pos)
+
+    # ------------------------------------------------------------------
+    # Conditions: emit a branch to `target` taken iff cond == jump_if_true.
+    def gen_condition(self, expr: ast.Expr, target: Label,
+                      jump_if_true: bool) -> None:
+        asm = self.asm
+        if isinstance(expr, ast.BoolLit):
+            if expr.value == jump_if_true:
+                asm.branch(Op.GOTO, target)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.gen_condition(expr.operand, target, not jump_if_true)
+            return
+        if isinstance(expr, ast.Logical):
+            if expr.op == "&&":
+                if jump_if_true:
+                    skip = asm.new_label("andskip")
+                    self.gen_condition(expr.left, skip, jump_if_true=False)
+                    self.gen_condition(expr.right, target,
+                                       jump_if_true=True)
+                    asm.bind(skip)
+                else:
+                    self.gen_condition(expr.left, target,
+                                       jump_if_true=False)
+                    self.gen_condition(expr.right, target,
+                                       jump_if_true=False)
+            else:  # ||
+                if jump_if_true:
+                    self.gen_condition(expr.left, target, jump_if_true=True)
+                    self.gen_condition(expr.right, target,
+                                       jump_if_true=True)
+                else:
+                    skip = asm.new_label("orskip")
+                    self.gen_condition(expr.left, skip, jump_if_true=True)
+                    self.gen_condition(expr.right, target,
+                                       jump_if_true=False)
+                    asm.bind(skip)
+            return
+        if isinstance(expr, ast.Binary) and expr.op in _COMPARISON_OPS:
+            lt = expr.left.type
+            if lt == "float":
+                self.gen_expr(expr.left)
+                self.gen_expr(expr.right)
+                asm.emit(_FCMP_PREP[expr.op])
+                asm.branch(_FCMP_JUMP[(expr.op, jump_if_true)], target)
+                return
+            if lt in ("int", "boolean"):
+                # `x == 0` / `x != 0` get the single-operand forms.
+                if (expr.op in ("==", "!=")
+                        and isinstance(expr.right, ast.IntLit)
+                        and expr.right.value == 0):
+                    self.gen_expr(expr.left)
+                    taken_eq = (expr.op == "==") == jump_if_true
+                    asm.branch(Op.IFEQ if taken_eq else Op.IFNE, target)
+                    return
+                self.gen_expr(expr.left)
+                self.gen_expr(expr.right)
+                asm.branch(_ICMP_JUMP[(expr.op, jump_if_true)], target)
+                return
+            # Reference equality, with null-literal specialization.
+            if isinstance(expr.right, ast.NullLit) or \
+                    isinstance(expr.left, ast.NullLit):
+                operand = (expr.left
+                           if isinstance(expr.right, ast.NullLit)
+                           else expr.right)
+                self.gen_expr(operand)
+                want_null = (expr.op == "==") == jump_if_true
+                asm.branch(Op.IFNULL if want_null else Op.IFNONNULL,
+                           target)
+                return
+            self.gen_expr(expr.left)
+            self.gen_expr(expr.right)
+            taken_eq = (expr.op == "==") == jump_if_true
+            asm.branch(Op.IF_ACMPEQ if taken_eq else Op.IF_ACMPNE, target)
+            return
+        # Generic boolean-valued expression (call, local, instanceof...).
+        self.gen_expr(expr)
+        asm.branch(Op.IFNE if jump_if_true else Op.IFEQ, target)
+
+    def _materialize_condition(self, expr: ast.Expr) -> None:
+        """Produce 0/1 on the stack from a condition expression."""
+        asm = self.asm
+        true_label = asm.new_label("mtrue")
+        end_label = asm.new_label("mend")
+        self.gen_condition(expr, true_label, jump_if_true=True)
+        asm.emit(Op.ICONST, 0)
+        asm.branch(Op.GOTO, end_label)
+        asm.bind(true_label)
+        asm.emit(Op.ICONST, 1)
+        asm.bind(end_label)
+
+    # ------------------------------------------------------------------
+    # Type helpers.
+    @staticmethod
+    def _load_op(type_name: str | None) -> Op:
+        if type_name in ("int", "boolean"):
+            return Op.ILOAD
+        if type_name == "float":
+            return Op.FLOAD
+        return Op.ALOAD
+
+    @staticmethod
+    def _store_op(type_name: str | None) -> Op:
+        if type_name in ("int", "boolean"):
+            return Op.ISTORE
+        if type_name == "float":
+            return Op.FSTORE
+        return Op.ASTORE
+
+    @staticmethod
+    def _aload_op(elem: str) -> Op:
+        if elem in ("int", "boolean"):
+            return Op.IALOAD
+        if elem == "float":
+            return Op.FALOAD
+        return Op.AALOAD
+
+    @staticmethod
+    def _astore_op(elem: str) -> Op:
+        if elem in ("int", "boolean"):
+            return Op.IASTORE
+        if elem == "float":
+            return Op.FASTORE
+        return Op.AASTORE
+
+    def _push_default(self, type_name: str) -> None:
+        asm = self.asm
+        if type_name in ("int", "boolean"):
+            asm.emit(Op.ICONST, 0)
+        elif type_name == "float":
+            asm.emit(Op.FCONST, 0.0)
+        else:
+            asm.emit(Op.ACONST_NULL)
+
+
+def _can_reach_end(block: ast.Block) -> bool:
+    """Conservative mirror of sema's exit analysis (for implicit return)."""
+    def exits(stmt: ast.Stmt) -> bool:
+        if isinstance(stmt, (ast.Return, ast.Throw)):
+            return True
+        if isinstance(stmt, ast.Block):
+            return bool(stmt.stmts) and exits(stmt.stmts[-1])
+        if isinstance(stmt, ast.If):
+            return (stmt.else_branch is not None
+                    and exits(stmt.then_branch) and exits(stmt.else_branch))
+        if isinstance(stmt, ast.TryCatch):
+            return exits(stmt.body) and exits(stmt.handler)
+        return False
+    return not exits(block)

@@ -1,0 +1,29 @@
+"""Compiler driver: mini-Java source text -> linked, verified Program."""
+
+from __future__ import annotations
+
+from ..jvm.classfile import ClassDef
+from ..jvm.linker import Program, link
+from ..jvm.verifier import verify_program
+from .codegen import generate
+from .parser import parse
+from .sema import analyze
+
+
+def compile_classes(source: str) -> list[ClassDef]:
+    """Compile source text into symbolic ClassDefs (not yet linked)."""
+    unit = parse(source)
+    world = analyze(unit)
+    return generate(unit, world)
+
+
+def compile_source(source: str, entry: str = "Main.main",
+                   verify: bool = True) -> Program:
+    """Compile, link and (by default) verify a program.
+
+    `entry` names the static no-argument method execution starts at.
+    """
+    program = link(compile_classes(source), entry=entry)
+    if verify:
+        verify_program(program)
+    return program

@@ -1,0 +1,40 @@
+"""Source positions and compile-time error reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Pos:
+    """A 1-based line/column source position."""
+
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
+NO_POS = Pos(0, 0)
+
+
+class CompileError(Exception):
+    """Any error produced by the mini-Java compiler."""
+
+    def __init__(self, message: str, pos: Pos | None = None) -> None:
+        self.pos = pos or NO_POS
+        self.message = message
+        super().__init__(f"{self.pos}: {message}" if pos else message)
+
+
+class LexError(CompileError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(CompileError):
+    """Syntax error."""
+
+
+class SemanticError(CompileError):
+    """Name resolution or type error."""

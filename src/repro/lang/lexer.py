@@ -1,0 +1,149 @@
+"""Tokenizer for the mini-Java workload language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .diagnostics import LexError, Pos
+
+KEYWORDS = frozenset({
+    "class", "extends", "static", "void", "int", "float", "boolean",
+    "if", "else", "while", "do", "for", "return", "new", "null", "this",
+    "true", "false", "break", "continue", "switch", "case", "default",
+    "throw", "try", "catch", "instanceof",
+})
+
+# Longest-first so that e.g. ">>>" is not read as ">" ">" ">".
+OPERATORS = (
+    ">>>=", ">>>", "<<=", ">>=", "<<", ">>",
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", "(", ")", "{", "}", "[", "]", ";", ",", ".", ":",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str        # "int", "float", "string", "ident", "kw", "op", "eof"
+    text: str
+    value: object
+    pos: Pos
+
+    def __repr__(self) -> str:
+        return f"<{self.kind} {self.text!r} @{self.pos}>"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert source text to a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def pos() -> Pos:
+        return Pos(line, i - line_start + 1)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", pos())
+            line += source.count("\n", i, end)
+            if "\n" in source[i:end]:
+                line_start = source.rfind("\n", i, end) + 1
+            i = end + 2
+            continue
+
+        start = pos()
+        if ch.isdigit() or (ch == "." and i + 1 < n and
+                            source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                if source[j] == ".":
+                    if is_float:
+                        raise LexError("malformed number", start)
+                    is_float = True
+                j += 1
+            if j < n and source[j] in "eE":
+                is_float = True
+                j += 1
+                if j < n and source[j] in "+-":
+                    j += 1
+                if j >= n or not source[j].isdigit():
+                    raise LexError("malformed exponent", start)
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] == "f":
+                is_float = True
+                text = source[i:j]
+                j += 1
+            else:
+                text = source[i:j]
+            if is_float:
+                tokens.append(Token("float", text, float(text), start))
+            else:
+                tokens.append(Token("int", text, int(text), start))
+            i = j
+            continue
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, text, start))
+            i = j
+            continue
+
+        if ch == '"':
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != '"':
+                c = source[j]
+                if c == "\n":
+                    raise LexError("unterminated string literal", start)
+                if c == "\\":
+                    j += 1
+                    if j >= n:
+                        raise LexError("unterminated escape", start)
+                    escapes = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    c = escapes.get(source[j])
+                    if c is None:
+                        raise LexError(
+                            f"unknown escape \\{source[j]}", start)
+                chars.append(c)
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", start)
+            tokens.append(Token("string", source[i:j + 1],
+                                "".join(chars), start))
+            i = j + 1
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, op, start))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", start)
+
+    tokens.append(Token("eof", "", None, Pos(line, i - line_start + 1)))
+    return tokens

@@ -1,0 +1,547 @@
+"""Recursive-descent parser for the mini-Java workload language.
+
+Grammar summary::
+
+    unit       := classdecl*
+    classdecl  := 'class' IDENT ('extends' IDENT)? '{' member* '}'
+    member     := field | method | ctor
+    field      := 'static'? type IDENT ';'
+    method     := 'static'? (type | 'void') IDENT '(' params ')' block
+    ctor       := IDENT '(' params ')' block          (name == class name)
+    type       := ('int' | 'float' | 'boolean' | IDENT) ('[' ']')*
+
+Expressions follow Java precedence (simplified):
+assignment < || < && < | < ^ < & < equality < relational/instanceof
+< shift < additive < multiplicative < unary < postfix.
+Casts are permitted to 'int' and 'float' only.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .diagnostics import ParseError
+from .lexer import Token, tokenize
+
+_PRIMITIVES = ("int", "float", "boolean")
+
+
+def parse(source: str) -> ast.CompilationUnit:
+    """Parse source text into a CompilationUnit."""
+    return _Parser(tokenize(source)).parse_unit()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.i = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.i + ahead, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        if tok.kind != "eof":
+            self.i += 1
+        return tok
+
+    def at(self, text: str, ahead: int = 0) -> bool:
+        tok = self.peek(ahead)
+        return tok.kind in ("op", "kw") and tok.text == text
+
+    def at_kind(self, kind: str, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind == kind
+
+    def accept(self, text: str) -> Token | None:
+        if self.at(text):
+            return self.next()
+        return None
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            tok = self.peek()
+            raise ParseError(f"expected {text!r}, found {tok.text!r}",
+                             tok.pos)
+        return self.next()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind != "ident":
+            raise ParseError(f"expected identifier, found {tok.text!r}",
+                             tok.pos)
+        return self.next()
+
+    # ------------------------------------------------------------------
+    # Declarations.
+    def parse_unit(self) -> ast.CompilationUnit:
+        classes = []
+        while not self.at_kind("eof"):
+            classes.append(self.parse_class())
+        return ast.CompilationUnit(classes)
+
+    def parse_class(self) -> ast.ClassDecl:
+        start = self.expect("class")
+        name = self.expect_ident().text
+        super_name = "Object"
+        if self.accept("extends"):
+            super_name = self.expect_ident().text
+        self.expect("{")
+        fields: list[ast.FieldDecl] = []
+        methods: list[ast.MethodDecl] = []
+        while not self.at("}"):
+            self.parse_member(name, fields, methods)
+        self.expect("}")
+        return ast.ClassDecl(name, super_name, fields, methods,
+                             pos=start.pos)
+
+    def parse_member(self, class_name: str, fields: list,
+                     methods: list) -> None:
+        start = self.peek()
+        is_static = bool(self.accept("static"))
+
+        # Constructor: ClassName '(' ...
+        if (not is_static and self.at_kind("ident")
+                and self.peek().text == class_name and self.at("(", 1)):
+            self.next()
+            params = self.parse_params()
+            body = self.parse_block()
+            methods.append(ast.MethodDecl(
+                name="<init>", params=params, return_type="void",
+                body=body, is_static=False, is_ctor=True, pos=start.pos))
+            return
+
+        if self.accept("void"):
+            type_name = "void"
+        else:
+            type_name = self.parse_type()
+        name = self.expect_ident().text
+
+        if self.at("("):
+            params = self.parse_params()
+            body = self.parse_block()
+            methods.append(ast.MethodDecl(
+                name=name, params=params, return_type=type_name,
+                body=body, is_static=is_static, pos=start.pos))
+        else:
+            if type_name == "void":
+                raise ParseError("field cannot be void", start.pos)
+            self.expect(";")
+            fields.append(ast.FieldDecl(type_name, name, is_static,
+                                        pos=start.pos))
+
+    def parse_params(self) -> list[ast.Param]:
+        self.expect("(")
+        params: list[ast.Param] = []
+        while not self.at(")"):
+            if params:
+                self.expect(",")
+            pos = self.peek().pos
+            type_name = self.parse_type()
+            name = self.expect_ident().text
+            params.append(ast.Param(type_name, name, pos))
+        self.expect(")")
+        return params
+
+    def parse_type(self) -> str:
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text in _PRIMITIVES:
+            base = self.next().text
+        elif tok.kind == "ident":
+            base = self.next().text
+        else:
+            raise ParseError(f"expected a type, found {tok.text!r}", tok.pos)
+        while self.at("[") and self.at("]", 1):
+            self.next()
+            self.next()
+            base += "[]"
+        return base
+
+    def looks_like_type(self) -> bool:
+        """Lookahead: does the statement start with `Type ident`?"""
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text in _PRIMITIVES:
+            return True
+        if tok.kind != "ident":
+            return False
+        # `Foo x` or `Foo[] x`
+        ahead = 1
+        while self.at("[", ahead) and self.at("]", ahead + 1):
+            ahead += 2
+        return self.at_kind("ident", ahead)
+
+    # ------------------------------------------------------------------
+    # Statements.
+    def parse_block(self) -> ast.Block:
+        start = self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.at("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(stmts, pos=start.pos)
+
+    def parse_stmt(self) -> ast.Stmt:
+        tok = self.peek()
+        if self.at("{"):
+            return self.parse_block()
+        if self.at("if"):
+            return self.parse_if()
+        if self.at("while"):
+            return self.parse_while()
+        if self.at("do"):
+            pos = self.next().pos
+            body = self.parse_stmt()
+            self.expect("while")
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.DoWhile(body, cond, pos=pos)
+        if self.at("for"):
+            return self.parse_for()
+        if self.at("switch"):
+            return self.parse_switch()
+        if self.at("return"):
+            self.next()
+            value = None if self.at(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value, pos=tok.pos)
+        if self.at("break"):
+            self.next()
+            self.expect(";")
+            return ast.Break(pos=tok.pos)
+        if self.at("continue"):
+            self.next()
+            self.expect(";")
+            return ast.Continue(pos=tok.pos)
+        if self.at("throw"):
+            self.next()
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Throw(value, pos=tok.pos)
+        if self.at("try"):
+            return self.parse_try()
+        if self.looks_like_type():
+            return self.parse_var_decl()
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(expr, pos=tok.pos)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        pos = self.peek().pos
+        type_name = self.parse_type()
+        name = self.expect_ident().text
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.VarDecl(type_name, name, init, pos=pos)
+
+    def parse_if(self) -> ast.If:
+        pos = self.expect("if").pos
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then_branch = self.parse_stmt()
+        else_branch = self.parse_stmt() if self.accept("else") else None
+        return ast.If(cond, then_branch, else_branch, pos=pos)
+
+    def parse_while(self) -> ast.While:
+        pos = self.expect("while").pos
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(cond, self.parse_stmt(), pos=pos)
+
+    def parse_for(self) -> ast.For:
+        pos = self.expect("for").pos
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.at(";"):
+            if self.looks_like_type():
+                init = self.parse_var_decl()   # consumes the ';'
+            else:
+                expr = self.parse_expr()
+                self.expect(";")
+                init = ast.ExprStmt(expr, pos=pos)
+        else:
+            self.expect(";")
+        cond = None if self.at(";") else self.parse_expr()
+        self.expect(";")
+        update = None if self.at(")") else self.parse_expr()
+        self.expect(")")
+        return ast.For(init, cond, update, self.parse_stmt(), pos=pos)
+
+    def parse_switch(self) -> ast.Switch:
+        pos = self.expect("switch").pos
+        self.expect("(")
+        scrutinee = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: list[ast.SwitchCase] = []
+        default: list[ast.Stmt] | None = None
+        while not self.at("}"):
+            if self.at("case"):
+                values = []
+                while self.at("case"):
+                    self.next()
+                    tok = self.peek()
+                    negative = bool(self.accept("-"))
+                    if not self.at_kind("int"):
+                        raise ParseError("case label must be an integer "
+                                         "literal", tok.pos)
+                    value = self.next().value
+                    values.append(-value if negative else value)
+                    self.expect(":")
+                cases.append(ast.SwitchCase(values, self._case_body()))
+            elif self.at("default"):
+                self.next()
+                self.expect(":")
+                if default is not None:
+                    raise ParseError("duplicate default label", pos)
+                default = self._case_body()
+            else:
+                tok = self.peek()
+                raise ParseError(
+                    f"expected 'case' or 'default', found {tok.text!r}",
+                    tok.pos)
+        self.expect("}")
+        return ast.Switch(scrutinee, cases, default, pos=pos)
+
+    def _case_body(self) -> list[ast.Stmt]:
+        stmts: list[ast.Stmt] = []
+        while not (self.at("case") or self.at("default") or self.at("}")):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_try(self) -> ast.TryCatch:
+        pos = self.expect("try").pos
+        body = self.parse_block()
+        self.expect("catch")
+        self.expect("(")
+        exc_class = self.expect_ident().text
+        var_name = self.expect_ident().text
+        self.expect(")")
+        handler = self.parse_block()
+        return ast.TryCatch(body, exc_class, var_name, handler, pos=pos)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/",
+                     "%=": "%", "&=": "&", "|=": "|", "^=": "^",
+                     "<<=": "<<", ">>=": ">>", ">>>=": ">>>"}
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        if self.at("="):
+            pos = self.next().pos
+            if not isinstance(left, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise ParseError("invalid assignment target", pos)
+            value = self.parse_assignment()
+            return ast.Assign(left, value, pos=pos)
+        for text, op in self._COMPOUND_OPS.items():
+            if self.at(text):
+                pos = self.next().pos
+                if not isinstance(left, (ast.Name, ast.FieldAccess,
+                                         ast.Index)):
+                    raise ParseError("invalid assignment target", pos)
+                value = self.parse_assignment()
+                return ast.CompoundAssign(left, op, value, pos=pos)
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_or()
+        if self.at("?"):
+            pos = self.next().pos
+            then = self.parse_expr()
+            self.expect(":")
+            otherwise = self.parse_ternary()
+            return ast.Ternary(cond, then, otherwise, pos=pos)
+        return cond
+
+    def _binary_level(self, operators: tuple[str, ...], sub):
+        left = sub()
+        while any(self.at(op) for op in operators):
+            tok = self.next()
+            right = sub()
+            left = ast.Binary(tok.text, left, right, pos=tok.pos)
+        return left
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("||"):
+            tok = self.next()
+            left = ast.Logical("||", left, self.parse_and(), pos=tok.pos)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_bitor()
+        while self.at("&&"):
+            tok = self.next()
+            left = ast.Logical("&&", left, self.parse_bitor(), pos=tok.pos)
+        return left
+
+    def parse_bitor(self) -> ast.Expr:
+        return self._binary_level(("|",), self.parse_bitxor)
+
+    def parse_bitxor(self) -> ast.Expr:
+        return self._binary_level(("^",), self.parse_bitand)
+
+    def parse_bitand(self) -> ast.Expr:
+        return self._binary_level(("&",), self.parse_equality)
+
+    def parse_equality(self) -> ast.Expr:
+        return self._binary_level(("==", "!="), self.parse_relational)
+
+    def parse_relational(self) -> ast.Expr:
+        left = self.parse_shift()
+        while True:
+            if self.at("instanceof"):
+                tok = self.next()
+                cls = self.expect_ident().text
+                left = ast.InstanceOf(left, cls, pos=tok.pos)
+            elif any(self.at(op) for op in ("<", "<=", ">", ">=")):
+                tok = self.next()
+                left = ast.Binary(tok.text, left, self.parse_shift(),
+                                  pos=tok.pos)
+            else:
+                return left
+
+    def parse_shift(self) -> ast.Expr:
+        return self._binary_level(("<<", ">>", ">>>"), self.parse_additive)
+
+    def parse_additive(self) -> ast.Expr:
+        return self._binary_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> ast.Expr:
+        return self._binary_level(("*", "/", "%"), self.parse_unary)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if self.at("++") or self.at("--"):
+            self.next()
+            operand = self.parse_unary()
+            if not isinstance(operand, (ast.Name, ast.FieldAccess,
+                                        ast.Index)):
+                raise ParseError("invalid increment target", tok.pos)
+            op = "+" if tok.text == "++" else "-"
+            return ast.CompoundAssign(operand, op,
+                                      ast.IntLit(1, pos=tok.pos),
+                                      pos=tok.pos)
+        if self.at("-") or self.at("!") or self.at("~"):
+            self.next()
+            return ast.Unary(tok.text, self.parse_unary(), pos=tok.pos)
+        # Cast: '(' ('int' | 'float') ')' unary
+        if (self.at("(") and self.peek(1).kind == "kw"
+                and self.peek(1).text in ("int", "float")
+                and self.at(")", 2)):
+            self.next()
+            target = self.next().text
+            self.next()
+            return ast.Cast(target, self.parse_unary(), pos=tok.pos)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("++") or self.at("--"):
+                tok = self.next()
+                if not isinstance(expr, (ast.Name, ast.FieldAccess,
+                                         ast.Index)):
+                    raise ParseError("invalid increment target", tok.pos)
+                op = "+" if tok.text == "++" else "-"
+                return ast.CompoundAssign(expr, op,
+                                          ast.IntLit(1, pos=tok.pos),
+                                          pos=tok.pos)
+            if self.at("."):
+                self.next()
+                name = self.expect_ident().text
+                if self.at("("):
+                    args = self.parse_args()
+                    expr = ast.Call(ast.FieldAccess(expr, name), args,
+                                    pos=expr.pos)
+                else:
+                    expr = ast.FieldAccess(expr, name, pos=expr.pos)
+            elif self.at("["):
+                self.next()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(expr, index, pos=expr.pos)
+            else:
+                return expr
+
+    def parse_args(self) -> list[ast.Expr]:
+        self.expect("(")
+        args: list[ast.Expr] = []
+        while not self.at(")"):
+            if args:
+                self.expect(",")
+            args.append(self.parse_expr())
+        self.expect(")")
+        return args
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return ast.IntLit(tok.value, pos=tok.pos)
+        if tok.kind == "float":
+            self.next()
+            return ast.FloatLit(tok.value, pos=tok.pos)
+        if tok.kind == "string":
+            self.next()
+            return ast.StrLit(tok.value, pos=tok.pos)
+        if self.at("true"):
+            self.next()
+            return ast.BoolLit(True, pos=tok.pos)
+        if self.at("false"):
+            self.next()
+            return ast.BoolLit(False, pos=tok.pos)
+        if self.at("null"):
+            self.next()
+            return ast.NullLit(pos=tok.pos)
+        if self.at("this"):
+            self.next()
+            return ast.This(pos=tok.pos)
+        if self.at("new"):
+            return self.parse_new()
+        if self.at("("):
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if tok.kind == "ident":
+            self.next()
+            if self.at("("):
+                args = self.parse_args()
+                return ast.Call(ast.Name(tok.text, pos=tok.pos), args,
+                                pos=tok.pos)
+            return ast.Name(tok.text, pos=tok.pos)
+        raise ParseError(f"unexpected token {tok.text!r}", tok.pos)
+
+    def parse_new(self) -> ast.Expr:
+        pos = self.expect("new").pos
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text in _PRIMITIVES:
+            base = self.next().text
+        elif tok.kind == "ident":
+            base = self.next().text
+        else:
+            raise ParseError("expected a type after 'new'", tok.pos)
+        if self.at("("):
+            args = self.parse_args()
+            return ast.NewObject(base, args, pos=pos)
+        if self.at("["):
+            self.next()
+            size = self.parse_expr()
+            self.expect("]")
+            elem = base
+            while self.at("[") and self.at("]", 1):
+                self.next()
+                self.next()
+                elem += "[]"
+            return ast.NewArray(elem, size, pos=pos)
+        raise ParseError("expected '(' or '[' after 'new T'", pos)

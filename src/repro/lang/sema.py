@@ -1,0 +1,821 @@
+"""Semantic analysis: name resolution, type checking, slot allocation.
+
+`analyze` returns a :class:`World` (class/field/method tables) and
+rewrites the AST in place/functionally:
+
+- every expression node gets a `type`,
+- `Name` nodes get a `binding` (local slot / instance field / static
+  field),
+- static field accesses become bound `Name` nodes, `array.length`
+  becomes `ArrayLength`,
+- calls get `resolved` targets (native / static / virtual),
+- implicit int->float conversions become explicit `Cast` nodes,
+- locals get frame slots; each method learns its `max_slots`.
+
+The type system is Java-flavoured: `boolean` is distinct from `int`;
+`int` widens implicitly to `float`; `null` is assignable to any
+reference type; subclasses widen to superclasses.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import element_type, is_array, is_reference
+from .diagnostics import SemanticError
+
+# Native method signatures for class Sys: name -> (param types, return).
+NATIVE_SIGNATURES: dict[str, tuple[tuple[str, ...], str]] = {
+    "print": (("int",), "void"),
+    "printf": (("float",), "void"),
+    "prints": (("String",), "void"),
+    "abs": (("int",), "int"),
+    "min": (("int", "int"), "int"),
+    "max": (("int", "int"), "int"),
+    "isqrt": (("int",), "int"),
+    "fsqrt": (("float",), "float"),
+    "fsin": (("float",), "float"),
+    "fcos": (("float",), "float"),
+    "fexp": (("float",), "float"),
+    "flog": (("float",), "float"),
+    "fabs": (("float",), "float"),
+    "ffloor": (("float",), "float"),
+    "f2i": (("float",), "int"),
+    "ticks": ((), "int"),
+}
+
+_BUILTIN_SOURCES: dict[str, tuple[str | None, list[tuple[str, str]]]] = {
+    # name -> (super, [(field, type)])
+    "Object": (None, []),
+    "Throwable": ("Object", [("code", "int")]),
+    "Exception": ("Throwable", []),
+}
+
+
+class MethodInfo:
+    """Resolved signature of a declared (or builtin) method."""
+
+    __slots__ = ("name", "param_types", "return_type", "is_static",
+                 "declaring_class", "decl")
+
+    def __init__(self, name, param_types, return_type, is_static,
+                 declaring_class, decl=None):
+        self.name = name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+        self.is_static = is_static
+        self.declaring_class = declaring_class
+        self.decl = decl
+
+
+class ClassInfo:
+    """Resolved view of one class: hierarchy, fields and methods."""
+
+    __slots__ = ("name", "super_name", "decl", "instance_fields",
+                 "static_fields", "methods", "has_ctor")
+
+    def __init__(self, name: str, super_name: str | None, decl=None):
+        self.name = name
+        self.super_name = super_name
+        self.decl = decl
+        self.instance_fields: dict[str, tuple[str, str]] = {}  # n->(t, owner)
+        self.static_fields: dict[str, tuple[str, str]] = {}
+        self.methods: dict[str, MethodInfo] = {}
+        self.has_ctor = False
+
+
+class World:
+    """All classes visible to a compilation."""
+
+    def __init__(self) -> None:
+        self.classes: dict[str, ClassInfo] = {}
+
+    def cls(self, name: str, pos=None) -> ClassInfo:
+        info = self.classes.get(name)
+        if info is None:
+            raise SemanticError(f"unknown class {name!r}", pos)
+        return info
+
+    def is_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        name: str | None = sub
+        while name is not None:
+            if name == sup:
+                return True
+            name = self.classes[name].super_name
+        return False
+
+    def find_field(self, cls_name: str, field: str,
+                   static: bool) -> tuple[str, str] | None:
+        """(type, declaring class) searching up the hierarchy."""
+        name: str | None = cls_name
+        while name is not None:
+            info = self.classes[name]
+            table = info.static_fields if static else info.instance_fields
+            if field in table:
+                return table[field]
+            name = info.super_name
+        return None
+
+    def find_method(self, cls_name: str, method: str) -> MethodInfo | None:
+        name: str | None = cls_name
+        while name is not None:
+            info = self.classes[name]
+            if method in info.methods:
+                return info.methods[method]
+            name = info.super_name
+        return None
+
+
+def analyze(unit: ast.CompilationUnit) -> World:
+    """Type-check and annotate `unit`; returns the class World."""
+    world = _build_world(unit)
+    checker = _Checker(world)
+    for cls in unit.classes:
+        checker.check_class(cls)
+    return world
+
+
+# ---------------------------------------------------------------------------
+
+def _build_world(unit: ast.CompilationUnit) -> World:
+    world = World()
+    for name, (super_name, fields) in _BUILTIN_SOURCES.items():
+        info = ClassInfo(name, super_name)
+        for fname, ftype in fields:
+            info.instance_fields[fname] = (ftype, name)
+        world.classes[name] = info
+
+    for cls in unit.classes:
+        if cls.name in world.classes:
+            raise SemanticError(f"duplicate class {cls.name!r}", cls.pos)
+        if cls.name == "Sys":
+            raise SemanticError("class name 'Sys' is reserved", cls.pos)
+        world.classes[cls.name] = ClassInfo(cls.name, cls.super_name, cls)
+
+    # Validate hierarchy (existence + acyclicity).
+    for cls in unit.classes:
+        seen = {cls.name}
+        name = cls.super_name
+        while name is not None:
+            if name not in world.classes:
+                raise SemanticError(
+                    f"class {cls.name!r} extends unknown class {name!r}",
+                    cls.pos)
+            if name in seen:
+                raise SemanticError(
+                    f"inheritance cycle through {cls.name!r}", cls.pos)
+            seen.add(name)
+            name = world.classes[name].super_name
+
+    # Fields and method signatures.
+    for cls in unit.classes:
+        info = world.classes[cls.name]
+        for fdecl in cls.fields:
+            _check_type_exists(world, fdecl.type_name, fdecl.pos)
+            table = (info.static_fields if fdecl.is_static
+                     else info.instance_fields)
+            if fdecl.name in table:
+                raise SemanticError(
+                    f"duplicate field {cls.name}.{fdecl.name}", fdecl.pos)
+            table[fdecl.name] = (fdecl.type_name, cls.name)
+        for mdecl in cls.methods:
+            if mdecl.name in info.methods:
+                raise SemanticError(
+                    f"duplicate method {cls.name}.{mdecl.name}", mdecl.pos)
+            if mdecl.return_type != "void":
+                _check_type_exists(world, mdecl.return_type, mdecl.pos)
+            for param in mdecl.params:
+                _check_type_exists(world, param.type_name, param.pos)
+            info.methods[mdecl.name] = MethodInfo(
+                mdecl.name, [p.type_name for p in mdecl.params],
+                mdecl.return_type, mdecl.is_static, cls.name, mdecl)
+            if mdecl.is_ctor:
+                info.has_ctor = True
+
+    # Override compatibility: the dispatch-by-name model requires an
+    # override to keep the exact signature of the inherited method.
+    for cls in unit.classes:
+        info = world.classes[cls.name]
+        for name, method in info.methods.items():
+            if method.is_static or name == "<init>":
+                continue
+            inherited = (world.find_method(info.super_name, name)
+                         if info.super_name else None)
+            if inherited is None or inherited.is_static:
+                continue
+            if (inherited.param_types != method.param_types
+                    or inherited.return_type != method.return_type):
+                raise SemanticError(
+                    f"{cls.name}.{name} overrides "
+                    f"{inherited.declaring_class}.{name} with a different "
+                    f"signature", method.decl.pos)
+    return world
+
+
+def _check_type_exists(world: World, type_name: str, pos) -> None:
+    base = type_name
+    while is_array(base):
+        base = element_type(base)
+    if base in ("int", "float", "boolean", "String"):
+        return
+    if not world.is_class(base):
+        raise SemanticError(f"unknown type {type_name!r}", pos)
+
+
+# ---------------------------------------------------------------------------
+
+class _Scope:
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.names: dict[str, tuple[int, str]] = {}   # name -> (slot, type)
+
+    def lookup(self, name: str):
+        scope = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Checker:
+    def __init__(self, world: World) -> None:
+        self.world = world
+        self.cls: ClassInfo | None = None
+        self.method: ast.MethodDecl | None = None
+        self.scope: _Scope | None = None
+        self.next_slot = 0
+        self.loop_depth = 0
+        self.breakable_depth = 0
+
+    # ------------------------------------------------------------------
+    def check_class(self, cls: ast.ClassDecl) -> None:
+        self.cls = self.world.classes[cls.name]
+        for method in cls.methods:
+            self.check_method(method)
+
+    def check_method(self, method: ast.MethodDecl) -> None:
+        self.method = method
+        self.scope = _Scope()
+        self.next_slot = 0 if method.is_static else 1   # slot 0 = this
+        self.loop_depth = 0
+        self.breakable_depth = 0
+        for param in method.params:
+            self._declare(param.name, param.type_name, param.pos)
+        self.check_block(method.body)
+        method.max_slots = self.next_slot
+        if not self._always_exits(method.body):
+            if method.return_type != "void":
+                raise SemanticError(
+                    f"method {method.name!r} may finish without a return",
+                    method.pos)
+
+    def _declare(self, name: str, type_name: str, pos) -> int:
+        if name in self.scope.names:
+            raise SemanticError(f"duplicate variable {name!r}", pos)
+        slot = self.next_slot
+        self.next_slot += 1
+        self.scope.names[name] = (slot, type_name)
+        return slot
+
+    # ------------------------------------------------------------------
+    # Statements.
+    def check_block(self, block: ast.Block) -> None:
+        self.scope = _Scope(self.scope)
+        for i, stmt in enumerate(block.stmts):
+            block.stmts[i] = self.check_stmt(stmt)
+        self.scope = self.scope.parent
+
+    def check_stmt(self, stmt: ast.Stmt) -> ast.Stmt:
+        if isinstance(stmt, ast.Block):
+            self.check_block(stmt)
+            return stmt
+        if isinstance(stmt, ast.VarDecl):
+            _check_type_exists(self.world, stmt.type_name, stmt.pos)
+            if stmt.init is not None:
+                stmt.init = self._coerce(self.check_expr(stmt.init),
+                                         stmt.type_name, stmt.pos)
+            stmt.slot = self._declare(stmt.name, stmt.type_name, stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.ExprStmt):
+            stmt.expr = self.check_expr(stmt.expr)
+            return stmt
+        if isinstance(stmt, ast.If):
+            stmt.cond = self._require(self.check_expr(stmt.cond),
+                                      "boolean", stmt.pos)
+            stmt.then_branch = self.check_stmt(stmt.then_branch)
+            if stmt.else_branch is not None:
+                stmt.else_branch = self.check_stmt(stmt.else_branch)
+            return stmt
+        if isinstance(stmt, ast.While):
+            stmt.cond = self._require(self.check_expr(stmt.cond),
+                                      "boolean", stmt.pos)
+            self.loop_depth += 1
+            self.breakable_depth += 1
+            stmt.body = self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.breakable_depth -= 1
+            return stmt
+        if isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self.breakable_depth += 1
+            stmt.body = self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.breakable_depth -= 1
+            stmt.cond = self._require(self.check_expr(stmt.cond),
+                                      "boolean", stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.For):
+            self.scope = _Scope(self.scope)
+            if stmt.init is not None:
+                stmt.init = self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._require(self.check_expr(stmt.cond),
+                                          "boolean", stmt.pos)
+            if stmt.update is not None:
+                stmt.update = self.check_expr(stmt.update)
+            self.loop_depth += 1
+            self.breakable_depth += 1
+            stmt.body = self.check_stmt(stmt.body)
+            self.loop_depth -= 1
+            self.breakable_depth -= 1
+            self.scope = self.scope.parent
+            return stmt
+        if isinstance(stmt, ast.Return):
+            expected = self.method.return_type
+            if stmt.value is None:
+                if expected != "void":
+                    raise SemanticError(
+                        f"method returns {expected}, not void", stmt.pos)
+            else:
+                if expected == "void":
+                    raise SemanticError(
+                        "void method cannot return a value", stmt.pos)
+                stmt.value = self._coerce(self.check_expr(stmt.value),
+                                          expected, stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.Break):
+            if self.breakable_depth == 0:
+                raise SemanticError("break outside loop or switch",
+                                    stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise SemanticError("continue outside loop", stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.Throw):
+            stmt.value = self.check_expr(stmt.value)
+            vtype = stmt.value.type
+            if (vtype is None or not self.world.is_class(vtype)
+                    or not self.world.is_subclass(vtype, "Throwable")):
+                raise SemanticError(
+                    f"throw of non-Throwable type {vtype}", stmt.pos)
+            return stmt
+        if isinstance(stmt, ast.TryCatch):
+            self.check_block(stmt.body)
+            if not (self.world.is_class(stmt.exc_class)
+                    and self.world.is_subclass(stmt.exc_class, "Throwable")):
+                raise SemanticError(
+                    f"catch of non-Throwable class {stmt.exc_class!r}",
+                    stmt.pos)
+            self.scope = _Scope(self.scope)
+            stmt.var_slot = self._declare(stmt.var_name, stmt.exc_class,
+                                          stmt.pos)
+            self.check_block(stmt.handler)
+            self.scope = self.scope.parent
+            return stmt
+        if isinstance(stmt, ast.Switch):
+            stmt.scrutinee = self._require(self.check_expr(stmt.scrutinee),
+                                           "int", stmt.pos)
+            seen: set[int] = set()
+            self.breakable_depth += 1
+            for case in stmt.cases:
+                for value in case.values:
+                    if value in seen:
+                        raise SemanticError(
+                            f"duplicate case label {value}", stmt.pos)
+                    seen.add(value)
+                for i, s in enumerate(case.stmts):
+                    case.stmts[i] = self.check_stmt(s)
+            if stmt.default is not None:
+                for i, s in enumerate(stmt.default):
+                    stmt.default[i] = self.check_stmt(s)
+            self.breakable_depth -= 1
+            return stmt
+        raise SemanticError(f"unhandled statement {type(stmt).__name__}",
+                            stmt.pos)
+
+    # ------------------------------------------------------------------
+    # Expressions: each check returns the (possibly rewritten) node with
+    # `type` set.
+    def check_expr(self, expr: ast.Expr) -> ast.Expr:
+        method = getattr(self, f"_check_{type(expr).__name__}", None)
+        if method is None:
+            raise SemanticError(
+                f"unhandled expression {type(expr).__name__}", expr.pos)
+        return method(expr)
+
+    def _check_IntLit(self, e: ast.IntLit):
+        e.type = "int"
+        return e
+
+    def _check_FloatLit(self, e: ast.FloatLit):
+        e.type = "float"
+        return e
+
+    def _check_StrLit(self, e: ast.StrLit):
+        e.type = "String"
+        return e
+
+    def _check_BoolLit(self, e: ast.BoolLit):
+        e.type = "boolean"
+        return e
+
+    def _check_NullLit(self, e: ast.NullLit):
+        e.type = "null"
+        return e
+
+    def _check_This(self, e: ast.This):
+        if self.method.is_static:
+            raise SemanticError("'this' in a static method", e.pos)
+        e.type = self.cls.name
+        return e
+
+    def _check_Name(self, e: ast.Name):
+        hit = self.scope.lookup(e.ident)
+        if hit is not None:
+            slot, type_name = hit
+            e.binding = ("local", slot)
+            e.type = type_name
+            return e
+        if not self.method.is_static:
+            field = self.world.find_field(self.cls.name, e.ident,
+                                          static=False)
+            if field is not None:
+                e.binding = ("field", e.ident)
+                e.type = field[0]
+                return e
+        static = self.world.find_field(self.cls.name, e.ident, static=True)
+        if static is not None:
+            e.binding = ("static", (static[1], e.ident))
+            e.type = static[0]
+            return e
+        if self.world.is_class(e.ident) or e.ident == "Sys":
+            e.binding = ("class", e.ident)
+            e.type = None   # not a value
+            return e
+        raise SemanticError(f"unknown name {e.ident!r}", e.pos)
+
+    def _check_Unary(self, e: ast.Unary):
+        e.operand = self.check_expr(e.operand)
+        t = e.operand.type
+        if e.op == "-":
+            if t not in ("int", "float"):
+                raise SemanticError(f"unary - on {t}", e.pos)
+            e.type = t
+        elif e.op == "!":
+            self._require(e.operand, "boolean", e.pos)
+            e.type = "boolean"
+        elif e.op == "~":
+            self._require(e.operand, "int", e.pos)
+            e.type = "int"
+        else:
+            raise SemanticError(f"unknown unary operator {e.op}", e.pos)
+        return e
+
+    def _check_Binary(self, e: ast.Binary):
+        e.left = self.check_expr(e.left)
+        e.right = self.check_expr(e.right)
+        lt, rt = e.left.type, e.right.type
+        op = e.op
+        if op in ("&", "|", "^", "<<", ">>", ">>>", "%"):
+            self._require(e.left, "int", e.pos)
+            self._require(e.right, "int", e.pos)
+            e.type = "int"
+            return e
+        if op in ("+", "-", "*", "/"):
+            if lt not in ("int", "float") or rt not in ("int", "float"):
+                raise SemanticError(f"arithmetic {op} on {lt} and {rt}",
+                                    e.pos)
+            if "float" in (lt, rt):
+                e.left = self._coerce(e.left, "float", e.pos)
+                e.right = self._coerce(e.right, "float", e.pos)
+                e.type = "float"
+            else:
+                e.type = "int"
+            return e
+        if op in ("<", "<=", ">", ">="):
+            if lt not in ("int", "float") or rt not in ("int", "float"):
+                raise SemanticError(f"comparison {op} on {lt} and {rt}",
+                                    e.pos)
+            if "float" in (lt, rt):
+                e.left = self._coerce(e.left, "float", e.pos)
+                e.right = self._coerce(e.right, "float", e.pos)
+            e.type = "boolean"
+            return e
+        if op in ("==", "!="):
+            numeric = ("int", "float")
+            if lt in numeric and rt in numeric:
+                if "float" in (lt, rt):
+                    e.left = self._coerce(e.left, "float", e.pos)
+                    e.right = self._coerce(e.right, "float", e.pos)
+            elif lt == rt == "boolean":
+                pass
+            elif self._ref_comparable(lt, rt):
+                pass
+            else:
+                raise SemanticError(f"cannot compare {lt} with {rt}", e.pos)
+            e.type = "boolean"
+            return e
+        raise SemanticError(f"unknown operator {op}", e.pos)
+
+    def _ref_comparable(self, lt: str, rt: str) -> bool:
+        def ref(t):
+            return t == "null" or t == "String" or is_array(t) \
+                or self.world.is_class(t)
+        return ref(lt) and ref(rt)
+
+    def _check_Logical(self, e: ast.Logical):
+        e.left = self._require(self.check_expr(e.left), "boolean", e.pos)
+        e.right = self._require(self.check_expr(e.right), "boolean", e.pos)
+        e.type = "boolean"
+        return e
+
+    def _check_Assign(self, e: ast.Assign):
+        e.target = self.check_expr(e.target)
+        target = e.target
+        if isinstance(target, ast.Name):
+            if target.binding[0] == "class":
+                raise SemanticError("cannot assign to a class name", e.pos)
+        elif isinstance(target, ast.ArrayLength):
+            raise SemanticError("array length is read-only", e.pos)
+        elif not isinstance(target, (ast.FieldAccess, ast.Index)):
+            raise SemanticError("invalid assignment target", e.pos)
+        e.value = self._coerce(self.check_expr(e.value), target.type, e.pos)
+        e.type = target.type
+        return e
+
+    def _check_CompoundAssign(self, e: ast.CompoundAssign):
+        e.target = self.check_expr(e.target)
+        target = e.target
+        if isinstance(target, ast.Name):
+            if target.binding[0] == "class":
+                raise SemanticError("cannot assign to a class name",
+                                    e.pos)
+        elif isinstance(target, ast.ArrayLength):
+            raise SemanticError("array length is read-only", e.pos)
+        elif not isinstance(target, (ast.FieldAccess, ast.Index)):
+            raise SemanticError("invalid assignment target", e.pos)
+        ttype = target.type
+        op = e.op
+        if op in ("&", "|", "^", "<<", ">>", ">>>", "%"):
+            if ttype != "int":
+                raise SemanticError(f"{op}= requires an int target",
+                                    e.pos)
+            e.value = self._require(self.check_expr(e.value), "int",
+                                    e.pos)
+        else:
+            if ttype not in ("int", "float"):
+                raise SemanticError(
+                    f"{op}= requires a numeric target, got {ttype}",
+                    e.pos)
+            e.value = self._coerce(self.check_expr(e.value), ttype,
+                                   e.pos)
+        e.type = ttype
+        return e
+
+    def _check_Ternary(self, e: ast.Ternary):
+        e.cond = self._require(self.check_expr(e.cond), "boolean",
+                               e.pos)
+        e.then = self.check_expr(e.then)
+        e.otherwise = self.check_expr(e.otherwise)
+        tt, ot = e.then.type, e.otherwise.type
+        if tt == ot:
+            e.type = tt
+        elif {tt, ot} == {"int", "float"}:
+            e.then = self._coerce(e.then, "float", e.pos)
+            e.otherwise = self._coerce(e.otherwise, "float", e.pos)
+            e.type = "float"
+        elif self._try_coerce(e.then, ot) is not None:
+            e.then = self._coerce(e.then, ot, e.pos)
+            e.type = ot
+        elif self._try_coerce(e.otherwise, tt) is not None:
+            e.otherwise = self._coerce(e.otherwise, tt, e.pos)
+            e.type = tt
+        else:
+            raise SemanticError(
+                f"ternary branches have incompatible types {tt} / {ot}",
+                e.pos)
+        return e
+
+    def _check_FieldAccess(self, e: ast.FieldAccess):
+        e.obj = self.check_expr(e.obj)
+        obj = e.obj
+        if isinstance(obj, ast.Name) and obj.binding[0] == "class":
+            cls_name = obj.binding[1]
+            if cls_name == "Sys":
+                raise SemanticError("Sys has no fields", e.pos)
+            hit = self.world.find_field(cls_name, e.name, static=True)
+            if hit is None:
+                raise SemanticError(
+                    f"no static field {cls_name}.{e.name}", e.pos)
+            bound = ast.Name(e.name, pos=e.pos)
+            bound.binding = ("static", (hit[1], e.name))
+            bound.type = hit[0]
+            return bound
+        if obj.type is not None and is_array(obj.type):
+            if e.name != "length":
+                raise SemanticError(
+                    f"arrays have no field {e.name!r}", e.pos)
+            node = ast.ArrayLength(obj, pos=e.pos)
+            node.type = "int"
+            return node
+        if obj.type is None or not self.world.is_class(obj.type):
+            raise SemanticError(
+                f"field access on non-object type {obj.type}", e.pos)
+        hit = self.world.find_field(obj.type, e.name, static=False)
+        if hit is None:
+            raise SemanticError(f"no field {obj.type}.{e.name}", e.pos)
+        e.type = hit[0]
+        return e
+
+    def _check_Index(self, e: ast.Index):
+        e.array = self.check_expr(e.array)
+        e.index = self._require(self.check_expr(e.index), "int", e.pos)
+        if e.array.type is None or not is_array(e.array.type):
+            raise SemanticError(
+                f"indexing non-array type {e.array.type}", e.pos)
+        e.type = element_type(e.array.type)
+        return e
+
+    def _check_ArrayLength(self, e: ast.ArrayLength):
+        e.type = "int"
+        return e
+
+    def _check_Call(self, e: ast.Call):
+        target = e.target
+        if isinstance(target, ast.Name):
+            # Unqualified: a method of the current class (or inherited).
+            info = self.world.find_method(self.cls.name, target.ident)
+            if info is None:
+                raise SemanticError(
+                    f"unknown method {target.ident!r}", e.pos)
+            if info.is_static:
+                e.resolved = ("static",
+                              (info.declaring_class, info.name))
+            else:
+                if self.method.is_static:
+                    raise SemanticError(
+                        f"instance method {info.name!r} called from a "
+                        f"static context", e.pos)
+                e.resolved = ("virtual-this", info.name)
+            return self._check_args(e, info.param_types, info.return_type)
+
+        if isinstance(target, ast.FieldAccess):
+            target.obj = self.check_expr(target.obj)
+            obj = target.obj
+            if isinstance(obj, ast.Name) and obj.binding is not None \
+                    and obj.binding[0] == "class":
+                cls_name = obj.binding[1]
+                if cls_name == "Sys":
+                    sig = NATIVE_SIGNATURES.get(target.name)
+                    if sig is None:
+                        raise SemanticError(
+                            f"unknown native Sys.{target.name}", e.pos)
+                    e.resolved = ("native", target.name)
+                    return self._check_args(e, list(sig[0]), sig[1])
+                info = self.world.find_method(cls_name, target.name)
+                if info is None or not info.is_static:
+                    raise SemanticError(
+                        f"no static method {cls_name}.{target.name}", e.pos)
+                e.resolved = ("static", (info.declaring_class, info.name))
+                return self._check_args(e, info.param_types,
+                                        info.return_type)
+            if obj.type is None or not self.world.is_class(obj.type):
+                raise SemanticError(
+                    f"method call on non-object type {obj.type}", e.pos)
+            info = self.world.find_method(obj.type, target.name)
+            if info is None or info.is_static:
+                raise SemanticError(
+                    f"no instance method {obj.type}.{target.name}", e.pos)
+            e.resolved = ("virtual", target.name)
+            return self._check_args(e, info.param_types, info.return_type)
+
+        raise SemanticError("uncallable expression", e.pos)
+
+    def _check_args(self, e: ast.Call, param_types: list[str],
+                    return_type: str) -> ast.Call:
+        if len(e.args) != len(param_types):
+            raise SemanticError(
+                f"call expects {len(param_types)} arguments, got "
+                f"{len(e.args)}", e.pos)
+        for i, (arg, expected) in enumerate(zip(e.args, param_types)):
+            e.args[i] = self._coerce(self.check_expr(arg), expected, e.pos)
+        e.type = return_type
+        return e
+
+    def _check_NewObject(self, e: ast.NewObject):
+        if not self.world.is_class(e.class_name):
+            raise SemanticError(f"unknown class {e.class_name!r}", e.pos)
+        info = self.world.cls(e.class_name)
+        ctor = info.methods.get("<init>")
+        if ctor is None:
+            e.has_ctor = False
+            if e.args:
+                raise SemanticError(
+                    f"class {e.class_name} has no constructor but "
+                    f"arguments were given", e.pos)
+        else:
+            e.has_ctor = True
+            if len(e.args) != len(ctor.param_types):
+                raise SemanticError(
+                    f"constructor {e.class_name} expects "
+                    f"{len(ctor.param_types)} arguments, got {len(e.args)}",
+                    e.pos)
+            for i, (arg, expected) in enumerate(
+                    zip(e.args, ctor.param_types)):
+                e.args[i] = self._coerce(self.check_expr(arg), expected,
+                                         e.pos)
+        e.type = e.class_name
+        return e
+
+    def _check_NewArray(self, e: ast.NewArray):
+        _check_type_exists(self.world, e.elem, e.pos)
+        e.size = self._require(self.check_expr(e.size), "int", e.pos)
+        e.type = e.elem + "[]"
+        return e
+
+    def _check_Cast(self, e: ast.Cast):
+        e.operand = self.check_expr(e.operand)
+        src = e.operand.type
+        if e.target_type not in ("int", "float"):
+            raise SemanticError(
+                f"cast to {e.target_type!r} not supported", e.pos)
+        if src not in ("int", "float"):
+            raise SemanticError(f"cannot cast {src} to {e.target_type}",
+                                e.pos)
+        e.type = e.target_type
+        return e
+
+    def _check_InstanceOf(self, e: ast.InstanceOf):
+        e.operand = self.check_expr(e.operand)
+        if not self.world.is_class(e.class_name):
+            raise SemanticError(f"unknown class {e.class_name!r}", e.pos)
+        t = e.operand.type
+        if t != "null" and not self.world.is_class(t):
+            raise SemanticError(
+                f"instanceof on non-object type {t}", e.pos)
+        e.type = "boolean"
+        return e
+
+    # ------------------------------------------------------------------
+    # Type utilities.
+    def _require(self, expr: ast.Expr, expected: str, pos) -> ast.Expr:
+        coerced = self._try_coerce(expr, expected)
+        if coerced is None:
+            raise SemanticError(
+                f"expected {expected}, found {expr.type}", pos)
+        return coerced
+
+    def _coerce(self, expr: ast.Expr, expected: str, pos) -> ast.Expr:
+        coerced = self._try_coerce(expr, expected)
+        if coerced is None:
+            raise SemanticError(
+                f"cannot assign {expr.type} to {expected}", pos)
+        return coerced
+
+    def _try_coerce(self, expr: ast.Expr, expected: str):
+        actual = expr.type
+        if actual == expected:
+            return expr
+        if actual == "int" and expected == "float":
+            cast = ast.Cast("float", expr, pos=expr.pos)
+            cast.type = "float"
+            return cast
+        if actual == "null" and (expected == "String"
+                                 or is_array(expected)
+                                 or self.world.is_class(expected)):
+            return expr
+        if (actual is not None and self.world.is_class(actual)
+                and self.world.is_class(expected)
+                and self.world.is_subclass(actual, expected)):
+            return expr
+        return None
+
+    # ------------------------------------------------------------------
+    def _always_exits(self, stmt: ast.Stmt) -> bool:
+        """Conservative: does `stmt` always return or throw?"""
+        if isinstance(stmt, (ast.Return, ast.Throw)):
+            return True
+        if isinstance(stmt, ast.Block):
+            return bool(stmt.stmts) and self._always_exits(stmt.stmts[-1])
+        if isinstance(stmt, ast.If):
+            return (stmt.else_branch is not None
+                    and self._always_exits(stmt.then_branch)
+                    and self._always_exits(stmt.else_branch))
+        if isinstance(stmt, ast.TryCatch):
+            return (self._always_exits(stmt.body)
+                    and self._always_exits(stmt.handler))
+        return False

@@ -1,0 +1,14 @@
+"""Metrics: run statistics, dependent values, calibration, rendering."""
+
+from .calibration import (CalibrationReport, StabilityReport,
+                          calibration_report, speculative_speedup,
+                          stability_report)
+from .collectors import DispatchModelStats, OverheadSample, RunStats
+from .dump import bcg_to_dict, bcg_to_dot, run_to_dict, run_to_json
+from .report import Table, comparison_table, format_cell
+
+__all__ = ["CalibrationReport", "StabilityReport", "calibration_report",
+           "speculative_speedup",
+           "stability_report", "DispatchModelStats", "OverheadSample",
+           "RunStats", "Table", "comparison_table", "format_cell",
+           "bcg_to_dict", "bcg_to_dot", "run_to_dict", "run_to_json"]

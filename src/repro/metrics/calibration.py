@@ -1,0 +1,177 @@
+"""Expected-vs-observed completion calibration and cache stability.
+
+The trace constructor *predicts* each trace's completion probability
+from the branch correlation graph (Section 3.7 of the paper); the
+controller then observes actual completion.  A well-calibrated
+predictor is what justifies the paper's speculative-optimization
+argument (a trace with a 99% completion bound can absorb a 10x penalty
+off the main path and still win).  This module quantifies calibration
+and the cache-stability criterion of Section 3.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import Table
+
+
+@dataclass(slots=True)
+class CalibrationBucket:
+    """Traces whose expected completion falls in [low, high)."""
+
+    low: float
+    high: float
+    traces: int = 0
+    entries: int = 0
+    completions: int = 0
+
+    @property
+    def observed_rate(self) -> float:
+        if self.entries == 0:
+            return 1.0
+        return self.completions / self.entries
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2
+
+
+@dataclass(slots=True)
+class CalibrationReport:
+    buckets: list[CalibrationBucket] = field(default_factory=list)
+    entry_weighted_expected: float = 0.0
+    entry_weighted_observed: float = 0.0
+
+    @property
+    def calibration_error(self) -> float:
+        """Entry-weighted |expected - observed| over populated buckets."""
+        total_entries = sum(b.entries for b in self.buckets)
+        if total_entries == 0:
+            return 0.0
+        return sum(abs(b.midpoint - b.observed_rate) * b.entries
+                   for b in self.buckets if b.entries) / total_entries
+
+    def to_table(self) -> Table:
+        table = Table(
+            "Completion calibration (expected vs. observed)",
+            ["expected bucket", "traces", "entries", "observed rate"],
+            formats=["", "", "", ".1%"])
+        for bucket in self.buckets:
+            if bucket.traces == 0:
+                continue
+            table.add_row(f"[{bucket.low:.2f}, {bucket.high:.2f})",
+                          bucket.traces, bucket.entries,
+                          bucket.observed_rate)
+        table.notes.append(
+            f"entry-weighted expected {self.entry_weighted_expected:.3f} "
+            f"vs observed {self.entry_weighted_observed:.3f}")
+        return table
+
+
+def calibration_report(traces, bucket_count: int = 10,
+                       floor: float = 0.5) -> CalibrationReport:
+    """Bucket `traces` by expected completion; compare with observed.
+
+    Traces with expected completion below `floor` share the first
+    bucket (the constructor rarely emits such traces).
+    """
+    if bucket_count < 1:
+        raise ValueError("bucket_count must be >= 1")
+    width = (1.0 - floor) / bucket_count
+    buckets = [CalibrationBucket(floor + i * width,
+                                 floor + (i + 1) * width)
+               for i in range(bucket_count)]
+    buckets[-1].high = 1.0 + 1e-9   # include expected == 1.0
+    report = CalibrationReport(buckets=buckets)
+
+    weighted_expected = 0.0
+    total_entries = 0
+    for trace in traces:
+        expected = min(max(trace.expected_completion, floor), 1.0)
+        index = min(int((expected - floor) / width), bucket_count - 1)
+        bucket = buckets[index]
+        bucket.traces += 1
+        bucket.entries += trace.entries
+        bucket.completions += trace.completions
+        weighted_expected += trace.expected_completion * trace.entries
+        total_entries += trace.entries
+
+    if total_entries:
+        report.entry_weighted_expected = weighted_expected / total_entries
+        report.entry_weighted_observed = (
+            sum(b.completions for b in buckets) / total_entries)
+    return report
+
+
+@dataclass(slots=True)
+class StabilityReport:
+    """Cache-stability numbers (paper Section 3.6)."""
+
+    traces_constructed: int = 0
+    traces_linked: int = 0
+    traces_invalidated: int = 0
+    anchors_replaced: int = 0
+    signals: int = 0
+    dispatches: int = 0
+
+    @property
+    def replacements_per_construction(self) -> float:
+        if self.traces_constructed == 0:
+            return 0.0
+        return self.anchors_replaced / self.traces_constructed
+
+    @property
+    def invalidations_per_thousand_dispatches(self) -> float:
+        if self.dispatches == 0:
+            return 0.0
+        return 1000.0 * self.traces_invalidated / self.dispatches
+
+    def to_table(self) -> Table:
+        table = Table("Trace cache stability",
+                      ["metric", "value"], formats=["", ".3f"])
+        table.add_row("traces constructed",
+                      float(self.traces_constructed))
+        table.add_row("hash-table reuses", float(self.traces_linked))
+        table.add_row("invalidations", float(self.traces_invalidated))
+        table.add_row("anchor replacements", float(self.anchors_replaced))
+        table.add_row("replacements / construction",
+                      self.replacements_per_construction)
+        table.add_row("invalidations / 1k dispatches",
+                      self.invalidations_per_thousand_dispatches)
+        return table
+
+
+def stability_report(stats) -> StabilityReport:
+    """Build a StabilityReport from a RunStats."""
+    return StabilityReport(
+        traces_constructed=stats.traces_constructed,
+        traces_linked=stats.traces_linked,
+        traces_invalidated=stats.traces_invalidated,
+        anchors_replaced=stats.anchors_replaced,
+        signals=stats.signals,
+        dispatches=stats.total_dispatches,
+    )
+
+
+def speculative_speedup(completion_rate: float,
+                        on_path_speedup: float,
+                        off_path_slowdown: float) -> float:
+    """The paper's Section 5.2 trade-off model.
+
+    A trace optimization that speeds the completion path by
+    `on_path_speedup` but costs `off_path_slowdown` on early exits
+    yields an overall speedup of::
+
+        1 / (p / on + (1 - p) * off)
+
+    The paper's example: with completion over 99%, doubling the main
+    path while paying 10x off-path still improves performance by 40%.
+    """
+    if not 0.0 <= completion_rate <= 1.0:
+        raise ValueError("completion_rate must be in [0, 1]")
+    if on_path_speedup <= 0 or off_path_slowdown <= 0:
+        raise ValueError("speedup factors must be positive")
+    denominator = (completion_rate / on_path_speedup
+                   + (1.0 - completion_rate) * off_path_slowdown)
+    return 1.0 / denominator

@@ -1,0 +1,118 @@
+"""Export the branch correlation graph and trace cache for analysis.
+
+- :func:`bcg_to_dict` / :func:`run_to_dict` — JSON-ready structures
+  (every counter, summary and trace; suitable for notebooks/diffing).
+- :func:`bcg_to_dot` — Graphviz DOT of the hot region of the BCG:
+  node shade tracks execution heat, edge labels carry conditional
+  probabilities, trace anchors are highlighted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.states import BranchState
+
+_STATE_COLORS = {
+    BranchState.UNIQUE: "#1a7f37",
+    BranchState.STRONG: "#2f6feb",
+    BranchState.WEAK: "#d29922",
+    BranchState.NEWLY_CREATED: "#8b949e",
+}
+
+
+def bcg_to_dict(bcg) -> dict:
+    """The whole graph as plain data."""
+    nodes = []
+    for node in bcg.nodes.values():
+        nodes.append({
+            "key": list(node.key),
+            "executions": node.exec_count,
+            "countdown": node.countdown,
+            "state": node.summary[0].name,
+            "best_successor": node.summary[1],
+            "total": node.total,
+            "anchors_trace": node.trace is not None,
+            "edges": [{
+                "to_block": z,
+                "weight": edge.weight,
+                "probability": round(node.edge_probability(z), 6),
+            } for z, edge in node.edges.items()],
+        })
+    return {
+        "node_count": len(bcg.nodes),
+        "edge_count": bcg.edge_count,
+        "decays": bcg.decay_count,
+        "nodes": nodes,
+    }
+
+
+def traces_to_list(cache) -> list[dict]:
+    """Every cached trace as plain data."""
+    return [{
+        "serial": trace.serial,
+        "blocks": list(trace.key),
+        "length": len(trace),
+        "expected_completion": round(trace.expected_completion, 6),
+        "entries": trace.entries,
+        "completions": trace.completions,
+        "observed_completion": round(trace.completion_rate, 6),
+        "instructions_completed": trace.instr_completed,
+        "instructions_partial": trace.instr_partial,
+    } for trace in cache.traces.values()]
+
+
+def run_to_dict(result) -> dict:
+    """A full RunResult (stats + graph + traces) as plain data."""
+    return {
+        "result": result.value,
+        "stats": result.stats.as_dict(),
+        "bcg": bcg_to_dict(result.profiler.bcg),
+        "traces": traces_to_list(result.cache),
+    }
+
+
+def run_to_json(result, indent: int = 2) -> str:
+    return json.dumps(run_to_dict(result), indent=indent,
+                      default=str, sort_keys=True)
+
+
+def bcg_to_dot(bcg, max_nodes: int = 40,
+               min_probability: float = 0.01) -> str:
+    """Graphviz DOT for the `max_nodes` hottest branch nodes."""
+    hot = sorted(bcg.nodes.values(), key=lambda n: n.exec_count,
+                 reverse=True)[:max_nodes]
+    included = {node.key for node in hot}
+    peak = max((node.exec_count for node in hot), default=1)
+
+    lines = [
+        "digraph bcg {",
+        "  rankdir=LR;",
+        '  node [shape=box, style="rounded,filled", '
+        'fontname="monospace"];',
+    ]
+    for node in hot:
+        color = _STATE_COLORS[node.summary[0]]
+        heat = node.exec_count / peak
+        penwidth = 1.0 + 2.0 * heat
+        anchor = ", peripheries=2" if node.trace is not None else ""
+        label = (f"{node.key[0]}\\u2192{node.key[1]}\\n"
+                 f"{node.summary[0].name.lower()} "
+                 f"n={node.exec_count}")
+        lines.append(
+            f'  "{node.key}" [label="{label}", color="{color}", '
+            f'fillcolor="{color}20", penwidth={penwidth:.1f}{anchor}];')
+    for node in hot:
+        for z, edge in node.edges.items():
+            target_key = (node.dst, z)
+            if target_key not in included:
+                continue
+            probability = node.edge_probability(z)
+            if probability < min_probability:
+                continue
+            style = "bold" if node.summary[1] == z else "solid"
+            lines.append(
+                f'  "{node.key}" -> "{target_key}" '
+                f'[label="{probability:.2f}", style={style}];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_cell(value, spec: str = "") -> str:
+    """Format one cell: None -> '-', floats honour the given spec."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        return format(value, spec or ".2f")
+    return str(value)
+
+
+@dataclass(slots=True)
+class Table:
+    """A titled grid with a header row and per-column float formats."""
+
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    formats: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has "
+                f"{len(self.headers)}")
+        self.rows.append(list(cells))
+
+    def formatted_rows(self) -> list[list[str]]:
+        formats = self.formats or [""] * len(self.headers)
+        return [[format_cell(cell, formats[i])
+                 for i, cell in enumerate(row)]
+                for row in self.rows]
+
+    def render(self) -> str:
+        grid = [list(self.headers)] + self.formatted_rows()
+        widths = [max(len(row[i]) for row in grid)
+                  for i in range(len(self.headers))]
+
+        def line(row, pad=" "):
+            return " | ".join(cell.rjust(width) if i else cell.ljust(width)
+                              for i, (cell, width)
+                              in enumerate(zip(row, widths)))
+
+        divider = "-+-".join("-" * w for w in widths)
+        out = [self.title, "=" * len(self.title), line(grid[0]), divider]
+        out.extend(line(row) for row in grid[1:])
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for reports/issues)."""
+        grid = self.formatted_rows()
+        out = [f"**{self.title}**", "",
+               "| " + " | ".join(self.headers) + " |",
+               "|" + "|".join("---" for _ in self.headers) + "|"]
+        out.extend("| " + " | ".join(row) + " |" for row in grid)
+        for note in self.notes:
+            out.append(f"\n*{note}*")
+        return "\n".join(out)
+
+    def column(self, header: str) -> list:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_map(self) -> dict:
+        """First-column value -> row (for tests and comparisons)."""
+        return {row[0]: row for row in self.rows}
+
+
+def comparison_table(title: str, benchmarks: list[str],
+                     measured: dict[str, float],
+                     paper: dict[str, float | None],
+                     value_format: str = ".1f") -> Table:
+    """Two-column measured-vs-paper table used by EXPERIMENTS.md."""
+    table = Table(title, ["benchmark", "measured", "paper"],
+                  formats=["", value_format, value_format])
+    for name in benchmarks:
+        table.add_row(name, measured.get(name), paper.get(name))
+    return table

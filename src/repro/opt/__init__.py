@@ -1,0 +1,18 @@
+"""Trace optimization (the paper's future-work step, implemented).
+
+Flattens cached traces to a guarded linear IR, runs peephole passes
+(goto elimination, constant folding, IINC fusion, push/pop removal)
+and executes the result with block-exact semantics and accounting.
+"""
+
+from .executor import run_compiled
+from .flatten import FlattenError, flatten
+from .ir import CompiledTrace, TraceInstr
+from .optimizer import OptimizerStats, TraceOptimizer
+from .passes import (drop_push_pop, fold_constants, forward_store_load,
+                     fuse_iinc, optimize)
+
+__all__ = ["run_compiled", "FlattenError", "flatten", "CompiledTrace",
+           "TraceInstr", "OptimizerStats", "TraceOptimizer",
+           "drop_push_pop", "fold_constants", "forward_store_load",
+           "fuse_iinc", "optimize"]

@@ -1,0 +1,81 @@
+"""The trace optimizer: lazy compilation cache + aggregate statistics.
+
+The controller asks :meth:`TraceOptimizer.get` for a compiled form of
+each dispatched trace; compilation (flatten + passes) happens on first
+request and is cached by trace identity.  Traces that cannot be
+flattened (defensive `FlattenError`) are remembered as unoptimizable
+and dispatched the ordinary way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .flatten import FlattenError, flatten
+from .ir import CompiledTrace
+from .passes import optimize
+
+
+@dataclass(slots=True)
+class OptimizerStats:
+    traces_compiled: int = 0
+    traces_unoptimizable: int = 0
+    original_instrs: int = 0     # static, across compiled traces
+    optimized_instrs: int = 0
+
+    @property
+    def static_savings(self) -> int:
+        return self.original_instrs - self.optimized_instrs
+
+    @property
+    def static_reduction(self) -> float:
+        if self.original_instrs == 0:
+            return 0.0
+        return self.static_savings / self.original_instrs
+
+
+class TraceOptimizer:
+    """Compiles traces to optimized linear IR, with caching."""
+
+    def __init__(self, enable_passes: bool = True) -> None:
+        self.enable_passes = enable_passes
+        self.compiled: dict[int, CompiledTrace] = {}    # id(trace) ->
+        self.unoptimizable: set[int] = set()
+        self.stats = OptimizerStats()
+
+    def get(self, trace) -> CompiledTrace | None:
+        """The compiled form of `trace`, or None if unoptimizable."""
+        key = id(trace)
+        cached = self.compiled.get(key)
+        if cached is not None:
+            return cached
+        if key in self.unoptimizable:
+            return None
+        try:
+            compiled = flatten(trace)
+        except FlattenError:
+            self.unoptimizable.add(key)
+            self.stats.traces_unoptimizable += 1
+            return None
+        if self.enable_passes:
+            optimize(compiled)
+        self.compiled[key] = compiled
+        self.stats.traces_compiled += 1
+        self.stats.original_instrs += compiled.original_instr_count
+        self.stats.optimized_instrs += compiled.optimized_instr_count
+        return compiled
+
+    def invalidate(self, trace) -> None:
+        """Drop the compiled form (the trace was rebuilt)."""
+        self.compiled.pop(id(trace), None)
+        self.unoptimizable.discard(id(trace))
+
+    def dynamic_savings(self) -> int:
+        """Original instructions *not* executed thanks to optimization,
+        summed over completed executions of compiled traces."""
+        total = 0
+        for compiled in self.compiled.values():
+            completions = max(
+                0, compiled.executions - compiled.guard_failures)
+            total += compiled.savings * completions
+        return total

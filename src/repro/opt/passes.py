@@ -1,0 +1,219 @@
+"""Peephole optimization passes over the flattened trace IR.
+
+All passes are semantics-preserving along the trace and operate only
+inside runs of ``K_SIMPLE`` instructions (guards, calls and returns are
+window barriers).  Eliminated instructions donate their `weight` to a
+surviving neighbour so the executor's original-instruction accounting
+is unchanged.
+
+Passes (applied in order, to a fixpoint):
+
+1. ``fold_constants``   — ICONST/FCONST arithmetic evaluated at
+   compile time (with Java wrap/trap semantics; division by a constant
+   zero is left alone so the runtime trap still fires).
+2. ``fuse_iinc``        — ILOAD n; ICONST c; IADD; ISTORE n -> IINC.
+3. ``forward_store_load`` — ISTORE n; ILOAD n -> DUP; ISTORE n.
+4. ``drop_push_pop``    — side-effect-free push followed by POP, and
+   DUP; POP, are removed.
+"""
+
+from __future__ import annotations
+
+from ..jvm.bytecode import Op
+from ..jvm.values import (fcmp, java_ishl, java_ishr, java_iushr,
+                          wrap_int)
+from .ir import CompiledTrace, K_SIMPLE, TraceInstr
+
+_INT_FOLD = {
+    Op.IADD: lambda a, b: wrap_int(a + b),
+    Op.ISUB: lambda a, b: wrap_int(a - b),
+    Op.IMUL: lambda a, b: wrap_int(a * b),
+    Op.IAND: lambda a, b: a & b,
+    Op.IOR: lambda a, b: a | b,
+    Op.IXOR: lambda a, b: a ^ b,
+    Op.ISHL: java_ishl,
+    Op.ISHR: java_ishr,
+    Op.IUSHR: java_iushr,
+}
+
+_FLOAT_FOLD = {
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+}
+
+_PURE_PUSH = frozenset({
+    Op.ICONST, Op.FCONST, Op.SCONST, Op.ACONST_NULL,
+    Op.ILOAD, Op.FLOAD, Op.ALOAD, Op.DUP,
+})
+
+
+def optimize(compiled: CompiledTrace, max_rounds: int = 8) -> CompiledTrace:
+    """Run all passes to a fixpoint (bounded); mutates and returns."""
+    for _ in range(max_rounds):
+        changed = False
+        changed |= fold_constants(compiled)
+        changed |= fuse_iinc(compiled)
+        changed |= drop_push_pop(compiled)
+        if not changed:
+            break
+    forward_store_load(compiled)
+    return compiled
+
+
+def _merge_into_neighbour(instrs: list[TraceInstr], start: int,
+                          count: int, replacement: TraceInstr | None,
+                          compiled: CompiledTrace) -> None:
+    """Replace instrs[start:start+count] by `replacement` (or nothing),
+    preserving total weight."""
+    weight = sum(i.weight for i in instrs[start:start + count])
+    if replacement is not None:
+        replacement.weight = weight
+        instrs[start:start + count] = [replacement]
+        return
+    # Removed entirely: donate weight to the previous instruction, or
+    # the next one, or the compiled tail.
+    del instrs[start:start + count]
+    if start > 0:
+        instrs[start - 1].weight += weight
+    elif instrs:
+        instrs[0].weight += weight
+    else:
+        compiled.tail_weight += weight
+
+
+def _is(instr: TraceInstr, op: Op) -> bool:
+    return instr.kind == K_SIMPLE and instr.op is op
+
+
+def fold_constants(compiled: CompiledTrace) -> bool:
+    """Evaluate constant int/float arithmetic at compile time."""
+    instrs = compiled.instrs
+    changed = False
+    i = 0
+    while i < len(instrs):
+        # Binary: CONST CONST op
+        if i + 2 < len(instrs):
+            a, b, c = instrs[i], instrs[i + 1], instrs[i + 2]
+            if _is(a, Op.ICONST) and _is(b, Op.ICONST) \
+                    and c.kind == K_SIMPLE and c.op in _INT_FOLD:
+                value = _INT_FOLD[c.op](a.a, b.a)
+                _merge_into_neighbour(
+                    instrs, i, 3,
+                    TraceInstr(K_SIMPLE, op=Op.ICONST, a=value,
+                               ordinal=c.ordinal,
+                               origin_index=c.origin_index),
+                    compiled)
+                changed = True
+                continue
+            if _is(a, Op.FCONST) and _is(b, Op.FCONST) \
+                    and c.kind == K_SIMPLE and c.op in _FLOAT_FOLD:
+                value = _FLOAT_FOLD[c.op](a.a, b.a)
+                _merge_into_neighbour(
+                    instrs, i, 3,
+                    TraceInstr(K_SIMPLE, op=Op.FCONST, a=value,
+                               ordinal=c.ordinal,
+                               origin_index=c.origin_index),
+                    compiled)
+                changed = True
+                continue
+            if _is(a, Op.FCONST) and _is(b, Op.FCONST) \
+                    and c.kind == K_SIMPLE and c.op in (Op.FCMPL,
+                                                        Op.FCMPG):
+                nan = -1 if c.op is Op.FCMPL else 1
+                value = fcmp(a.a, b.a, nan)
+                _merge_into_neighbour(
+                    instrs, i, 3,
+                    TraceInstr(K_SIMPLE, op=Op.ICONST, a=value,
+                               ordinal=c.ordinal,
+                               origin_index=c.origin_index),
+                    compiled)
+                changed = True
+                continue
+        # Unary: CONST op
+        if i + 1 < len(instrs):
+            a, b = instrs[i], instrs[i + 1]
+            replacement = None
+            if _is(a, Op.ICONST) and _is(b, Op.INEG):
+                replacement = (Op.ICONST, wrap_int(-a.a))
+            elif _is(a, Op.ICONST) and _is(b, Op.I2F):
+                replacement = (Op.FCONST, float(a.a))
+            elif _is(a, Op.FCONST) and _is(b, Op.FNEG):
+                replacement = (Op.FCONST, -a.a)
+            if replacement is not None:
+                op, value = replacement
+                _merge_into_neighbour(
+                    instrs, i, 2,
+                    TraceInstr(K_SIMPLE, op=op, a=value,
+                               ordinal=b.ordinal,
+                               origin_index=b.origin_index),
+                    compiled)
+                changed = True
+                continue
+        i += 1
+    return changed
+
+
+def fuse_iinc(compiled: CompiledTrace) -> bool:
+    """ILOAD n; ICONST c; IADD; ISTORE n -> IINC n c."""
+    instrs = compiled.instrs
+    changed = False
+    i = 0
+    while i + 3 < len(instrs):
+        a, b, c, d = instrs[i:i + 4]
+        if _is(a, Op.ILOAD) and _is(b, Op.ICONST) and _is(c, Op.IADD) \
+                and _is(d, Op.ISTORE) and d.a == a.a:
+            _merge_into_neighbour(
+                instrs, i, 4,
+                TraceInstr(K_SIMPLE, op=Op.IINC, a=a.a, b=b.a,
+                           ordinal=d.ordinal,
+                           origin_index=d.origin_index),
+                compiled)
+            changed = True
+            continue
+        i += 1
+    return changed
+
+
+def drop_push_pop(compiled: CompiledTrace) -> bool:
+    """Remove side-effect-free push immediately followed by POP."""
+    instrs = compiled.instrs
+    changed = False
+    i = 0
+    while i + 1 < len(instrs):
+        a, b = instrs[i], instrs[i + 1]
+        if a.kind == K_SIMPLE and a.op in _PURE_PUSH and _is(b, Op.POP):
+            _merge_into_neighbour(instrs, i, 2, None, compiled)
+            changed = True
+            continue
+        i += 1
+    return changed
+
+
+def forward_store_load(compiled: CompiledTrace) -> bool:
+    """ISTORE n; ILOAD n -> DUP; ISTORE n (ditto float/ref pairs).
+
+    Count-neutral, but replaces a local-variable round trip with a
+    stack duplication (run last — DUPs feed drop_push_pop only on the
+    next optimize() call, so keeping it after the fixpoint loop keeps
+    the passes confluent).
+    """
+    pairs = {(Op.ISTORE, Op.ILOAD), (Op.FSTORE, Op.FLOAD),
+             (Op.ASTORE, Op.ALOAD)}
+    instrs = compiled.instrs
+    changed = False
+    for i in range(len(instrs) - 1):
+        a, b = instrs[i], instrs[i + 1]
+        if a.kind == K_SIMPLE and b.kind == K_SIMPLE \
+                and (a.op, b.op) in pairs and a.a == b.a:
+            dup = TraceInstr(K_SIMPLE, op=Op.DUP, ordinal=a.ordinal,
+                             origin_index=a.origin_index,
+                             weight=b.weight)
+            store = TraceInstr(K_SIMPLE, op=a.op, a=a.a,
+                               ordinal=a.ordinal,
+                               origin_index=a.origin_index,
+                               weight=a.weight)
+            instrs[i] = dup
+            instrs[i + 1] = store
+            changed = True
+    return changed

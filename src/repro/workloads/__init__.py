@@ -1,0 +1,13 @@
+"""Benchmark workloads mirroring the paper's evaluation suite, plus
+parametric synthetic programs for controlled experiments."""
+
+from .registry import (SIZES, WORKLOAD_NAMES, clear_cache, load_workload,
+                       workload_source)
+from .synthetic import (biased_branch_program, branch_chain_program,
+                        compile_biased, compile_chain, compile_phased,
+                        phased_program)
+
+__all__ = ["SIZES", "WORKLOAD_NAMES", "clear_cache", "load_workload",
+           "workload_source", "biased_branch_program",
+           "branch_chain_program", "compile_biased", "compile_chain",
+           "compile_phased", "phased_program"]

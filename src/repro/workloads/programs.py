@@ -1,0 +1,953 @@
+"""The six benchmark programs (Section 5.1 of the paper).
+
+The paper evaluates on SPECjvm98 compress/javac/raytrace/mpegaudio,
+soot and scimark.  Each function here returns mini-Java source whose
+*branch structure* mirrors its namesake:
+
+- ``compressx``  — LZW-style compression: hot probe loops, data-
+  dependent hash misses (SPEC compress).
+- ``javacx``     — a lexer + recursive-descent parser/evaluator run
+  over generated expression programs: dense unpredictable branching,
+  switches, deep call graph (SPEC javac).
+- ``raytracex``  — float ray/sphere/plane intersection with virtual
+  ``Shape.intersect``: regular loops + hit/miss branches (raytrace).
+- ``mpegaudiox`` — fixed-point subband synthesis: long multiply-
+  accumulate loops, almost every branch unique (mpegaudio).
+- ``sootx``      — polymorphic dataflow analysis over an IR with a
+  worklist: many small methods, heavy invokevirtual (soot).
+- ``scimarkx``   — SOR sweep + Monte-Carlo + sparse mat-vec: extremely
+  regular scientific loops (scimark).
+
+All programs are deterministic (in-language LCG randomness) and return
+an int checksum so interpreters can be differentially tested.
+"""
+
+from __future__ import annotations
+
+_LCG = """
+class Lcg {
+    int state;
+    Lcg(int seed) { state = seed; }
+    int next() {
+        state = state * 1103515245 + 12345;
+        return (state >> 16) & 32767;
+    }
+    int nextBits(int mask) { return next() & mask; }
+}
+"""
+
+
+def compressx(data_size: int = 4096, table_size: int = 2039,
+              passes: int = 2) -> str:
+    """LZW-style compressor over a run-skewed synthetic byte stream."""
+    return _LCG + f"""
+class Compressor {{
+    int[] hashKey;
+    int[] hashVal;
+    int tableSize;
+    int nextCode;
+    int emitted;
+
+    Compressor(int tableSize) {{
+        this.tableSize = tableSize;
+        hashKey = new int[tableSize];
+        hashVal = new int[tableSize];
+        nextCode = 256;
+    }}
+
+    int probe(int key) {{
+        int h = (key * 2654435761) % tableSize;
+        if (h < 0) {{ h = h + tableSize; }}
+        while (hashKey[h] != 0 && hashKey[h] != key) {{
+            h = h + 1;
+            if (h == tableSize) {{ h = 0; }}
+        }}
+        return h;
+    }}
+
+    int lookup(int prefix, int ch) {{
+        int h = probe(prefix * 256 + ch + 1);
+        if (hashKey[h] == 0) {{ return -1; }}
+        return hashVal[h];
+    }}
+
+    void insert(int prefix, int ch, int code) {{
+        int key = prefix * 256 + ch + 1;
+        int h = probe(key);
+        if (hashKey[h] == 0) {{
+            hashKey[h] = key;
+            hashVal[h] = code;
+        }}
+    }}
+
+    int compress(int[] data) {{
+        int checksum = 0;
+        int prefix = data[0];
+        for (int i = 1; i < data.length; i = i + 1) {{
+            int ch = data[i];
+            int code = lookup(prefix, ch);
+            if (code != -1) {{
+                prefix = code;
+            }} else {{
+                checksum = (checksum * 31 + prefix) & 16777215;
+                emitted = emitted + 1;
+                // Cap the load factor at 1/2 so probe chains stay
+                // short and deterministic, as in a well-sized table.
+                if (nextCode < tableSize / 2) {{
+                    insert(prefix, ch, nextCode);
+                    nextCode = nextCode + 1;
+                }}
+                prefix = ch;
+            }}
+        }}
+        checksum = (checksum * 31 + prefix) & 16777215;
+        return checksum;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        int n = {data_size};
+        int[] data = new int[n];
+        Lcg r = new Lcg(12345);
+        int i = 0;
+        while (i < n) {{
+            // Few distinct symbols in long runs: highly compressible,
+            // so dictionary lookups hit with high probability after
+            // warm-up (the behaviour SPEC compress exhibits).
+            int v = r.nextBits(15);
+            int run = r.nextBits(31) + 2;
+            int j = 0;
+            while (j < run && i < n) {{
+                data[i] = v;
+                i = i + 1;
+                j = j + 1;
+            }}
+        }}
+        int out = 0;
+        for (int pass = 0; pass < {passes}; pass = pass + 1) {{
+            Compressor c = new Compressor({table_size});
+            out = (out * 17 + c.compress(data)) & 16777215;
+            out = out + c.emitted;
+        }}
+        return out;
+    }}
+}}
+"""
+
+
+def javacx(programs: int = 40, tokens_per_program: int = 360,
+           max_depth: int = 5) -> str:
+    """Lexer + recursive-descent compiler over generated source text.
+
+    A grammar-directed generator writes random expression "source" as a
+    character array; a lexer with a character-class switch tokenizes
+    it; a recursive-descent parser evaluates with precedence.  This is
+    the branchiest workload, mirroring javac's front-end behaviour.
+    """
+    return _LCG + f"""
+class SourceGen {{
+    int[] buf;
+    int pos;
+    Lcg r;
+    int budget;
+
+    SourceGen(int capacity, int seed) {{
+        buf = new int[capacity];
+        r = new Lcg(seed);
+    }}
+
+    void putc(int c) {{
+        if (pos < buf.length) {{
+            buf[pos] = c;
+            pos = pos + 1;
+        }}
+    }}
+
+    void genNumber() {{
+        int digits = r.nextBits(3) + 1;
+        for (int i = 0; i < digits; i = i + 1) {{
+            putc(48 + r.next() % 10);
+        }}
+    }}
+
+    void genFactor(int depth) {{
+        if (depth > 0 && r.nextBits(7) < 40 && budget > 8) {{
+            budget = budget - 2;
+            putc(40);
+            genExpr(depth - 1);
+            putc(41);
+        }} else {{
+            genNumber();
+        }}
+    }}
+
+    void genTerm(int depth) {{
+        genFactor(depth);
+        while (r.nextBits(7) < 36 && budget > 4) {{
+            budget = budget - 1;
+            if (r.nextBits(1) == 0) {{ putc(42); }} else {{ putc(47); }}
+            genFactor(depth);
+        }}
+    }}
+
+    void genExpr(int depth) {{
+        genTerm(depth);
+        while (r.nextBits(7) < 48 && budget > 2) {{
+            budget = budget - 1;
+            if (r.nextBits(1) == 0) {{ putc(43); }} else {{ putc(45); }}
+            genTerm(depth);
+        }}
+    }}
+
+    int generate(int maxTokens) {{
+        pos = 0;
+        budget = maxTokens;
+        genExpr({max_depth});
+        putc(59);
+        return pos;
+    }}
+}}
+
+class Lexer {{
+    int[] src;
+    int len;
+    int pos;
+    int tokKind;
+    int tokValue;
+
+    Lexer(int[] src, int len) {{
+        this.src = src;
+        this.len = len;
+    }}
+
+    // kinds: 0 eof, 1 number, 2 '+', 3 '-', 4 '*', 5 '/', 6 '(',
+    //        7 ')', 8 ';', 9 error
+    void advance() {{
+        if (pos >= len) {{
+            tokKind = 0;
+            return;
+        }}
+        int c = src[pos];
+        pos = pos + 1;
+        switch (c) {{
+            case 43: tokKind = 2; break;
+            case 45: tokKind = 3; break;
+            case 42: tokKind = 4; break;
+            case 47: tokKind = 5; break;
+            case 40: tokKind = 6; break;
+            case 41: tokKind = 7; break;
+            case 59: tokKind = 8; break;
+            default:
+                if (c >= 48 && c <= 57) {{
+                    int v = c - 48;
+                    while (pos < len && src[pos] >= 48 && src[pos] <= 57) {{
+                        v = (v * 10 + (src[pos] - 48)) & 1048575;
+                        pos = pos + 1;
+                    }}
+                    tokKind = 1;
+                    tokValue = v;
+                }} else {{
+                    tokKind = 9;
+                }}
+        }}
+    }}
+}}
+
+class Parser {{
+    Lexer lex;
+    int errors;
+
+    Parser(Lexer lex) {{
+        this.lex = lex;
+        lex.advance();
+    }}
+
+    int parseExpr() {{
+        int v = parseTerm();
+        while (lex.tokKind == 2 || lex.tokKind == 3) {{
+            int op = lex.tokKind;
+            lex.advance();
+            int w = parseTerm();
+            if (op == 2) {{ v = (v + w) & 16777215; }}
+            else {{ v = (v - w) & 16777215; }}
+        }}
+        return v;
+    }}
+
+    int parseTerm() {{
+        int v = parseFactor();
+        while (lex.tokKind == 4 || lex.tokKind == 5) {{
+            int op = lex.tokKind;
+            lex.advance();
+            int w = parseFactor();
+            if (op == 4) {{ v = (v * w) & 16777215; }}
+            else {{
+                if (w == 0) {{ w = 1; }}
+                v = v / w;
+            }}
+        }}
+        return v;
+    }}
+
+    int parseFactor() {{
+        if (lex.tokKind == 1) {{
+            int v = lex.tokValue;
+            lex.advance();
+            return v;
+        }}
+        if (lex.tokKind == 6) {{
+            lex.advance();
+            int v = parseExpr();
+            if (lex.tokKind == 7) {{ lex.advance(); }}
+            else {{ errors = errors + 1; }}
+            return v;
+        }}
+        errors = errors + 1;
+        if (lex.tokKind != 0 && lex.tokKind != 8) {{ lex.advance(); }}
+        return 0;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        SourceGen gen = new SourceGen({tokens_per_program} * 8, 424242);
+        int checksum = 0;
+        for (int p = 0; p < {programs}; p = p + 1) {{
+            int len = gen.generate({tokens_per_program});
+            Lexer lex = new Lexer(gen.buf, len);
+            Parser parser = new Parser(lex);
+            int v = parser.parseExpr();
+            checksum = (checksum * 31 + v + parser.errors) & 16777215;
+        }}
+        return checksum;
+    }}
+}}
+"""
+
+
+def raytracex(width: int = 48, height: int = 36, spheres: int = 6,
+              frames: int = 2) -> str:
+    """Ray tracing over a small scene with virtual Shape.intersect."""
+    return _LCG + f"""
+class Shape {{
+    int shade;
+    // Returns the ray parameter t of the nearest hit, or -1.0.
+    float intersect(float ox, float oy, float oz,
+                    float dx, float dy, float dz) {{
+        return 0.0 - 1.0;
+    }}
+}}
+
+class Sphere extends Shape {{
+    float cx; float cy; float cz; float radius2;
+
+    Sphere(float cx, float cy, float cz, float r, int shade) {{
+        this.cx = cx; this.cy = cy; this.cz = cz;
+        this.radius2 = r * r;
+        this.shade = shade;
+    }}
+
+    float intersect(float ox, float oy, float oz,
+                    float dx, float dy, float dz) {{
+        float lx = cx - ox;
+        float ly = cy - oy;
+        float lz = cz - oz;
+        float b = lx * dx + ly * dy + lz * dz;
+        if (b < 0.0) {{ return 0.0 - 1.0; }}
+        float d2 = lx * lx + ly * ly + lz * lz - b * b;
+        if (d2 > radius2) {{ return 0.0 - 1.0; }}
+        float t = b - Sys.fsqrt(radius2 - d2);
+        if (t < 0.0) {{ return 0.0 - 1.0; }}
+        return t;
+    }}
+}}
+
+class Plane extends Shape {{
+    float planeY;
+
+    Plane(float y, int shade) {{
+        this.planeY = y;
+        this.shade = shade;
+    }}
+
+    float intersect(float ox, float oy, float oz,
+                    float dx, float dy, float dz) {{
+        if (dy >= 0.0 - 0.0001) {{ return 0.0 - 1.0; }}
+        float t = (planeY - oy) / dy;
+        if (t < 0.0) {{ return 0.0 - 1.0; }}
+        return t;
+    }}
+}}
+
+class Scene {{
+    Shape[] shapes;
+    int count;
+
+    Scene(int capacity) {{
+        shapes = new Shape[capacity];
+    }}
+
+    void add(Shape s) {{
+        shapes[count] = s;
+        count = count + 1;
+    }}
+
+    int trace(float ox, float oy, float oz,
+              float dx, float dy, float dz) {{
+        float best = 1000000.0;
+        int shade = 0;
+        for (int i = 0; i < count; i = i + 1) {{
+            float t = shapes[i].intersect(ox, oy, oz, dx, dy, dz);
+            if (t > 0.0 && t < best) {{
+                best = t;
+                shade = shapes[i].shade;
+            }}
+        }}
+        if (shade == 0) {{ return 0; }}
+        int level = Sys.f2i(255.0 / (1.0 + best * 0.25));
+        return (shade * 64 + level) & 65535;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        Lcg r = new Lcg(777);
+        Scene scene = new Scene({spheres} + 1);
+        for (int i = 0; i < {spheres}; i = i + 1) {{
+            float x = (float) (r.next() % 200 - 100) * 0.05;
+            float y = (float) (r.next() % 100) * 0.04;
+            float z = 4.0 + (float) (r.next() % 100) * 0.08;
+            float rad = 0.4 + (float) (r.next() % 50) * 0.02;
+            scene.add(new Sphere(x, y, z, rad, 1 + (i % 3)));
+        }}
+        scene.add(new Plane(0.0 - 1.0, 5));
+        int checksum = 0;
+        for (int f = 0; f < {frames}; f = f + 1) {{
+            float shift = (float) f * 0.1;
+            for (int py = 0; py < {height}; py = py + 1) {{
+                for (int px = 0; px < {width}; px = px + 1) {{
+                    float dx = ((float) px / {width}.0 - 0.5) + shift;
+                    float dy = (float) py / {height}.0 - 0.5;
+                    float dz = 1.0;
+                    float norm = Sys.fsqrt(dx * dx + dy * dy + dz * dz);
+                    int c = scene.trace(0.0, 0.5, 0.0 - 2.0,
+                                        dx / norm, dy / norm, dz / norm);
+                    checksum = (checksum * 31 + c) & 16777215;
+                }}
+            }}
+        }}
+        return checksum;
+    }}
+}}
+"""
+
+
+def mpegaudiox(frames: int = 24, bands: int = 24, taps: int = 48) -> str:
+    """Fixed-point subband synthesis: matrixing + windowed FIR loops."""
+    wsize = max(taps, bands) * bands
+    return _LCG + f"""
+class SynthesisFilter {{
+    int[] window;
+    int[] v;
+    int vpos;
+
+    SynthesisFilter() {{
+        window = new int[{wsize}];
+        v = new int[{taps} * {bands}];
+        // Deterministic pseudo-cosine window coefficients (Q12).
+        int acc = 3;
+        for (int i = 0; i < window.length; i = i + 1) {{
+            acc = (acc * 41 + 17) % 8192;
+            window[i] = acc - 4096;
+        }}
+    }}
+
+    // Coefficient accessor: the call in the hot loop splits the MAC
+    // body across blocks, as the original OO decoder code does.
+    int coef(int i) {{
+        if (i >= window.length) {{ i = i % window.length; }}
+        return window[i];
+    }}
+
+    // Matrixing: every output band is a weighted sum of the inputs.
+    int matrix(int[] samples, int[] bandsOut) {{
+        int energy = 0;
+        for (int b = 0; b < {bands}; b = b + 1) {{
+            int sum = 0;
+            int base = b * {bands};
+            for (int s = 0; s < {bands}; s = s + 1) {{
+                sum = sum + ((samples[s] * coef(base + s)) >> 12);
+            }}
+            bandsOut[b] = sum;
+            energy = energy + Sys.abs(sum);
+        }}
+        return energy;
+    }}
+
+    // Windowed FIR over the circular history buffer.  As in real DSP
+    // inner loops, the circular wrap is hoisted out of the hot loop by
+    // splitting it at the wrap point, so the loops branch only on
+    // their trip counts.
+    int fir(int[] bandsIn) {{
+        int out = 0;
+        for (int b = 0; b < {bands}; b = b + 1) {{
+            v[vpos] = bandsIn[b];
+            vpos = vpos + 1;
+            if (vpos == v.length) {{ vpos = 0; }}
+        }}
+        for (int t = 0; t < {taps}; t = t + 1) {{
+            int idx = vpos + t * {bands};
+            if (idx >= v.length) {{ idx = idx - v.length; }}
+            int acc = 0;
+            int wbase = t * {bands};
+            int first = v.length - idx;
+            if (first > {bands}) {{ first = {bands}; }}
+            for (int b = 0; b < first; b = b + 1) {{
+                acc = acc + ((v[idx + b] * window[wbase + b]) >> 12);
+            }}
+            for (int b = first; b < {bands}; b = b + 1) {{
+                acc = acc + ((v[idx + b - v.length]
+                              * window[wbase + b]) >> 12);
+            }}
+            out = (out + acc) & 16777215;
+        }}
+        return out;
+    }}
+
+    // Quantization with a rare clip branch (the occasional exception-
+    // like path mpegaudio exhibits).
+    int quantize(int value) {{
+        if (value > 8388607) {{ return 8388607; }}
+        if (value < 0 - 8388608) {{ return 0 - 8388608; }}
+        return value;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        SynthesisFilter filter = new SynthesisFilter();
+        Lcg r = new Lcg(31337);
+        int[] samples = new int[{bands}];
+        int[] bands = new int[{bands}];
+        int checksum = 0;
+        for (int f = 0; f < {frames}; f = f + 1) {{
+            for (int s = 0; s < {bands}; s = s + 1) {{
+                samples[s] = r.next() - 16384;
+            }}
+            int energy = filter.matrix(samples, bands);
+            int out = filter.fir(bands);
+            checksum = (checksum * 31
+                        + filter.quantize(out) + energy) & 16777215;
+        }}
+        return checksum;
+    }}
+}}
+"""
+
+
+def sootx(statements: int = 160, variables: int = 30,
+          iterations: int = 14) -> str:
+    """Polymorphic worklist dataflow analysis over a small IR.
+
+    Builds a CFG of Stmt subclasses with virtual gen/kill transfer
+    functions, then runs backward liveness to a fixpoint and a forward
+    constant-reaching pass, mirroring soot's analysis loops: heavy
+    invokevirtual, irregular worklist branching, many small methods.
+    """
+    return _LCG + f"""
+class Stmt {{
+    int id;
+    int succ1;
+    int succ2;
+    int defVar;
+    int useA;
+    int useB;
+
+    int genMask() {{ return 0; }}
+    int killMask() {{ return 0; }}
+    int transfer(int liveOut) {{
+        return (liveOut & ~killMask()) | genMask();
+    }}
+    int kind() {{ return 0; }}
+}}
+
+class AssignStmt extends Stmt {{
+    AssignStmt(int id, int d, int u) {{
+        this.id = id; this.defVar = d; this.useA = u; this.useB = -1;
+    }}
+    int genMask() {{ return 1 << useA; }}
+    int killMask() {{ return 1 << defVar; }}
+    int kind() {{ return 1; }}
+}}
+
+class BinopStmt extends Stmt {{
+    BinopStmt(int id, int d, int a, int b) {{
+        this.id = id; this.defVar = d; this.useA = a; this.useB = b;
+    }}
+    int genMask() {{ return (1 << useA) | (1 << useB); }}
+    int killMask() {{ return 1 << defVar; }}
+    int kind() {{ return 2; }}
+}}
+
+class BranchStmt extends Stmt {{
+    BranchStmt(int id, int cond) {{
+        this.id = id; this.useA = cond; this.defVar = -1; this.useB = -1;
+    }}
+    int genMask() {{ return 1 << useA; }}
+    int kind() {{ return 3; }}
+}}
+
+class CallStmt extends Stmt {{
+    CallStmt(int id, int d, int a, int b) {{
+        this.id = id; this.defVar = d; this.useA = a; this.useB = b;
+    }}
+    int genMask() {{ return (1 << useA) | (1 << useB); }}
+    int killMask() {{ return 1 << defVar; }}
+    int kind() {{ return 4; }}
+}}
+
+class Cfg {{
+    Stmt[] stmts;
+    int count;
+
+    Cfg(int capacity) {{ stmts = new Stmt[capacity]; }}
+
+    void add(Stmt s) {{
+        stmts[count] = s;
+        count = count + 1;
+    }}
+
+    void wire(Lcg r) {{
+        for (int i = 0; i < count; i = i + 1) {{
+            Stmt s = stmts[i];
+            s.succ1 = (i + 1) % count;
+            if (s.kind() == 3) {{
+                s.succ2 = r.next() % count;
+            }} else {{
+                s.succ2 = -1;
+            }}
+        }}
+    }}
+}}
+
+class Liveness {{
+    Cfg cfg;
+    int[] liveIn;
+    int[] liveOut;
+
+    Liveness(Cfg cfg) {{
+        this.cfg = cfg;
+        liveIn = new int[cfg.count];
+        liveOut = new int[cfg.count];
+    }}
+
+    int solve(int maxRounds) {{
+        int rounds = 0;
+        boolean changed = true;
+        while (changed && rounds < maxRounds) {{
+            changed = false;
+            rounds = rounds + 1;
+            for (int i = cfg.count - 1; i >= 0; i = i - 1) {{
+                Stmt s = cfg.stmts[i];
+                int out = liveIn[s.succ1];
+                if (s.succ2 >= 0) {{ out = out | liveIn[s.succ2]; }}
+                int in = s.transfer(out);
+                if (in != liveIn[i] || out != liveOut[i]) {{
+                    changed = true;
+                    liveIn[i] = in;
+                    liveOut[i] = out;
+                }}
+            }}
+        }}
+        return rounds;
+    }}
+
+    int checksum() {{
+        int h = 0;
+        for (int i = 0; i < cfg.count; i = i + 1) {{
+            h = (h * 31 + liveIn[i] + liveOut[i] * 7) & 16777215;
+        }}
+        return h;
+    }}
+}}
+
+class ConstProp {{
+    Cfg cfg;
+    int[] value;     // per variable: -1 unknown (top), else constant
+
+    ConstProp(Cfg cfg, int vars) {{
+        this.cfg = cfg;
+        value = new int[vars];
+    }}
+
+    int run(int rounds) {{
+        int folded = 0;
+        for (int round = 0; round < rounds; round = round + 1) {{
+            for (int i = 0; i < cfg.count; i = i + 1) {{
+                Stmt s = cfg.stmts[i];
+                int k = s.kind();
+                switch (k) {{
+                    case 1:
+                        value[s.defVar] = value[s.useA];
+                        break;
+                    case 2:
+                        if (value[s.useA] >= 0 && value[s.useB] >= 0) {{
+                            value[s.defVar] =
+                                (value[s.useA] + value[s.useB]) & 255;
+                            folded = folded + 1;
+                        }} else {{
+                            value[s.defVar] = -1;
+                        }}
+                        break;
+                    case 4:
+                        value[s.defVar] = -1;
+                        break;
+                    default:
+                        break;
+                }}
+            }}
+        }}
+        return folded;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        Lcg r = new Lcg(9090);
+        Cfg cfg = new Cfg({statements});
+        for (int i = 0; i < {statements}; i = i + 1) {{
+            int pick = r.next() % 10;
+            int d = r.next() % {variables};
+            int a = r.next() % {variables};
+            int b = r.next() % {variables};
+            if (pick < 3) {{ cfg.add(new AssignStmt(i, d, a)); }}
+            else {{
+                if (pick < 6) {{ cfg.add(new BinopStmt(i, d, a, b)); }}
+                else {{
+                    if (pick < 8) {{ cfg.add(new BranchStmt(i, a)); }}
+                    else {{ cfg.add(new CallStmt(i, d, a, b)); }}
+                }}
+            }}
+        }}
+        cfg.wire(r);
+        int checksum = 0;
+        for (int iter = 0; iter < {iterations}; iter = iter + 1) {{
+            Liveness live = new Liveness(cfg);
+            int rounds = live.solve(20 + (iter % 3));
+            ConstProp cp = new ConstProp(cfg, {variables});
+            for (int v = 0; v < {variables}; v = v + 1) {{
+                cp.value[v] = r.next() % 4 - 1;
+            }}
+            int folded = cp.run(2);
+            checksum = (checksum * 31 + live.checksum()
+                        + rounds + folded) & 16777215;
+        }}
+        return checksum;
+    }}
+}}
+"""
+
+
+def scimarkx(grid: int = 48, sor_iters: int = 10, mc_samples: int = 4000,
+             sparse_rows: int = 60, sparse_iters: int = 12,
+             sparse_per_row: int = 40, fft_size: int = 256,
+             fft_iters: int = 6) -> str:
+    """SOR sweep + Monte-Carlo pi + sparse mat-vec + FFT butterflies.
+
+    As in real SciMark, the Monte-Carlo and FFT kernels call small
+    methods inside their inner loops (Random.nextDouble, twiddle
+    helpers); in a direct-threaded-inlining VM those calls split the
+    loop body into several blocks, which is what makes scimark traces
+    long.
+    """
+    return _LCG + f"""
+class SOR {{
+    float[][] grid;
+    int n;
+
+    SOR(int n, Lcg r) {{
+        this.n = n;
+        grid = new float[n][];
+        for (int i = 0; i < n; i = i + 1) {{
+            grid[i] = new float[n];
+            for (int j = 0; j < n; j = j + 1) {{
+                grid[i][j] = (float) (r.next() % 1000) * 0.001;
+            }}
+        }}
+    }}
+
+    void execute(float omega, int iterations) {{
+        float c1 = omega * 0.25;
+        float c2 = 1.0 - omega;
+        for (int p = 0; p < iterations; p = p + 1) {{
+            for (int i = 1; i < n - 1; i = i + 1) {{
+                float[] gi = grid[i];
+                float[] gim = grid[i - 1];
+                float[] gip = grid[i + 1];
+                for (int j = 1; j < n - 1; j = j + 1) {{
+                    gi[j] = c1 * (gim[j] + gip[j] + gi[j - 1] + gi[j + 1])
+                            + c2 * gi[j];
+                }}
+            }}
+        }}
+    }}
+
+    int checksum() {{
+        float total = 0.0;
+        for (int i = 0; i < n; i = i + 1) {{
+            for (int j = 0; j < n; j = j + 1) {{
+                total = total + grid[i][j];
+            }}
+        }}
+        return Sys.f2i(total * 1000.0) & 16777215;
+    }}
+}}
+
+class MonteCarlo {{
+    int integrate(int samples, Lcg r) {{
+        int hits = 0;
+        for (int s = 0; s < samples; s = s + 1) {{
+            float x = (float) r.next() / 32768.0;
+            float y = (float) r.next() / 32768.0;
+            if (x * x + y * y <= 1.0) {{ hits = hits + 1; }}
+        }}
+        return hits;
+    }}
+}}
+
+class SparseMatmult {{
+    float[] values;
+    int[] cols;
+    int[] rowStart;
+    int rows;
+
+    SparseMatmult(int rows, int perRow, Lcg r) {{
+        this.rows = rows;
+        values = new float[rows * perRow];
+        cols = new int[rows * perRow];
+        rowStart = new int[rows + 1];
+        int k = 0;
+        for (int i = 0; i < rows; i = i + 1) {{
+            rowStart[i] = k;
+            for (int j = 0; j < perRow; j = j + 1) {{
+                cols[k] = r.next() % rows;
+                values[k] = (float) (r.next() % 100) * 0.01;
+                k = k + 1;
+            }}
+        }}
+        rowStart[rows] = k;
+    }}
+
+    int multiply(float[] x, float[] y, int iterations) {{
+        for (int p = 0; p < iterations; p = p + 1) {{
+            for (int i = 0; i < rows; i = i + 1) {{
+                float sum = 0.0;
+                int end = rowStart[i + 1];
+                for (int k = rowStart[i]; k < end; k = k + 1) {{
+                    sum = sum + values[k] * x[cols[k]];
+                }}
+                y[i] = sum;
+            }}
+            float[] t = x;
+            x = y;
+            y = t;
+        }}
+        float total = 0.0;
+        for (int i = 0; i < rows; i = i + 1) {{
+            total = total + x[i];
+        }}
+        return Sys.f2i(total * 100.0) & 16777215;
+    }}
+}}
+
+class FFT {{
+    int[] re;
+    int[] im;
+    int n;
+
+    FFT(int n, Lcg r) {{
+        this.n = n;
+        re = new int[n];
+        im = new int[n];
+        for (int i = 0; i < n; i = i + 1) {{
+            re[i] = r.next() - 16384;
+            im[i] = r.next() - 16384;
+        }}
+    }}
+
+    // Fixed-point Q12 multiply; a real FFT calls out for twiddles,
+    // and the call splits the butterfly body across basic blocks.
+    int mulShift(int a, int b) {{
+        return (a * b) >> 12;
+    }}
+
+    int twiddleRe(int k) {{
+        return 4096 - ((k * k * 3) & 2047);
+    }}
+
+    int twiddleIm(int k) {{
+        return (k * 37) & 2047;
+    }}
+
+    void transform() {{
+        // One flat loop of n/2 butterflies per level keeps the hot
+        // back-edge's trip count constant and large (real FFT codes
+        // linearize the same way for locality).
+        int half = n / 2;
+        for (int span = 1; span < n; span = span * 2) {{
+            for (int b = 0; b < half; b = b + 1) {{
+                int blockIdx = b / span;
+                int k = b % span;
+                int i = blockIdx * span * 2 + k;
+                int j = i + span;
+                int wr = twiddleRe(k);
+                int wi = twiddleIm(k);
+                int tr = mulShift(re[j], wr) - mulShift(im[j], wi);
+                int ti = mulShift(re[j], wi) + mulShift(im[j], wr);
+                re[j] = (re[i] - tr) & 16777215;
+                im[j] = (im[i] - ti) & 16777215;
+                re[i] = (re[i] + tr) & 16777215;
+                im[i] = (im[i] + ti) & 16777215;
+            }}
+        }}
+    }}
+
+    int checksum() {{
+        int h = 0;
+        for (int i = 0; i < n; i = i + 1) {{
+            h = (h * 31 + re[i] + im[i] * 7) & 16777215;
+        }}
+        return h;
+    }}
+}}
+
+class Main {{
+    static int main() {{
+        Lcg r = new Lcg(1618);
+        SOR sor = new SOR({grid}, r);
+        sor.execute(1.25, {sor_iters});
+        int c1 = sor.checksum();
+
+        MonteCarlo mc = new MonteCarlo();
+        int c2 = mc.integrate({mc_samples}, r);
+
+        SparseMatmult sp = new SparseMatmult({sparse_rows}, {sparse_per_row}, r);
+        float[] x = new float[{sparse_rows}];
+        float[] y = new float[{sparse_rows}];
+        for (int i = 0; i < {sparse_rows}; i = i + 1) {{
+            x[i] = 1.0 + (float) (i % 7) * 0.1;
+        }}
+        int c3 = sp.multiply(x, y, {sparse_iters});
+
+        FFT fft = new FFT({fft_size}, r);
+        int c4 = 0;
+        for (int p = 0; p < {fft_iters}; p = p + 1) {{
+            fft.transform();
+            c4 = (c4 * 31 + fft.checksum()) & 16777215;
+        }}
+
+        return (c1 * 31 + c2 * 17 + c3 + c4 * 7) & 16777215;
+    }}
+}}
+"""

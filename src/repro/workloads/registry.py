@@ -1,0 +1,99 @@
+"""Workload registry: names, size presets, and compiled-program cache.
+
+Sizes:
+
+- ``tiny``  — unit-test scale (tens of thousands of instructions),
+- ``small`` — default benchmark scale (several hundred thousand),
+- ``paper`` — the scale the table harness uses (around a million or
+  more instructions per run; the paper's real SPECjvm runs executed
+  billions, which a Python interpreter-of-an-interpreter cannot — see
+  DESIGN.md, band repro=3).
+"""
+
+from __future__ import annotations
+
+from ..jvm.linker import Program
+from ..lang import compile_source
+from . import programs
+
+WORKLOAD_NAMES = ("compressx", "javacx", "raytracex", "mpegaudiox",
+                  "sootx", "scimarkx")
+
+SIZES = ("tiny", "small", "paper")
+
+# Per-workload keyword arguments for each size preset.
+_PRESETS: dict[str, dict[str, dict]] = {
+    "compressx": {
+        "tiny": dict(data_size=600, table_size=509, passes=1),
+        "small": dict(data_size=6000, table_size=2039, passes=2),
+        "paper": dict(data_size=16000, table_size=4093, passes=3),
+    },
+    "javacx": {
+        "tiny": dict(programs=6, tokens_per_program=120, max_depth=4),
+        "small": dict(programs=12, tokens_per_program=360, max_depth=5),
+        "paper": dict(programs=28, tokens_per_program=420, max_depth=6),
+    },
+    "raytracex": {
+        "tiny": dict(width=16, height=12, spheres=4, frames=1),
+        "small": dict(width=48, height=36, spheres=6, frames=2),
+        "paper": dict(width=64, height=48, spheres=8, frames=3),
+    },
+    # Inner-loop trip counts are kept >= ~40 on the non-tiny presets so
+    # that loop back-edges are strongly biased (trip/(trip+1) >= 0.97),
+    # matching the long loops of the real DSP / scientific benchmarks.
+    "mpegaudiox": {
+        "tiny": dict(frames=4, bands=12, taps=8),
+        "small": dict(frames=14, bands=40, taps=24),
+        "paper": dict(frames=28, bands=48, taps=32),
+    },
+    "sootx": {
+        "tiny": dict(statements=60, variables=20, iterations=2),
+        "small": dict(statements=160, variables=30, iterations=14),
+        "paper": dict(statements=240, variables=30, iterations=30),
+    },
+    "scimarkx": {
+        "tiny": dict(grid=10, sor_iters=4, mc_samples=500,
+                     sparse_rows=60, sparse_iters=4),
+        "small": dict(grid=48, sor_iters=6, mc_samples=6000,
+                      sparse_rows=60, sparse_iters=8,
+                      fft_size=256, fft_iters=8),
+        "paper": dict(grid=64, sor_iters=10, mc_samples=12000,
+                      sparse_rows=100, sparse_iters=12,
+                      fft_size=512, fft_iters=12),
+    },
+}
+
+_cache: dict[tuple[str, str], Program] = {}
+
+
+def workload_source(name: str, size: str = "small", **overrides) -> str:
+    """Mini-Java source text for a named workload at a size preset."""
+    if name not in _PRESETS:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {WORKLOAD_NAMES}")
+    if size not in SIZES:
+        raise KeyError(f"unknown size {size!r}; choose from {SIZES}")
+    params = dict(_PRESETS[name][size])
+    params.update(overrides)
+    return getattr(programs, name)(**params)
+
+
+def load_workload(name: str, size: str = "small",
+                  **overrides) -> Program:
+    """Compile (with caching) a named workload at a size preset.
+
+    The returned Program is shared: callers must not mutate it, and
+    runs reset static fields themselves (all interpreters do).
+    """
+    key = (name, size)
+    if overrides:
+        return compile_source(workload_source(name, size, **overrides))
+    program = _cache.get(key)
+    if program is None:
+        program = compile_source(workload_source(name, size))
+        _cache[key] = program
+    return program
+
+
+def clear_cache() -> None:
+    _cache.clear()

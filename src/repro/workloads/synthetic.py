@@ -1,0 +1,113 @@
+"""Parametric synthetic workloads for controlled experiments.
+
+These generators produce mini-Java programs whose branch statistics are
+known *by construction*, so the profiler and trace constructor can be
+validated against analytic expectations rather than just observed on
+the benchmark suite:
+
+- :func:`biased_branch_program` — one hot branch taken with an exact
+  deterministic bias b/m (a repeating pattern, so the long-run edge
+  ratio is exactly b/m);
+- :func:`branch_chain_program` — a chain of `depth` biased branches, so
+  trace lengths can be compared with the threshold-cut model;
+- :func:`phased_program` — switches behaviour between phases, to study
+  decay/adaptation and cache stability.
+
+All are deterministic and return int checksums.
+"""
+
+from __future__ import annotations
+
+from ..jvm.linker import Program
+from ..lang import compile_source
+
+
+def biased_branch_program(taken: int = 31, period: int = 32,
+                          iterations: int = 20_000) -> str:
+    """A loop with one branch taken exactly `taken` of every `period`
+    iterations (pattern-based, so the bias is exact, not stochastic)."""
+    if not 0 < taken <= period:
+        raise ValueError("need 0 < taken <= period")
+    return f"""
+class Main {{
+    static int main() {{
+        int acc = 0;
+        for (int i = 0; i < {iterations}; i = i + 1) {{
+            if (i % {period} < {taken}) {{
+                acc = (acc + i) & 65535;
+            }} else {{
+                acc = (acc ^ i) & 65535;
+            }}
+        }}
+        return acc;
+    }}
+}}
+"""
+
+
+def branch_chain_program(depth: int = 6, period: int = 64,
+                         iterations: int = 20_000) -> str:
+    """A loop whose body is a chain of `depth` branches, each with the
+    same (period-1)/period bias and *independent* phases, so a trace
+    walking the common path crosses `depth` strong correlations."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    body = []
+    for level in range(depth):
+        offset = (level * 7 + 3) % period
+        body.append(f"""
+            if ((i + {offset}) % {period} != 0) {{
+                acc = (acc + {level + 1}) & 65535;
+            }} else {{
+                acc = (acc ^ {level + 13}) & 65535;
+            }}""")
+    chained = "\n".join(body)
+    return f"""
+class Main {{
+    static int main() {{
+        int acc = 0;
+        for (int i = 0; i < {iterations}; i = i + 1) {{
+{chained}
+        }}
+        return acc;
+    }}
+}}
+"""
+
+
+def phased_program(phase_length: int = 8_000, phases: int = 4) -> str:
+    """Behaviour flips between phases: the hot branch direction inverts
+    every `phase_length` iterations — exercising decay-driven
+    adaptation and trace invalidation."""
+    total = phase_length * phases
+    return f"""
+class Main {{
+    static int main() {{
+        int acc = 0;
+        for (int i = 0; i < {total}; i = i + 1) {{
+            int phase = (i / {phase_length}) % 2;
+            if (phase == 0) {{
+                acc = (acc + i) & 65535;
+            }} else {{
+                acc = (acc - i) & 65535;
+            }}
+        }}
+        return acc;
+    }}
+}}
+"""
+
+
+def compile_biased(taken: int = 31, period: int = 32,
+                   iterations: int = 20_000) -> Program:
+    return compile_source(biased_branch_program(taken, period,
+                                                iterations))
+
+
+def compile_chain(depth: int = 6, period: int = 64,
+                  iterations: int = 20_000) -> Program:
+    return compile_source(branch_chain_program(depth, period, iterations))
+
+
+def compile_phased(phase_length: int = 8_000, phases: int = 4) -> Program:
+    return compile_source(phased_program(phase_length, phases))

@@ -1,0 +1,174 @@
+"""Baseline schemes: correctness, scheme-specific behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (BaselineTrace, DynamoSelector, ReplaySelector,
+                             WhaleySelector, is_backward,
+                             run_with_selector)
+from repro.jvm import ThreadedInterpreter
+from repro.lang import compile_source
+from repro.workloads import load_workload
+from tests.conftest import int_main
+
+LOOP = compile_source(int_main(
+    "int s = 0;"
+    "for (int o = 0; o < 80; o = o + 1) {"
+    "  for (int i = 0; i < 30; i = i + 1) { s = s + i; }"
+    "} return s;"))
+
+
+def reference(program):
+    return ThreadedInterpreter(program).run()
+
+
+class TestSharedRunner:
+    @pytest.mark.parametrize("factory", [DynamoSelector, ReplaySelector,
+                                         WhaleySelector])
+    def test_results_unchanged(self, factory):
+        expected = reference(LOOP)
+        machine, stats = run_with_selector(LOOP, factory())
+        assert machine.result == expected.result
+        assert stats.instr_total == expected.instr_count
+
+    @pytest.mark.parametrize("name", ["compressx", "sootx"])
+    @pytest.mark.parametrize("factory", [DynamoSelector, ReplaySelector])
+    def test_workload_results_unchanged(self, name, factory):
+        program = load_workload(name, "tiny")
+        expected = reference(program)
+        machine, stats = run_with_selector(program, factory())
+        assert machine.result == expected.result
+
+    def test_baseline_trace_stats(self):
+        class Block:
+            def __init__(self, bid):
+                self.bid = bid
+        trace = BaselineTrace([Block(1), Block(2)])
+        trace.entries += 1
+        trace.completions += 1
+        assert trace.completion_rate == 1.0
+        assert len(trace) == 2
+
+
+class TestIsBackward:
+    def test_same_method_earlier_block(self):
+        method = LOOP.methods[0]
+        blocks = method.blocks
+        assert is_backward(blocks[-1], blocks[0])
+        assert not is_backward(blocks[0], blocks[-1])
+
+    def test_cross_method_not_backward(self):
+        program = compile_source("""
+            class Main {
+                static int helper() { return 1; }
+                static int main() { return helper(); }
+            }
+        """)
+        main = program.method("Main.main")
+        helper = program.method("Main.helper")
+        assert not is_backward(main.blocks[0], helper.blocks[0])
+
+
+class TestDynamo:
+    def test_counters_trigger_recording(self):
+        selector = DynamoSelector(hot_threshold=5)
+        run_with_selector(LOOP, selector)
+        assert selector.traces_created >= 1
+
+    def test_traces_anchored_at_loop_heads(self):
+        selector = DynamoSelector(hot_threshold=5)
+        _machine, stats = run_with_selector(LOOP, selector)
+        assert stats.trace_dispatches > 0
+        assert stats.coverage > 0.3
+
+    def test_max_trace_blocks(self):
+        selector = DynamoSelector(hot_threshold=5, max_trace_blocks=4)
+        run_with_selector(LOOP, selector)
+        assert all(len(t) <= 4 for t in selector.traces.values())
+
+    def test_flush_on_rapid_creation(self):
+        # javacx tiny is unstable enough to force flushes with an
+        # aggressive flush configuration
+        program = load_workload("javacx", "tiny")
+        selector = DynamoSelector(hot_threshold=2, flush_window=100_000,
+                                  flush_creations=5)
+        run_with_selector(program, selector)
+        assert selector.flushes >= 1
+
+    def test_describe(self):
+        selector = DynamoSelector()
+        info = selector.describe()
+        assert info["scheme"] == "dynamo"
+
+
+class TestReplay:
+    def test_promotion_threshold(self):
+        selector = ReplaySelector(promote_threshold=8)
+        run_with_selector(LOOP, selector)
+        assert selector.promotions >= 1
+
+    def test_frames_built_and_dispatched(self):
+        selector = ReplaySelector(promote_threshold=8)
+        _machine, stats = run_with_selector(LOOP, selector)
+        assert selector.frames_created >= 1
+        assert stats.trace_dispatches > 0
+
+    def test_high_completion_rate(self):
+        # rePLay's conservatism: frames fail rarely on a stable loop
+        selector = ReplaySelector(promote_threshold=8)
+        _machine, stats = run_with_selector(LOOP, selector)
+        assert stats.completion_rate > 0.9
+
+    def test_rollbacks_counted(self):
+        program = load_workload("javacx", "tiny")
+        selector = ReplaySelector(promote_threshold=4)
+        _machine, stats = run_with_selector(program, selector)
+        partials = stats.trace_entries - stats.trace_completions
+        assert selector.rollbacks == partials
+
+    def test_history_length_bounds_contexts(self):
+        selector = ReplaySelector(history_bits=2)
+        run_with_selector(LOOP, selector)
+        histories = {h for (_bid, h) in selector.bias}
+        assert all(0 <= h < 4 for h in histories)
+
+
+class TestWhaley:
+    def test_two_phase_progression(self):
+        selector = WhaleySelector(baseline_threshold=5,
+                                  optimize_threshold=20)
+        run_with_selector(LOOP, selector)
+        assert selector.baseline_compiles >= 1
+        assert selector.optimizing_compiles >= 1
+
+    def test_never_dispatches(self):
+        selector = WhaleySelector()
+        _machine, stats = run_with_selector(LOOP, selector)
+        assert stats.trace_dispatches == 0
+
+    def test_flagged_coverage_high_on_loop(self):
+        selector = WhaleySelector(baseline_threshold=5,
+                                  optimize_threshold=20)
+        run_with_selector(LOOP, selector)
+        assert selector.optimized_coverage > 0.5
+        assert selector.flagged_coverage >= selector.optimized_coverage
+
+    def test_rarely_executed_methods_not_compiled(self):
+        program = compile_source("""
+            class Main {
+                static int cold() { return 1; }
+                static int main() {
+                    int s = cold();
+                    for (int o = 0; o < 60; o = o + 1) {
+                        for (int i = 0; i < 20; i = i + 1) { s = s + 1; }
+                    }
+                    return s;
+                }
+            }
+        """)
+        selector = WhaleySelector(baseline_threshold=10,
+                                  optimize_threshold=40)
+        run_with_selector(program, selector)
+        names = {m.qualified_name for m in selector.optimized}
+        assert "Main.cold" not in names

@@ -1,0 +1,84 @@
+"""Baseline interface plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineTrace, TraceSelector, run_with_selector
+from repro.lang import compile_source
+from tests.conftest import int_main
+
+
+class NullSelector(TraceSelector):
+    """Never selects anything; counts dispatches it sees."""
+
+    name = "null"
+
+    def __init__(self):
+        self.seen = 0
+
+    def on_dispatch(self, prev_block, cur_block):
+        self.seen += 1
+        return None
+
+
+class FirstBlockSelector(TraceSelector):
+    """Builds one two-block trace from the first repeated transition."""
+
+    name = "first"
+
+    def __init__(self):
+        self.trace = None
+        self.last = None
+        self.exits = []
+
+    def on_dispatch(self, prev_block, cur_block):
+        if self.trace is not None \
+                and self.trace.blocks[0] is cur_block:
+            return self.trace
+        if self.last is (prev_block, cur_block):
+            pass
+        if self.trace is None and prev_block.method is cur_block.method:
+            succs = cur_block.static_successors()
+            if len(succs) == 1:
+                self.trace = BaselineTrace([cur_block, succs[0]])
+        return None
+
+    def on_trace_exit(self, trace, executed, completed, successor):
+        self.exits.append((executed, completed))
+
+
+PROGRAM = compile_source(int_main(
+    "int s = 0; for (int i = 0; i < 200; i++) { s += i; } return s;"))
+
+
+class TestProtocol:
+    def test_abstract_selector_raises(self):
+        with pytest.raises(NotImplementedError):
+            TraceSelector().on_dispatch(None, None)
+
+    def test_default_hooks_are_noops(self):
+        selector = TraceSelector()
+        selector.on_trace_exit(None, 0, True, None)   # must not raise
+        assert selector.describe() == {}
+
+    def test_null_selector_sees_every_dispatch(self):
+        selector = NullSelector()
+        machine, stats = run_with_selector(PROGRAM, selector)
+        # one dispatch has no previous block (entry), so the selector
+        # sees total - 1
+        assert selector.seen == stats.block_dispatches - 1
+        assert stats.trace_dispatches == 0
+
+    def test_custom_selector_dispatches(self):
+        selector = FirstBlockSelector()
+        machine, stats = run_with_selector(PROGRAM, selector)
+        assert machine.result == sum(range(200))
+        if selector.trace is not None:
+            assert stats.trace_dispatches == len(selector.exits)
+
+    def test_stats_identities(self):
+        selector = FirstBlockSelector()
+        machine, stats = run_with_selector(PROGRAM, selector)
+        assert stats.instr_total == machine.instr_count
+        assert stats.trace_completions <= stats.trace_entries

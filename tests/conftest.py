@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Assembler, ClassDef, MethodDef, Op,
+                       SwitchInterpreter, ThreadedInterpreter, link,
+                       verify_program)
+from repro.lang import compile_source
+
+
+def assemble_main(build, *, return_type="int", max_locals=0,
+                  extra_classes=(), verify=True):
+    """Build a one-method program: `build(asm)` emits Main.main's body."""
+    asm = Assembler()
+    build(asm)
+    main = MethodDef(name="main", return_type=return_type, is_static=True,
+                     max_locals=max_locals, code=asm.finish(),
+                     exceptions=asm.exception_table())
+    program = link([ClassDef(name="Main", methods=[main]),
+                    *extra_classes])
+    if verify:
+        verify_program(program)
+    return program
+
+
+def run_both(program):
+    """Run under both interpreters; assert agreement; return result."""
+    threaded = ThreadedInterpreter(program)
+    machine = threaded.run()
+    switch = SwitchInterpreter(program)
+    switch.run()
+    assert machine.result == switch.result
+    assert machine.output == switch.output
+    assert machine.instr_count == switch.instr_count
+    return machine.result
+
+
+def run_main(source: str):
+    """Compile mini-Java source and run it on both interpreters."""
+    return run_both(compile_source(source))
+
+
+def int_main(body: str) -> str:
+    """Wrap a statement body into `class Main { static int main() }`."""
+    return "class Main { static int main() { " + body + " } }"
+
+
+@pytest.fixture
+def asm():
+    return Assembler()
+
+
+@pytest.fixture
+def counting_program():
+    """A small two-loop program used by several core tests."""
+    return compile_source("""
+        class Main {
+            static int main() {
+                int total = 0;
+                for (int outer = 0; outer < 120; outer = outer + 1) {
+                    for (int i = 0; i < 40; i = i + 1) {
+                        if ((i & 3) == 1) { total = total + 2; }
+                        else { total = total + i; }
+                    }
+                }
+                return total;
+            }
+        }
+    """)

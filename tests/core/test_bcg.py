@@ -1,0 +1,220 @@
+"""Branch correlation graph: structure, counting, decay, invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BranchCorrelationGraph, BranchState, TraceCacheConfig
+
+
+class FakeBlock:
+    """Stand-in for BasicBlock in graph-level tests."""
+
+    __slots__ = ("bid",)
+
+    def __init__(self, bid):
+        self.bid = bid
+
+    def __repr__(self):
+        return f"B{self.bid}"
+
+
+def graph(**kwargs) -> BranchCorrelationGraph:
+    return BranchCorrelationGraph(TraceCacheConfig(**kwargs))
+
+
+def feed(bcg: BranchCorrelationGraph, block_stream):
+    """Drive the graph with a block-id stream the way a profiler would."""
+    last_node = None
+    for prev, cur in zip(block_stream, block_stream[1:]):
+        node = bcg.get_or_create(prev, cur, FakeBlock(cur))
+        node.exec_count += 1
+        if node.countdown > 0:
+            node.countdown -= 1
+        if last_node is not None:
+            bcg.record_succession(last_node, node)
+        last_node = node
+    return bcg
+
+
+class TestNodesAndEdges:
+    def test_nodes_keyed_by_branch_pair(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 3])
+        assert set(bcg.nodes) == {(1, 2), (2, 3), (3, 1)}
+
+    def test_get_or_create_idempotent(self):
+        bcg = graph()
+        a = bcg.get_or_create(1, 2, FakeBlock(2))
+        b = bcg.get_or_create(1, 2, FakeBlock(2))
+        assert a is b
+        assert len(bcg) == 1
+
+    def test_edge_weights_count_successions(self):
+        bcg = feed(graph(), [1, 2, 3] * 10)
+        node = bcg.find(1, 2)
+        assert node.edges[3].weight == 10
+        assert node.total == 10
+
+    def test_edge_targets_are_nodes(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 3])
+        node = bcg.find(1, 2)
+        assert node.edges[3].target is bcg.find(2, 3)
+
+    def test_in_keys_back_references(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 3])
+        assert (1, 2) in bcg.find(2, 3).in_keys
+
+    def test_multiple_successors(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 4, 1, 2, 3, 1, 2, 3])
+        node = bcg.find(1, 2)
+        assert node.edges[3].weight == 3
+        assert node.edges[4].weight == 1
+        assert node.total == 4
+
+    def test_edge_probability(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 4, 1, 2, 3, 1, 2, 3])
+        node = bcg.find(1, 2)
+        assert node.edge_probability(3) == 0.75
+        assert node.edge_probability(4) == 0.25
+        assert node.edge_probability(99) == 0.0
+
+    def test_counter_saturates(self):
+        bcg = graph(counter_bits=4)   # cap 15
+        stream = [1, 2, 3] * 50
+        feed(bcg, stream)
+        node = bcg.find(1, 2)
+        assert node.edges[3].weight == 15
+        assert node.total == 15
+
+    def test_inline_cache_tracks_max(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 4, 1, 2, 4, 1, 2, 4])
+        node = bcg.find(1, 2)
+        assert node.predicted is node.edges[4]
+
+
+class TestDecay:
+    def test_halves_weights(self):
+        bcg = feed(graph(), [1, 2, 3] * 9)
+        node = bcg.find(1, 2)
+        bcg.decay(node)
+        assert node.edges[3].weight == 4
+        assert node.total == 4
+
+    def test_removes_dead_edges_and_backrefs(self):
+        bcg = feed(graph(), [1, 2, 4, 1, 2, 3, 1, 2, 3])
+        node = bcg.find(1, 2)
+        assert node.edges[4].weight == 1
+        bcg.decay(node)
+        assert 4 not in node.edges
+        assert (1, 2) not in bcg.find(2, 4).in_keys
+        assert (1, 2) in bcg.find(2, 3).in_keys
+
+    def test_preserves_ratios_roughly(self):
+        bcg = feed(graph(), ([1, 2, 3] * 12) + ([1, 2, 4] * 4))
+        node = bcg.find(1, 2)
+        before = node.edge_probability(3)
+        bcg.decay(node)
+        after = node.edge_probability(3)
+        assert abs(before - after) < 0.1
+
+    def test_rebuilds_inline_cache(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 3, 1, 2, 4])
+        node = bcg.find(1, 2)
+        bcg.decay(node)
+        assert node.predicted is node.edges[3]
+
+    def test_decay_counter(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 3])
+        assert bcg.decay_count == 0
+        bcg.decay(bcg.find(1, 2))
+        assert bcg.decay_count == 1
+
+
+class TestClassification:
+    def test_newly_created_until_countdown(self):
+        bcg = graph(start_state_delay=64)
+        feed(bcg, [1, 2, 3] * 3)
+        node = bcg.find(1, 2)
+        assert bcg.classify(node)[0] is BranchState.NEWLY_CREATED
+
+    def test_unique_single_successor(self):
+        bcg = graph(start_state_delay=1)
+        feed(bcg, [1, 2, 3] * 5)
+        node = bcg.find(1, 2)
+        assert bcg.classify(node) == (BranchState.UNIQUE, 3)
+
+    def test_strong_vs_weak_threshold(self):
+        bcg = graph(start_state_delay=1, threshold=0.75)
+        feed(bcg, ([1, 2, 3] * 9) + ([1, 2, 4] * 3))
+        node = bcg.find(1, 2)
+        state, best = bcg.classify(node)
+        assert state is BranchState.STRONG
+        assert best == 3
+        tight = graph(start_state_delay=1, threshold=0.9)
+        feed(tight, ([1, 2, 3] * 9) + ([1, 2, 4] * 3))
+        assert tight.classify(tight.find(1, 2))[0] is BranchState.WEAK
+
+    def test_threshold_100_merges_unique_strong(self):
+        bcg = graph(start_state_delay=1, threshold=1.0)
+        feed(bcg, ([1, 2, 3] * 30) + [1, 2, 4])
+        node = bcg.find(1, 2)
+        # 30/31 < 1.0: not strong, more than one successor: not unique.
+        assert bcg.classify(node)[0] is BranchState.WEAK
+
+    def test_no_successors_still_newly(self):
+        bcg = graph(start_state_delay=1)
+        node = bcg.get_or_create(9, 10, FakeBlock(10))
+        node.countdown = 0
+        assert bcg.classify(node)[0] is BranchState.NEWLY_CREATED
+
+
+class TestStrongPredecessors:
+    def test_found_when_summary_points_here(self):
+        bcg = graph(start_state_delay=1)
+        feed(bcg, [1, 2, 3] * 10)
+        pred = bcg.find(1, 2)
+        pred.summary = bcg.classify(pred)
+        node = bcg.find(2, 3)
+        assert bcg.strong_predecessors(node) == [pred]
+
+    def test_weak_predecessor_excluded(self):
+        bcg = graph(start_state_delay=1, threshold=0.95)
+        feed(bcg, ([1, 2, 3] * 3) + ([1, 2, 4] * 2))
+        pred = bcg.find(1, 2)
+        pred.summary = bcg.classify(pred)
+        assert bcg.strong_predecessors(bcg.find(2, 3)) == []
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=2, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_hold_under_random_streams(self, stream):
+        bcg = graph(start_state_delay=1)
+        feed(bcg, stream)
+        assert bcg.invariant_errors() == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=4),
+                    min_size=2, max_size=200),
+           st.lists(st.booleans(), min_size=0, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_hold_under_interleaved_decay(self, stream, decays):
+        bcg = graph(start_state_delay=1)
+        feed(bcg, stream)
+        nodes = list(bcg.nodes.values())
+        for i, do in enumerate(decays):
+            if do and nodes:
+                bcg.decay(nodes[i % len(nodes)])
+        assert bcg.invariant_errors() == []
+
+    def test_edge_count(self):
+        bcg = feed(graph(), [1, 2, 3, 1, 2, 4])
+        # (1,2)->3, (2,3)->1, (3,1)->2, (1,2)->4
+        assert bcg.edge_count == 4
+
+    def test_edge_count_value(self):
+        bcg = feed(graph(), [1, 2, 1, 2])
+        # nodes: (1,2), (2,1); edges: (1,2)->(2,1), (2,1)->(1,2)
+        assert len(bcg) == 2
+        assert bcg.edge_count == 2

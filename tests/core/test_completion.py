@@ -1,0 +1,127 @@
+"""Completion probability math and threshold cutting."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (TraceCacheConfig, completion_probability,
+                        cut_by_threshold, step_probability)
+from repro.core.bcg import BranchCorrelationGraph
+
+from .test_bcg import FakeBlock, feed, graph
+
+
+def chain_graph(probabilities):
+    """Build a linear node chain 0->1->...->n where the step from node i
+    to node i+1 has (approximately) the given conditional probability.
+
+    Node i is the branch (i, i+1).  Probabilities are approximated with
+    integer weights out of 1000.
+    """
+    bcg = graph(start_state_delay=1)
+    nodes = []
+    for i in range(len(probabilities) + 1):
+        node = bcg.get_or_create(i, i + 1, FakeBlock(i + 1))
+        node.countdown = 0
+        nodes.append(node)
+    for i, p in enumerate(probabilities):
+        main_weight = int(round(p * 1000))
+        edge = bcg.record_succession(nodes[i], nodes[i + 1])
+        edge.weight = main_weight
+        # the remaining mass goes to a phantom off-chain successor
+        if main_weight < 1000:
+            other = bcg.get_or_create(i + 1, 999_000 + i,
+                                      FakeBlock(999_000 + i))
+            off = bcg.record_succession(nodes[i], other)
+            off.weight = 1000 - main_weight
+        nodes[i].total = 1000
+        nodes[i].summary = bcg.classify(nodes[i])
+    return bcg, nodes
+
+
+class TestStepProbability:
+    def test_known_value(self):
+        _bcg, nodes = chain_graph([0.8])
+        assert math.isclose(step_probability(nodes[0], nodes[1]), 0.8)
+
+    def test_unknown_edge_is_zero(self):
+        bcg = graph()
+        a = bcg.get_or_create(1, 2, FakeBlock(2))
+        b = bcg.get_or_create(7, 8, FakeBlock(8))
+        assert step_probability(a, b) == 0.0
+
+
+class TestCompletionProbability:
+    def test_single_node_is_one(self):
+        _bcg, nodes = chain_graph([0.5])
+        assert completion_probability([nodes[0]]) == 1.0
+
+    def test_product_of_steps(self):
+        _bcg, nodes = chain_graph([0.9, 0.8, 0.5])
+        expected = 0.9 * 0.8 * 0.5
+        assert math.isclose(
+            completion_probability(nodes), expected, rel_tol=1e-6)
+
+    def test_zero_when_chain_broken(self):
+        bcg, nodes = chain_graph([0.9, 0.9])
+        stranger = bcg.get_or_create(55, 56, FakeBlock(56))
+        assert completion_probability([nodes[0], stranger]) == 0.0
+
+    def test_empty_is_one(self):
+        assert completion_probability([]) == 1.0
+
+
+class TestCutByThreshold:
+    def test_all_strong_single_chunk(self):
+        _bcg, nodes = chain_graph([1.0] * 5)
+        chunks = cut_by_threshold(nodes, 0.97, max_len=64)
+        assert len(chunks) == 1
+        assert chunks[0][0] == nodes
+        assert chunks[0][1] == 1.0
+
+    def test_cuts_when_product_drops(self):
+        # steps 0.98 each, threshold 0.97: one step fits (0.98), two do
+        # not (0.9604), so chunks are pairs of nodes.
+        _bcg, nodes = chain_graph([0.98] * 5)
+        chunks = cut_by_threshold(nodes, 0.97, max_len=64)
+        assert [len(c) for c, _p in chunks] == [2, 2, 2]
+
+    def test_chunk_products_meet_threshold(self):
+        _bcg, nodes = chain_graph([0.99, 0.99, 0.99, 0.99, 0.99, 0.99])
+        chunks = cut_by_threshold(nodes, 0.97, max_len=64)
+        for chunk, probability in chunks:
+            if len(chunk) >= 2:
+                assert probability >= 0.97
+
+    def test_chunks_partition_input(self):
+        _bcg, nodes = chain_graph([0.98, 1.0, 0.5, 1.0, 0.99])
+        chunks = cut_by_threshold(nodes, 0.97, max_len=64)
+        flattened = [n for chunk, _p in chunks for n in chunk]
+        assert flattened == nodes
+
+    def test_max_len_enforced(self):
+        _bcg, nodes = chain_graph([1.0] * 10)
+        chunks = cut_by_threshold(nodes, 0.5, max_len=4)
+        assert all(len(c) <= 4 for c, _p in chunks)
+
+    def test_empty_input(self):
+        assert cut_by_threshold([], 0.97, 64) == []
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1.0),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.5, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, probabilities, threshold):
+        _bcg, nodes = chain_graph(probabilities)
+        chunks = cut_by_threshold(nodes, threshold, max_len=8)
+        flattened = [n for chunk, _p in chunks for n in chunk]
+        assert flattened == nodes
+        assert all(1 <= len(c) <= 8 for c, _p in chunks)
+        # reported probability matches the recomputed product
+        for chunk, probability in chunks:
+            assert math.isclose(
+                probability, completion_probability(chunk),
+                rel_tol=1e-6, abs_tol=1e-9)

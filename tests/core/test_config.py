@@ -1,0 +1,52 @@
+"""TraceCacheConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceCacheConfig
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = TraceCacheConfig()
+        assert config.threshold == 0.97
+        assert config.start_state_delay == 64
+        assert config.decay_period == 256
+        assert config.counter_bits == 16
+
+    def test_counter_max(self):
+        assert TraceCacheConfig().counter_max == 65535
+        assert TraceCacheConfig(counter_bits=8).counter_max == 255
+
+    def test_frozen(self):
+        config = TraceCacheConfig()
+        with pytest.raises(Exception):
+            config.threshold = 0.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(threshold=0.0),
+        dict(threshold=1.5),
+        dict(threshold=-0.1),
+        dict(start_state_delay=0),
+        dict(decay_period=1),
+        dict(counter_bits=0),
+        dict(counter_bits=65),
+        dict(min_trace_blocks=1),
+        dict(max_trace_blocks=1),
+        dict(loop_unroll_copies=0),
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceCacheConfig(**kwargs)
+
+    def test_threshold_one_allowed(self):
+        assert TraceCacheConfig(threshold=1.0).threshold == 1.0
+
+    def test_paper_sweep_values_valid(self):
+        for threshold in (1.0, 0.99, 0.98, 0.97, 0.95):
+            TraceCacheConfig(threshold=threshold)
+        for delay in (1, 64, 4096):
+            TraceCacheConfig(start_state_delay=delay)

@@ -1,0 +1,172 @@
+"""Trace constructor: backtracking, max-likelihood walks, loops."""
+
+from __future__ import annotations
+
+from repro.core import (BranchState, TraceCacheConfig,
+                        build_node_sequences, find_entry_points,
+                        max_likelihood_walk)
+
+from .test_bcg import FakeBlock, graph
+
+
+def build_chain(bcg, pairs, weights=None):
+    """Create nodes for consecutive block pairs and weighted edges.
+
+    `pairs` is a block-id walk, e.g. [1, 2, 3]; weights[i] is the edge
+    weight for the i-th transition's succession (default 100).
+    """
+    nodes = []
+    for src, dst in zip(pairs, pairs[1:]):
+        node = bcg.get_or_create(src, dst, FakeBlock(dst))
+        node.countdown = 0
+        nodes.append(node)
+    for i, (prev, node) in enumerate(zip(nodes, nodes[1:])):
+        edge = bcg.record_succession(prev, node)
+        weight = 100 if weights is None else weights[i]
+        edge.weight = weight
+        prev.total = sum(e.weight for e in prev.edges.values())
+    for node in nodes:
+        node.summary = bcg.classify(node)
+    return nodes
+
+
+def config(**kwargs) -> TraceCacheConfig:
+    return TraceCacheConfig(**kwargs)
+
+
+class TestFindEntryPoints:
+    def test_linear_chain_entry_is_head(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 4, 5])
+        entries = find_entry_points(bcg, nodes[-1], config())
+        assert entries == [nodes[0]]
+
+    def test_node_without_predecessors_is_its_own_entry(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3])
+        entries = find_entry_points(bcg, nodes[0], config())
+        assert entries == [nodes[0]]
+
+    def test_weak_predecessor_stops_backtrack(self):
+        bcg = graph(start_state_delay=1, threshold=0.9)
+        nodes = build_chain(bcg, [1, 2, 3, 4])
+        # Make the first node weak: add a competing successor.
+        other = bcg.get_or_create(2, 99, FakeBlock(99))
+        edge = bcg.record_succession(nodes[0], other)
+        edge.weight = 100
+        nodes[0].total = 200
+        nodes[0].summary = bcg.classify(nodes[0])
+        assert nodes[0].summary[0] is BranchState.WEAK
+        entries = find_entry_points(bcg, nodes[-1], config(threshold=0.9))
+        assert entries == [nodes[1]]
+
+    def test_cycle_backtrack_terminates(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 1, 2])
+        entries = find_entry_points(bcg, nodes[0], config())
+        assert len(entries) >= 1
+
+    def test_budget_bounds_exploration(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, list(range(1, 200)))
+        cfg = config(max_backtrack_nodes=10)
+        entries = find_entry_points(bcg, nodes[-1], cfg)
+        assert len(entries) >= 1
+
+    def test_multiple_strong_predecessors_all_explored(self):
+        bcg = graph(start_state_delay=1)
+        # two chains converging on node (5, 6)
+        left = build_chain(bcg, [1, 5, 6])
+        right = build_chain(bcg, [2, 5, 6])
+        target = bcg.find(5, 6)
+        entries = find_entry_points(bcg, target, config())
+        assert set(id(e) for e in entries) == \
+            {id(left[0]), id(right[0])}
+
+
+class TestMaxLikelihoodWalk:
+    def test_follows_chain(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 4, 5])
+        path, loop = max_likelihood_walk(nodes[0], config())
+        assert path == nodes
+        assert loop is None
+
+    def test_stops_at_weak_node_inclusively(self):
+        bcg = graph(start_state_delay=1, threshold=0.95)
+        nodes = build_chain(bcg, [1, 2, 3, 4, 5])
+        # make the middle node weak
+        other = bcg.get_or_create(4, 99, FakeBlock(99))
+        edge = bcg.record_succession(nodes[2], other)
+        edge.weight = 100
+        nodes[2].total = 200
+        nodes[2].summary = bcg.classify(nodes[2])
+        path, loop = max_likelihood_walk(nodes[0],
+                                         config(threshold=0.95))
+        assert path == nodes[:3]    # walk enters the weak node and stops
+        assert loop is None
+
+    def test_detects_loop(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 1, 2])
+        # close the cycle fully: (3,1) -> (1,2) exists from build_chain
+        path, loop = max_likelihood_walk(nodes[0], config())
+        assert loop == 0
+        assert [n.key for n in path] == [(1, 2), (2, 3), (3, 1)]
+
+    def test_never_enters_newly_created(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 4])
+        nodes[-1].countdown = 5   # back into start state
+        nodes[-1].summary = (BranchState.NEWLY_CREATED, None)
+        path, _ = max_likelihood_walk(nodes[0], config())
+        assert nodes[-1] not in path
+
+    def test_length_bounded(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, list(range(1, 100)))
+        cfg = config(max_walk_nodes=10)
+        path, _ = max_likelihood_walk(nodes[0], cfg)
+        assert len(path) <= 10
+
+    def test_single_weak_entry(self):
+        bcg = graph(start_state_delay=1, threshold=0.9)
+        nodes = build_chain(bcg, [1, 2, 3])
+        other = bcg.get_or_create(2, 99, FakeBlock(99))
+        edge = bcg.record_succession(nodes[0], other)
+        edge.weight = 100
+        nodes[0].total = 200
+        nodes[0].summary = bcg.classify(nodes[0])
+        path, loop = max_likelihood_walk(nodes[0], config(threshold=0.9))
+        assert path == [nodes[0]]
+
+
+class TestBuildNodeSequences:
+    def test_no_loop_passthrough(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 4])
+        sequences = build_node_sequences(nodes, None, config())
+        assert sequences == [nodes]
+
+    def test_loop_unrolled_once(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 1, 2])[:3]
+        sequences = build_node_sequences(nodes, 0, config())
+        assert len(sequences) == 1
+        assert sequences[0] == nodes * 2
+
+    def test_loop_with_prefix(self):
+        bcg = graph(start_state_delay=1)
+        # prefix (0,1) then loop (1,2),(2,1)
+        nodes = build_chain(bcg, [0, 1, 2, 1, 2])[:3]
+        sequences = build_node_sequences(nodes, 1, config())
+        loop_seq, prefix_seq = sequences
+        assert loop_seq == nodes[1:] * 2
+        assert prefix_seq == nodes[:2]
+
+    def test_unroll_copies_config(self):
+        bcg = graph(start_state_delay=1)
+        nodes = build_chain(bcg, [1, 2, 3, 1, 2])[:3]
+        cfg = config(loop_unroll_copies=3)
+        sequences = build_node_sequences(nodes, 0, cfg)
+        assert sequences[0] == nodes * 3

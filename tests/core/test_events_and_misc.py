@@ -1,0 +1,113 @@
+"""Smaller core behaviours: run_traced API surface, RunResult, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (RunResult, TraceCacheConfig, TraceController,
+                        run_traced)
+from repro.lang import compile_source
+from tests.conftest import int_main
+
+
+class TestRunResultSurface:
+    def test_value_and_output_properties(self):
+        program = compile_source(
+            "class Main { static void main() { Sys.print(3); } }")
+        result = run_traced(program)
+        assert isinstance(result, RunResult)
+        assert result.value is None          # void main
+        assert result.output == ["3"]
+
+    def test_int_result(self, counting_program):
+        assert isinstance(run_traced(counting_program).value, int)
+
+    def test_components_exposed(self, counting_program):
+        result = run_traced(counting_program)
+        assert result.profiler.bcg is result.cache.profiler.bcg
+        assert result.machine.program is counting_program
+
+
+class TestControllerReuse:
+    def test_separate_controllers_independent(self, counting_program):
+        a = TraceController(counting_program)
+        b = TraceController(counting_program)
+        ra = a.run()
+        rb = b.run()
+        assert ra.value == rb.value
+        assert a.cache is not b.cache
+        assert len(a.profiler.bcg) == len(b.profiler.bcg)
+
+    def test_same_controller_twice(self, counting_program):
+        controller = TraceController(counting_program)
+        first = controller.run()
+        # A second run reuses the warmed BCG/cache (like a long-running
+        # VM executing main twice); results stay correct.
+        second = controller.run()
+        assert first.value == second.value
+
+    def test_custom_config_respected(self, counting_program):
+        controller = TraceController(
+            counting_program, TraceCacheConfig(threshold=0.99))
+        assert controller.config.threshold == 0.99
+        assert controller.cache.config.threshold == 0.99
+
+
+class TestStaticsIsolation:
+    def test_statics_reset_between_engines(self):
+        program = compile_source("""
+            class G { static int n; }
+            class Main {
+                static int main() {
+                    G.n = G.n + 1;
+                    return G.n;
+                }
+            }
+        """)
+        # If statics leaked across runs the second result would be 2.
+        assert run_traced(program).value == 1
+        assert run_traced(program).value == 1
+        from repro.jvm import SwitchInterpreter, ThreadedInterpreter
+        assert ThreadedInterpreter(program).run().result == 1
+        switch = SwitchInterpreter(program)
+        switch.run()
+        assert switch.result == 1
+
+
+class TestMaxInstructionForwarding:
+    def test_limit_passed_to_machine(self, counting_program):
+        controller = TraceController(counting_program,
+                                     max_instructions=123_456)
+        result = controller.run()
+        assert result.machine.max_instructions == 123_456
+
+
+class TestConfigVariants:
+    @pytest.mark.parametrize("kwargs", [
+        dict(counter_bits=8),
+        dict(decay_period=16),
+        dict(max_trace_blocks=4),
+        dict(max_walk_nodes=8),
+        dict(max_backtrack_nodes=4),
+        dict(min_trace_blocks=3),
+    ])
+    def test_exotic_configs_preserve_semantics(self, counting_program,
+                                               kwargs):
+        from repro.jvm import ThreadedInterpreter
+        expected = ThreadedInterpreter(counting_program).run().result
+        config = TraceCacheConfig(start_state_delay=4, **kwargs)
+        assert run_traced(counting_program, config).value == expected
+
+    def test_min_trace_blocks_enforced(self, counting_program):
+        config = TraceCacheConfig(start_state_delay=4,
+                                  min_trace_blocks=4)
+        result = run_traced(counting_program, config)
+        for trace in result.cache.traces.values():
+            assert len(trace) >= 4
+
+    def test_max_trace_blocks_enforced(self, counting_program):
+        config = TraceCacheConfig(start_state_delay=4,
+                                  max_trace_blocks=3)
+        result = run_traced(counting_program, config)
+        for trace in result.cache.traces.values():
+            assert len(trace) <= 3

@@ -1,0 +1,65 @@
+"""State classification rules and ordering."""
+
+from __future__ import annotations
+
+from repro.core import BranchState, classify, is_predictable
+
+from .test_bcg import FakeBlock, feed, graph
+
+
+class TestOrdering:
+    def test_descending_degree_of_correlation(self):
+        # Paper: unique > strongly > weakly > newly created.
+        assert BranchState.UNIQUE > BranchState.STRONG \
+            > BranchState.WEAK > BranchState.NEWLY_CREATED
+
+    def test_predictability(self):
+        assert is_predictable(BranchState.UNIQUE)
+        assert is_predictable(BranchState.STRONG)
+        assert not is_predictable(BranchState.WEAK)
+        assert not is_predictable(BranchState.NEWLY_CREATED)
+
+
+class TestClassify:
+    def make_node(self, weights, countdown=0, threshold=0.97):
+        bcg = graph(start_state_delay=1)
+        node = bcg.get_or_create(1, 2, FakeBlock(2))
+        node.countdown = countdown
+        total = 0
+        for z, weight in weights.items():
+            other = bcg.get_or_create(2, z, FakeBlock(z))
+            edge = bcg.record_succession(node, other)
+            edge.weight = weight
+            total += weight
+        node.total = total
+        return node, threshold
+
+    def test_start_state_dominates(self):
+        node, threshold = self.make_node({3: 100}, countdown=5)
+        assert classify(node, threshold) == \
+            (BranchState.NEWLY_CREATED, None)
+
+    def test_unique(self):
+        node, threshold = self.make_node({3: 100})
+        assert classify(node, threshold) == (BranchState.UNIQUE, 3)
+
+    def test_strong(self):
+        node, threshold = self.make_node({3: 98, 4: 2})
+        assert classify(node, threshold) == (BranchState.STRONG, 3)
+
+    def test_weak(self):
+        node, threshold = self.make_node({3: 60, 4: 40})
+        assert classify(node, threshold) == (BranchState.WEAK, 3)
+
+    def test_boundary_exact_threshold_is_strong(self):
+        node, _ = self.make_node({3: 97, 4: 3})
+        assert classify(node, 0.97) == (BranchState.STRONG, 3)
+
+    def test_zero_weight_edges_ignored_for_uniqueness(self):
+        node, threshold = self.make_node({3: 50, 4: 0})
+        assert classify(node, threshold)[0] is BranchState.UNIQUE
+
+    def test_no_edges_newly(self):
+        node, threshold = self.make_node({})
+        assert classify(node, threshold) == \
+            (BranchState.NEWLY_CREATED, None)

@@ -1,0 +1,144 @@
+"""Trace cache: signal handling, dedup, anchoring, invalidation."""
+
+from __future__ import annotations
+
+from repro.core import (BranchState, Profiler, TraceCache,
+                        TraceCacheConfig)
+
+from .test_bcg import FakeBlock
+
+
+def make_system(**kwargs):
+    config = TraceCacheConfig(**kwargs)
+    profiler = Profiler(config)
+    cache = TraceCache(config, profiler)
+    profiler.signal_sink = cache.on_signal
+    return profiler, cache
+
+
+def drive(profiler, stream, repeat=1):
+    blocks = {bid: FakeBlock(bid) for bid in set(stream)}
+    full = stream * repeat
+    for prev, cur in zip(full, full[1:]):
+        profiler.advance(prev, blocks[cur])
+
+
+class TestTraceConstructionViaSignals:
+    def test_loop_trace_built(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=16)
+        drive(profiler, [1, 2, 3], repeat=30)
+        assert len(cache) >= 1
+        keys = set(cache.traces)
+        # the 3-block loop unrolled once: some rotation of 1,2,3 twice
+        assert any(len(k) >= 4 for k in keys)
+
+    def test_trace_anchored_on_entry_node(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=16)
+        drive(profiler, [1, 2, 3], repeat=30)
+        anchored = [n for n in profiler.bcg.nodes.values()
+                    if n.trace is not None]
+        assert anchored
+        for node in anchored:
+            assert node.trace.blocks[0].bid == node.dst
+
+    def test_min_trace_blocks_respected(self):
+        profiler, cache = make_system(start_state_delay=2)
+        drive(profiler, [1, 2, 3], repeat=20)
+        assert all(len(t) >= 2 for t in cache.traces.values())
+
+    def test_dedup_links_existing(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=8)
+        drive(profiler, [1, 2, 3], repeat=60)
+        # Rebuilding the same region must reuse the hash-table entry.
+        assert cache.stats.traces_linked >= 1 or \
+            cache.stats.traces_constructed == len(cache.traces)
+
+    def test_traces_per_signal_recorded(self):
+        profiler, cache = make_system(start_state_delay=4)
+        drive(profiler, [1, 2, 3], repeat=30)
+        assert len(cache.stats.traces_per_signal) == \
+            cache.stats.signals_handled
+
+    def test_expected_completion_stored(self):
+        profiler, cache = make_system(start_state_delay=4)
+        drive(profiler, [1, 2, 3], repeat=30)
+        for trace in cache.traces.values():
+            assert 0.0 <= trace.expected_completion <= 1.0
+
+
+class TestCascadePrevention:
+    def test_reconstruction_refreshes_summaries(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=16)
+        drive(profiler, [1, 2, 3], repeat=40)
+        # after stabilization every examined node's cached summary
+        # matches a fresh classification
+        for node in profiler.bcg.nodes.values():
+            if node.trace is not None:
+                assert node.summary == profiler.bcg.classify(node)
+
+    def test_signals_stop_when_behaviour_stable(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=16)
+        drive(profiler, [1, 2, 3], repeat=50)
+        before = cache.stats.signals_handled
+        drive(profiler, [1, 2, 3], repeat=200)
+        # a long stable phase may add at most a couple of signals
+        assert cache.stats.signals_handled - before <= 2
+
+
+class TestInvalidation:
+    def test_phase_change_invalidates(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=8, threshold=0.9)
+        drive(profiler, [1, 2, 3], repeat=60)
+        assert len(cache) >= 1
+        # behaviour changes: 2 now goes to 4
+        drive(profiler, [1, 2, 4], repeat=80)
+        assert cache.stats.traces_invalidated >= 1
+
+    def test_new_trace_after_phase_change(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=8, threshold=0.9)
+        drive(profiler, [1, 2, 3], repeat=60)
+        drive(profiler, [1, 2, 4], repeat=120)
+        new_keys = [k for k in cache.traces if 4 in k]
+        assert new_keys
+
+    def test_node_index_cleaned(self):
+        profiler, cache = make_system(start_state_delay=4,
+                                      decay_period=8, threshold=0.9)
+        drive(profiler, [1, 2, 3], repeat=60)
+        node = profiler.bcg.find(2, 3)
+        if node is not None and node.key in cache.node_to_anchors:
+            cache._invalidate_through(node)
+            assert node.key not in cache.node_to_anchors
+
+
+class TestIntrospection:
+    def test_hottest_sorted(self):
+        profiler, cache = make_system(start_state_delay=4)
+        drive(profiler, [1, 2, 3], repeat=40)
+        for trace, count in zip(cache.traces.values(), range(5)):
+            trace.entries = count
+        hottest = cache.hottest(3)
+        entries = [t.entries for t in hottest]
+        assert entries == sorted(entries, reverse=True)
+
+    def test_static_average_length(self):
+        profiler, cache = make_system(start_state_delay=4)
+        drive(profiler, [1, 2, 3], repeat=40)
+        if cache.traces:
+            avg = cache.static_average_length()
+            assert avg >= 2.0
+        else:
+            assert cache.static_average_length() == 0.0
+
+    def test_anchored_traces_counts(self):
+        profiler, cache = make_system(start_state_delay=4)
+        drive(profiler, [1, 2, 3], repeat=40)
+        assert cache.anchored_traces() == sum(
+            1 for n in profiler.bcg.nodes.values() if n.trace)

@@ -1,0 +1,91 @@
+"""Harness: experiments, sweeps, overhead measurement (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (ExperimentMatrix, make_selector,
+                           measure_profiler_overhead, run_baseline,
+                           run_dispatch_models, run_experiment)
+
+
+class TestRunExperiment:
+    def test_basic(self):
+        result = run_experiment("compressx", "tiny")
+        assert result.workload == "compressx"
+        assert result.stats.instr_total > 0
+        assert result.stats.runtime_seconds > 0
+        assert result.config.threshold == 0.97
+
+    def test_parameters_forwarded(self):
+        result = run_experiment("compressx", "tiny", threshold=0.99,
+                                start_state_delay=1)
+        assert result.config.threshold == 0.99
+        assert result.config.start_state_delay == 1
+
+    def test_config_overrides(self):
+        result = run_experiment("compressx", "tiny", decay_period=64)
+        assert result.config.decay_period == 64
+
+
+class TestBaselineRunner:
+    @pytest.mark.parametrize("scheme", ["dynamo", "replay", "whaley"])
+    def test_scheme_runs(self, scheme):
+        stats, info = run_baseline("compressx", scheme, "tiny")
+        assert stats.instr_total > 0
+        assert info["scheme"] == scheme
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            make_selector("nonesuch")
+
+    def test_selector_kwargs(self):
+        stats, info = run_baseline("compressx", "dynamo", "tiny",
+                                   hot_threshold=5)
+        assert info["hot_threshold"] == 5
+
+
+class TestDispatchModels:
+    def test_ordering(self):
+        model = run_dispatch_models("compressx", "tiny")
+        assert model.instruction_dispatches == model.instructions
+        assert model.block_dispatches < model.instruction_dispatches
+        assert model.trace_model_dispatches < model.block_dispatches
+
+
+class TestOverheadMeasurement:
+    def test_sample_fields(self):
+        sample = measure_profiler_overhead("compressx", "tiny",
+                                           repeats=1)
+        assert sample.benchmark == "compressx"
+        assert sample.base_seconds > 0
+        assert sample.profiled_seconds > 0
+        assert sample.dispatches > 0
+
+    def test_profiled_slower_than_base(self):
+        sample = measure_profiler_overhead("scimarkx", "tiny",
+                                           repeats=2)
+        # Profiling adds real work; allow timing noise but expect cost.
+        assert sample.profiled_seconds >= sample.base_seconds * 0.95
+
+
+class TestMatrix:
+    def test_caches_runs(self):
+        matrix = ExperimentMatrix("tiny", workloads=("compressx",))
+        first = matrix.get("compressx")
+        second = matrix.get("compressx")
+        assert first is second
+
+    def test_different_params_different_runs(self):
+        matrix = ExperimentMatrix("tiny", workloads=("compressx",))
+        a = matrix.get("compressx", 0.97)
+        b = matrix.get("compressx", 0.99)
+        assert a is not b
+
+    def test_sweeps(self):
+        matrix = ExperimentMatrix("tiny", workloads=("compressx",))
+        swept = matrix.sweep_thresholds((0.99, 0.97))
+        assert set(swept) == {0.99, 0.97}
+        assert "compressx" in swept[0.97]
+        delays = matrix.sweep_delays((1, 64))
+        assert set(delays) == {1, 64}

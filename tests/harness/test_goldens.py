@@ -1,0 +1,41 @@
+"""Golden regression: workload semantics are pinned exactly."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.goldens import (collect, compare, load_goldens,
+                                   write_goldens)
+
+GOLDEN_PATH = Path(__file__).parent.parent / "goldens" / "workloads.json"
+
+
+class TestGoldens:
+    def test_golden_file_exists(self):
+        assert GOLDEN_PATH.exists(), (
+            "regenerate with: python -m repro.harness.goldens "
+            "tests/goldens/workloads.json")
+
+    def test_workloads_match_goldens(self):
+        expected = load_goldens(GOLDEN_PATH)
+        actual = collect(sizes=("tiny",))
+        problems = compare(expected, actual)
+        assert problems == [], "\n".join(problems)
+
+    def test_compare_detects_result_drift(self):
+        expected = {"x": {"tiny": {"result": 1}}}
+        actual = {"x": {"tiny": {"result": 2}}}
+        problems = compare(expected, actual)
+        assert len(problems) == 1
+        assert "expected 1, got 2" in problems[0]
+
+    def test_compare_detects_missing(self):
+        problems = compare({"x": {"tiny": {"result": 1}}}, {})
+        assert "missing" in problems[0]
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "g.json"
+        written = write_goldens(path, sizes=("tiny",))
+        assert load_goldens(path) == written

@@ -1,0 +1,37 @@
+"""Full-report generation (at tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import _SECTIONS, build_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report("tiny", repeats=1)
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for _key, heading in _SECTIONS:
+            assert f"## {heading}" in report
+
+    def test_paper_references_included(self, report):
+        assert "Paper Table I (reference)" in report
+        assert "Paper Table II (reference)" in report
+        assert "Paper Table IV (reference)" in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = [l for l in report.splitlines() if l.startswith("|")]
+        assert lines
+        # every table line has matching cell separators within a table
+        assert all(l.count("|") >= 3 for l in lines)
+
+    def test_mentions_size_and_version(self, report):
+        assert "`tiny`" in report
+        assert "repro v" in report
+
+    def test_workloads_appear(self, report):
+        for name in ("compressx", "scimarkx"):
+            assert name in report

@@ -1,0 +1,106 @@
+"""Table regeneration (at tiny scale) and paper-data integrity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (NAME_MAP, PAPER_BENCHMARKS, PAPER_TABLE1,
+                           PAPER_TABLE2, PAPER_TABLE4, PAPER_TABLE6,
+                           PAPER_TABLE7, THRESHOLDS, ExperimentMatrix,
+                           figures_dispatch_models, paper_table, table1,
+                           table2, table3, table4, table5)
+from repro.workloads import WORKLOAD_NAMES
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return ExperimentMatrix("tiny", workloads=("compressx", "scimarkx"))
+
+
+class TestSweepTables:
+    def test_table1_shape(self, matrix):
+        table = table1(matrix, thresholds=(0.99, 0.97))
+        assert len(table.rows) == 2
+        assert table.headers[0] == "threshold"
+        assert table.headers[-1] == "average"
+        assert table.rows[0][0] == "99%"
+
+    def test_table2_values_are_fractions(self, matrix):
+        table = table2(matrix, thresholds=(0.97,))
+        for value in table.rows[0][1:]:
+            assert 0.0 <= value <= 1.0
+
+    def test_table3_completion_high(self, matrix):
+        table = table3(matrix, thresholds=(0.97,))
+        for value in table.rows[0][1:]:
+            assert value > 0.7
+
+    def test_table4_positive(self, matrix):
+        table = table4(matrix, thresholds=(0.97,))
+        for value in table.rows[0][1:]:
+            assert value > 0
+
+    def test_table5_delay_rows(self, matrix):
+        table = table5(matrix, delays=(1, 64))
+        assert [row[0] for row in table.rows] == ["1", "64"]
+
+    def test_average_column_is_mean(self, matrix):
+        table = table1(matrix, thresholds=(0.97,))
+        row = table.rows[0]
+        values = row[1:-1]
+        assert abs(row[-1] - sum(values) / len(values)) < 1e-9
+
+    def test_render_smoke(self, matrix):
+        text = table1(matrix, thresholds=(0.97,)).render()
+        assert "Table I" in text
+
+
+class TestFigures:
+    def test_dispatch_model_table(self):
+        table = figures_dispatch_models("tiny", workloads=("compressx",))
+        row = table.rows[0]
+        by_header = dict(zip(table.headers, row))
+        assert by_header["per-instruction (Fig.1)"] \
+            == by_header["instructions"]
+        assert by_header["per-block (Fig.2)"] \
+            < by_header["per-instruction (Fig.1)"]
+        assert by_header["per-trace (this paper)"] \
+            < by_header["per-block (Fig.2)"]
+
+
+class TestPaperData:
+    def test_benchmarks_cover_workloads(self):
+        assert set(NAME_MAP) == set(WORKLOAD_NAMES)
+        assert set(NAME_MAP.values()) == set(PAPER_BENCHMARKS)
+
+    def test_thresholds_match_paper_sweep(self):
+        assert THRESHOLDS == (1.0, 0.99, 0.98, 0.97, 0.95)
+        for data in (PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE4):
+            assert set(data) == set(THRESHOLDS)
+
+    def test_paper_rows_complete(self):
+        for data in (PAPER_TABLE1, PAPER_TABLE2, PAPER_TABLE4):
+            for row in data.values():
+                assert set(PAPER_BENCHMARKS) <= set(row)
+
+    def test_paper_table2_97_average(self):
+        # the headline number: 87.1% coverage at 97%
+        assert PAPER_TABLE2[0.97]["average"] == 0.871
+
+    def test_paper_table1_ordering(self):
+        row = PAPER_TABLE1[0.97]
+        assert row["compress"] > row["scimark"] > row["raytrace"] \
+            > row["javac"]
+
+    def test_paper_table6_overhead_band(self):
+        for _base, _disp, _prof, per_million in PAPER_TABLE6.values():
+            assert 0.018 <= per_million <= 0.075
+
+    def test_paper_table7_overhead_band(self):
+        for _d, _o, _e, percent in PAPER_TABLE7.values():
+            assert percent < 0.07
+
+    def test_paper_table_renderable(self):
+        text = paper_table("Paper Table I", PAPER_TABLE1).render()
+        assert "compress" in text
+        assert "-" in text   # the None cells

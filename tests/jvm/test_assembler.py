@@ -1,0 +1,121 @@
+"""Label-based assembler: resolution, errors, regions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import Assembler, AssemblerError, Op
+
+
+class TestEmission:
+    def test_emit_returns_instruction(self, asm):
+        instr = asm.emit(Op.ICONST, 7)
+        assert instr.op is Op.ICONST
+        assert instr.a == 7
+
+    def test_here_tracks_position(self, asm):
+        assert asm.here == 0
+        asm.emit(Op.NOP)
+        asm.emit(Op.NOP)
+        assert asm.here == 2
+
+    def test_branch_rejects_non_branch_op(self, asm):
+        label = asm.new_label()
+        with pytest.raises(AssemblerError):
+            asm.branch(Op.IADD, label)
+
+    def test_goto_is_a_branch(self, asm):
+        label = asm.new_label()
+        asm.branch(Op.GOTO, label)
+        asm.bind(label)
+        asm.emit(Op.RETURN)
+        code = asm.finish()
+        assert code[0].a == 1
+
+
+class TestLabels:
+    def test_forward_reference_resolved(self, asm):
+        target = asm.new_label("t")
+        asm.branch(Op.GOTO, target)
+        asm.emit(Op.NOP)
+        asm.bind(target)
+        asm.emit(Op.RETURN)
+        code = asm.finish()
+        assert code[0].a == 2
+
+    def test_backward_reference_resolved(self, asm):
+        top = asm.new_label()
+        asm.bind(top)
+        asm.emit(Op.NOP)
+        asm.branch(Op.GOTO, top)
+        code = asm.finish()
+        assert code[1].a == 0
+
+    def test_unbound_label_raises(self, asm):
+        dangling = asm.new_label("dangling")
+        asm.branch(Op.GOTO, dangling)
+        with pytest.raises(AssemblerError, match="dangling"):
+            asm.finish()
+
+    def test_double_bind_raises(self, asm):
+        label = asm.new_label()
+        asm.bind(label)
+        with pytest.raises(AssemblerError):
+            asm.bind(label)
+
+    def test_auto_names_unique(self, asm):
+        names = {asm.new_label().name for _ in range(10)}
+        assert len(names) == 10
+
+
+class TestTableswitch:
+    def test_targets_resolved(self, asm):
+        cases = [asm.new_label(f"c{i}") for i in range(3)]
+        default = asm.new_label("d")
+        asm.emit(Op.ICONST, 1)
+        asm.tableswitch(0, cases, default)
+        for label in cases:
+            asm.bind(label)
+            asm.emit(Op.NOP)
+        asm.bind(default)
+        asm.emit(Op.RETURN)
+        code = asm.finish()
+        switch = code[1]
+        assert switch.a == (0, 5)
+        assert switch.b == (2, 3, 4)
+
+
+class TestExceptionRegions:
+    def test_region_resolution(self, asm):
+        handler = asm.new_label("h")
+        region = asm.begin_try(handler, "Exception")
+        asm.emit(Op.NOP)
+        asm.emit(Op.NOP)
+        asm.end_try(region)
+        asm.emit(Op.RETURN)
+        asm.bind(handler)
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        asm.finish()
+        entries = asm.exception_table()
+        assert len(entries) == 1
+        assert (entries[0].start, entries[0].end) == (0, 2)
+        assert entries[0].handler == 3
+        assert entries[0].class_name == "Exception"
+
+    def test_unterminated_region_raises(self, asm):
+        handler = asm.new_label()
+        asm.begin_try(handler)
+        asm.emit(Op.RETURN)
+        asm.bind(handler)
+        asm.emit(Op.RETURN)
+        asm.finish()
+        with pytest.raises(AssemblerError):
+            asm.exception_table()
+
+    def test_double_end_raises(self, asm):
+        handler = asm.new_label()
+        region = asm.begin_try(handler)
+        asm.end_try(region)
+        with pytest.raises(AssemblerError):
+            asm.end_try(region)

@@ -1,0 +1,169 @@
+"""Basic-block discovery: leaders, splits, kinds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Assembler, ClassDef, MethodDef, Op, VerifyError,
+                       find_leaders, split_blocks, link)
+from repro.jvm.basicblock import (KIND_COND, KIND_FALL, KIND_GOTO,
+                                  KIND_INVOKE, KIND_RETURN, KIND_SWITCH,
+                                  KIND_THROW)
+from repro.jvm.classfile import ExceptionEntry
+
+
+def method_with(code, exceptions=()):
+    return MethodDef(name="m", code=list(code),
+                     exceptions=list(exceptions), is_static=True)
+
+
+def simple_loop_code():
+    asm = Assembler()
+    loop = asm.new_label()
+    done = asm.new_label()
+    asm.emit(Op.ICONST, 0)            # 0
+    asm.emit(Op.ISTORE, 0)            # 1
+    asm.bind(loop)                    # 2
+    asm.emit(Op.ILOAD, 0)             # 2
+    asm.emit(Op.ICONST, 10)           # 3
+    asm.branch(Op.IF_ICMPGE, done)    # 4
+    asm.emit(Op.IINC, 0, 1)           # 5
+    asm.branch(Op.GOTO, loop)         # 6
+    asm.bind(done)                    # 7
+    asm.emit(Op.RETURN)               # 7
+    return asm.finish()
+
+
+class TestLeaders:
+    def test_loop_leaders(self):
+        leaders = find_leaders(method_with(simple_loop_code()))
+        assert leaders == [0, 2, 5, 7]
+
+    def test_empty_method_raises(self):
+        with pytest.raises(VerifyError):
+            find_leaders(method_with([]))
+
+    def test_out_of_range_target_raises(self):
+        from repro.jvm.bytecode import Instruction
+        code = [Instruction(Op.GOTO, 99)]
+        with pytest.raises(VerifyError):
+            find_leaders(method_with(code))
+
+    def test_handler_is_leader(self):
+        code = simple_loop_code()
+        entry = ExceptionEntry(start=0, end=2, handler=5)
+        leaders = find_leaders(method_with(code, [entry]))
+        assert 5 in leaders
+
+    def test_invoke_splits_block(self):
+        from repro.jvm.bytecode import Instruction
+        code = [Instruction(Op.INVOKESTATIC, ("Main", "m"), 0),
+                Instruction(Op.RETURN)]
+        leaders = find_leaders(method_with(code))
+        assert leaders == [0, 1]
+
+
+class TestSplitBlocks:
+    def test_kinds(self):
+        blocks = split_blocks(method_with(simple_loop_code()))
+        assert [b.kind for b in blocks] == \
+            [KIND_FALL, KIND_COND, KIND_GOTO, KIND_RETURN]
+
+    def test_ranges_cover_code(self):
+        code = simple_loop_code()
+        blocks = split_blocks(method_with(code))
+        assert blocks[0].start == 0
+        assert blocks[-1].end == len(code)
+        for first, second in zip(blocks, blocks[1:]):
+            assert first.end == second.start
+
+    def test_fall_off_end_raises(self):
+        from repro.jvm.bytecode import Instruction
+        code = [Instruction(Op.ICONST, 1), Instruction(Op.POP)]
+        with pytest.raises(VerifyError, match="fall off"):
+            split_blocks(method_with(code))
+
+    def test_conditional_as_last_instruction_raises(self):
+        from repro.jvm.bytecode import Instruction
+        code = [Instruction(Op.ICONST, 0), Instruction(Op.IFEQ, 0)]
+        with pytest.raises(VerifyError):
+            split_blocks(method_with(code))
+
+    def test_lengths(self):
+        blocks = split_blocks(method_with(simple_loop_code()))
+        assert [b.length for b in blocks] == [2, 3, 2, 1]
+
+
+class TestWiredBlocks:
+    """Successor wiring happens at link time."""
+
+    def link_main(self, code, exceptions=()):
+        main = MethodDef(name="main", return_type="void", is_static=True,
+                         code=code, exceptions=list(exceptions))
+        program = link([ClassDef(name="Main", methods=[main])])
+        return program.method("Main.main")
+
+    def test_cond_successors(self):
+        method = self.link_main(simple_loop_code())
+        cond = method.blocks[1]
+        assert cond.kind == KIND_COND
+        assert cond.succ_target is method.blocks[3]
+        assert cond.succ_fall is method.blocks[2]
+
+    def test_goto_successor(self):
+        method = self.link_main(simple_loop_code())
+        goto = method.blocks[2]
+        assert goto.succ_target is method.blocks[1]
+
+    def test_global_block_ids_unique(self):
+        method = self.link_main(simple_loop_code())
+        bids = [b.bid for b in method.blocks]
+        assert len(set(bids)) == len(bids)
+
+    def test_static_successors(self):
+        method = self.link_main(simple_loop_code())
+        entry = method.blocks[0]
+        assert method.blocks[1] in entry.static_successors()
+        ret = method.blocks[3]
+        assert ret.static_successors() == []
+
+    def test_switch_wiring(self):
+        asm = Assembler()
+        cases = [asm.new_label() for _ in range(2)]
+        default = asm.new_label()
+        asm.emit(Op.ICONST, 0)
+        asm.tableswitch(5, cases, default)
+        for label in cases:
+            asm.bind(label)
+            asm.emit(Op.RETURN)
+        asm.bind(default)
+        asm.emit(Op.RETURN)
+        method = self.link_main(asm.finish())
+        switch = method.blocks[0]
+        assert switch.kind == KIND_SWITCH
+        assert len(switch.switch_blocks) == 2
+        assert switch.switch_default is method.blocks[3]
+
+    def test_invoke_continuation(self):
+        asm = Assembler()
+        asm.emit(Op.INVOKESTATIC, ("Main", "helper"), None)
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", return_type="void", is_static=True,
+                         code=asm.finish())
+        helper = MethodDef(name="helper", return_type="void",
+                           is_static=True,
+                           code=[__import__("repro.jvm.bytecode",
+                                            fromlist=["Instruction"])
+                                 .Instruction(Op.RETURN)])
+        program = link([ClassDef(name="Main", methods=[main, helper])])
+        method = program.method("Main.main")
+        invoke = method.blocks[0]
+        assert invoke.kind == KIND_INVOKE
+        assert invoke.continuation is method.blocks[1]
+
+    def test_throw_kind(self):
+        asm = Assembler()
+        asm.emit(Op.NEW, "Throwable")
+        asm.emit(Op.ATHROW)
+        method = self.link_main(asm.finish())
+        assert method.blocks[-1].kind == KIND_THROW

@@ -1,0 +1,219 @@
+"""Java-semantics conformance through the whole pipeline.
+
+Each case states a fact about Java's arithmetic model and checks the
+compiled program reproduces it on both interpreters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import int_main, run_main
+
+
+class TestIntegerModel:
+    def test_int_max_plus_one(self):
+        assert run_main(int_main(
+            "int x = 2147483647; return x + 1;")) == -2147483648
+
+    def test_int_min_minus_one(self):
+        # -2147483647 - 2 wraps to 2147483647; adding 2147483647 wraps
+        # again: (2^31-1)*2 mod 2^32 = -2.
+        assert run_main(int_main(
+            "int x = -2147483647; x -= 2; return x + 2147483647;")) \
+            == -2
+
+    def test_multiply_overflow(self):
+        # 65536 * 65536 == 2^32 wraps to 0
+        assert run_main(int_main(
+            "int x = 65536; return x * x;")) == 0
+
+    def test_int_min_negation_is_itself(self):
+        assert run_main(int_main(
+            "int x = -2147483648; return -x;")) == -2147483648
+
+    def test_int_min_div_minus_one(self):
+        assert run_main(int_main(
+            "int x = -2147483648; return x / -1;")) == -2147483648
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3)])
+    def test_division_truncates(self, a, b, expected):
+        assert run_main(int_main(
+            f"int a = {a}; int b = {b}; return a / b;")) == expected
+
+    @pytest.mark.parametrize("a,b,expected", [
+        (7, 3, 1), (-7, 3, -1), (7, -3, 1), (-7, -3, -1)])
+    def test_remainder_sign(self, a, b, expected):
+        assert run_main(int_main(
+            f"int a = {a}; int b = {b}; return a % b;")) == expected
+
+    def test_shift_distance_masked_to_five_bits(self):
+        assert run_main(int_main(
+            "int x = 1; int s = 33; return x << s;")) == 2
+
+    def test_arithmetic_vs_logical_right_shift(self):
+        assert run_main(int_main(
+            "int x = -16; return (x >> 2) * 1000 + ((x >>> 28) & 511);"
+        )) == -4 * 1000 + 15
+
+    def test_hash_multiplier_wraps_consistently(self):
+        # the classic Knuth multiplier exceeds int range as a literal
+        assert run_main(int_main(
+            "int h = 2654435761 * 3; return h & 65535;")) == \
+            (((2654435761 * 3) & 0xFFFFFFFF) & 65535)
+
+
+class TestFloatModel:
+    def test_division_by_zero_gives_infinity(self):
+        assert run_main(int_main(
+            "float one = 1.0; float zero = 0.0;"
+            "float inf = one / zero;"
+            "if (inf > 3.4e38) { return 1; } return 0;")) == 1
+
+    def test_negative_infinity(self):
+        assert run_main(int_main(
+            "float z = 0.0; float ninf = -1.0 / z;"
+            "if (ninf < -3.4e38) { return 1; } return 0;")) == 1
+
+    def test_zero_over_zero_is_nan(self):
+        assert run_main(int_main(
+            "float z = 0.0; float nan = z / z;"
+            "if (nan == nan) { return 0; } return 1;")) == 1
+
+    def test_nan_poisons_comparisons_but_not_ne(self):
+        assert run_main(int_main(
+            "float z = 0.0; float nan = z / z; int r = 0;"
+            "if (nan < 0.0)  { r += 1; }"
+            "if (nan > 0.0)  { r += 2; }"
+            "if (nan <= 0.0) { r += 4; }"
+            "if (nan >= 0.0) { r += 8; }"
+            "if (nan != 0.0) { r += 16; }"
+            "return r;")) == 16
+
+    def test_f2i_truncation_and_saturation(self):
+        assert run_main(int_main(
+            "float big = 1.0e30; float small = -1.0e30;"
+            "int r = 0;"
+            "if ((int) big == 2147483647) { r += 1; }"
+            "if ((int) small == -2147483648) { r += 2; }"
+            "if ((int) 2.99 == 2) { r += 4; }"
+            "if ((int) -2.99 == -2) { r += 8; }"
+            "return r;")) == 15
+
+    def test_nan_to_int_is_zero(self):
+        assert run_main(int_main(
+            "float z = 0.0; float nan = z / z;"
+            "return (int) nan;")) == 0
+
+    def test_int_widening_exact_for_small_values(self):
+        assert run_main(int_main(
+            "int i = 123456; float f = i;"
+            "if ((int) f == 123456) { return 1; } return 0;")) == 1
+
+
+class TestControlModel:
+    def test_switch_on_negative_value(self):
+        # (The conservative exit analysis does not reason about
+        # switches, so a trailing return is required.)
+        assert run_main(int_main(
+            "int x = -3; switch (x) {"
+            " case -3: return 1;"
+            " case 0: return 2;"
+            " default: return 3; }"
+            " return 0;")) == 1
+
+    def test_switch_value_below_table_range(self):
+        assert run_main(int_main(
+            "int x = -100; int r = 0; switch (x) {"
+            " case 1: r = 1; break;"
+            " case 2: r = 2; break;"
+            " case 3: r = 3; break;"
+            " default: r = 9; }"
+            "return r;")) == 9
+
+    def test_deep_fallthrough_chain(self):
+        assert run_main(int_main(
+            "int r = 0; switch (1) {"
+            " case 0: r += 1;"
+            " case 1: r += 2;"
+            " case 2: r += 4;"
+            " case 3: r += 8; break;"
+            " case 4: r += 16; }"
+            "return r;")) == 14
+
+    def test_break_in_do_while(self):
+        assert run_main(int_main(
+            "int i = 0; do { i++; if (i == 4) { break; } } "
+            "while (true); return i;")) == 4
+
+    def test_condition_side_effects_each_iteration(self):
+        assert run_main("""
+            class Main {
+                static int checks;
+                static boolean below(int i, int bound) {
+                    checks++;
+                    return i < bound;
+                }
+                static int main() {
+                    int i = 0;
+                    while (below(i, 5)) { i++; }
+                    return checks;   // 6: five true + one false
+                }
+            }
+        """) == 6
+
+
+class TestReferenceModel:
+    def test_null_comparisons(self):
+        assert run_main(int_main(
+            "Object o = null; int r = 0;"
+            "if (o == null) { r += 1; }"
+            "if (null == o) { r += 2; }"
+            "Object p = new Object();"
+            "if (p != null) { r += 4; }"
+            "return r;")) == 7
+
+    def test_reference_identity_not_structure(self):
+        assert run_main("""
+            class P { int x; }
+            class Main {
+                static int main() {
+                    P a = new P();
+                    P b = new P();
+                    a.x = 5;
+                    b.x = 5;
+                    if (a == b) { return 1; }
+                    return 0;
+                }
+            }
+        """) == 0
+
+    def test_field_default_before_ctor_body(self):
+        assert run_main("""
+            class P {
+                int x;
+                int before;
+                P() { before = x; x = 9; }
+            }
+            class Main {
+                static int main() {
+                    P p = new P();
+                    return p.before * 10 + p.x;
+                }
+            }
+        """) == 9
+
+    def test_array_covariance_of_refs(self):
+        assert run_main("""
+            class A { int f() { return 1; } }
+            class B extends A { int f() { return 2; } }
+            class Main {
+                static int main() {
+                    A[] arr = new A[2];
+                    arr[0] = new B();
+                    arr[1] = new A();
+                    return arr[0].f() * 10 + arr[1].f();
+                }
+            }
+        """) == 21

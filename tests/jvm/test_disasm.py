@@ -1,0 +1,60 @@
+"""Disassembler output sanity."""
+
+from __future__ import annotations
+
+from repro.jvm import (disassemble_method, disassemble_program,
+                       program_summary)
+from repro.lang import compile_source
+
+SOURCE = """
+    class Helper {
+        static int twice(int x) { return x + x; }
+    }
+    class Main {
+        static int main() {
+            int total = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                total = total + Helper.twice(i);
+            }
+            try { if (total > 1000) { throw new Exception(); } }
+            catch (Exception e) { total = 0; }
+            return total;
+        }
+    }
+"""
+
+
+class TestDisassembly:
+    def test_method_lists_all_instructions(self):
+        program = compile_source(SOURCE)
+        method = program.method("Main.main")
+        text = disassemble_method(method)
+        assert text.count("\n") >= len(method.code)
+        assert "Main.main" in text
+
+    def test_block_markers_present(self):
+        program = compile_source(SOURCE)
+        text = disassemble_method(program.method("Main.main"))
+        assert "; block #" in text
+
+    def test_exception_table_shown(self):
+        program = compile_source(SOURCE)
+        text = disassemble_method(program.method("Main.main"))
+        assert "catch Exception" in text
+
+    def test_resolved_operands_named(self):
+        program = compile_source(SOURCE)
+        text = disassemble_method(program.method("Main.main"))
+        assert "Helper.twice" in text
+
+    def test_program_covers_all_classes(self):
+        program = compile_source(SOURCE)
+        text = disassemble_program(program)
+        assert "class Main" in text
+        assert "class Helper" in text
+
+    def test_summary(self):
+        program = compile_source(SOURCE)
+        text = program_summary(program)
+        assert "classes" in text
+        assert "Main.main" in text

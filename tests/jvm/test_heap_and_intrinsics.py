@@ -1,0 +1,112 @@
+"""Heap objects, arrays, and native methods."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (ClassDef, MethodDef, NATIVES, Op, VMRuntimeError,
+                       link)
+from repro.jvm.bytecode import Instruction
+from repro.jvm.heap import ArrayRef, ObjRef
+from repro.jvm.intrinsics import lookup_native
+from repro.lang.sema import NATIVE_SIGNATURES
+
+
+def linked_class(fields=()):
+    from repro.jvm.classfile import FieldDef
+    cls = ClassDef(name="Thing",
+                   fields=[FieldDef(n, t) for n, t in fields],
+                   methods=[])
+    main = MethodDef(name="main", is_static=True,
+                     code=[Instruction(Op.RETURN)])
+    program = link([cls, ClassDef(name="Main", methods=[main])])
+    return program.classes["Thing"]
+
+
+class TestObjRef:
+    def test_defaults_by_type(self):
+        cls = linked_class([("i", "int"), ("f", "float"), ("r", "Object")])
+        obj = ObjRef(cls)
+        assert obj.get_field("i") == 0
+        assert obj.get_field("f") == 0.0
+        assert obj.get_field("r") is None
+
+    def test_put_get(self):
+        cls = linked_class([("i", "int")])
+        obj = ObjRef(cls)
+        obj.put_field("i", 9)
+        assert obj.get_field("i") == 9
+
+    def test_unknown_field_raises(self):
+        cls = linked_class([("i", "int")])
+        obj = ObjRef(cls)
+        with pytest.raises(VMRuntimeError):
+            obj.get_field("zzz")
+        with pytest.raises(VMRuntimeError):
+            obj.put_field("zzz", 1)
+
+    def test_instances_do_not_share_fields(self):
+        cls = linked_class([("i", "int")])
+        a, b = ObjRef(cls), ObjRef(cls)
+        a.put_field("i", 5)
+        assert b.get_field("i") == 0
+
+
+class TestArrayRef:
+    def test_int_defaults(self):
+        arr = ArrayRef("int", 4)
+        assert arr.data == [0, 0, 0, 0]
+        assert len(arr) == 4
+
+    def test_float_defaults(self):
+        assert ArrayRef("float", 2).data == [0.0, 0.0]
+
+    def test_ref_defaults(self):
+        assert ArrayRef("Object", 2).data == [None, None]
+
+    def test_negative_length(self):
+        with pytest.raises(VMRuntimeError):
+            ArrayRef("int", -1)
+
+    def test_check_index(self):
+        arr = ArrayRef("int", 3)
+        assert arr.check_index(2) == 2
+        with pytest.raises(VMRuntimeError):
+            arr.check_index(3)
+        with pytest.raises(VMRuntimeError):
+            arr.check_index(-1)
+
+
+class TestNativeTable:
+    def test_sema_signatures_match_native_table(self):
+        # every native the type checker admits must exist, with the
+        # same arity and value-ness
+        for name, (params, ret) in NATIVE_SIGNATURES.items():
+            native = NATIVES[name]
+            assert native.argc == len(params), name
+            assert native.returns_value == (ret != "void"), name
+
+    def test_every_native_has_signature(self):
+        assert set(NATIVES) == set(NATIVE_SIGNATURES)
+
+    def test_lookup_unknown(self):
+        with pytest.raises(VMRuntimeError):
+            lookup_native("frobnicate")
+
+    def test_ticks_deterministic(self):
+        class FakeMachine:
+            instr_count = 1234
+            output = []
+        assert NATIVES["ticks"].fn(FakeMachine(), []) == 1234
+
+    def test_fsqrt_negative_is_nan(self):
+        class M:
+            output = []
+        result = NATIVES["fsqrt"].fn(M(), [-1.0])
+        assert result != result
+
+    def test_flog_nonpositive_raises(self):
+        class M:
+            output = []
+        with pytest.raises(VMRuntimeError):
+            NATIVES["flog"].fn(M(), [0.0])

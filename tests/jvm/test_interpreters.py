@@ -1,0 +1,372 @@
+"""Instruction semantics on both interpreters (differentially)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Op, StepLimitExceeded, SwitchInterpreter,
+                       ThreadedInterpreter, UncaughtVMException,
+                       VMRuntimeError)
+from tests.conftest import assemble_main, int_main, run_both, run_main
+
+
+def eval_int_expr(build):
+    """Assemble `build` + IRETURN, run both interpreters, return value."""
+    def wrapped(asm):
+        build(asm)
+        asm.emit(Op.IRETURN)
+    return run_both(assemble_main(wrapped))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("op,a,b,expected", [
+        (Op.IADD, 3, 4, 7),
+        (Op.ISUB, 3, 4, -1),
+        (Op.IMUL, -3, 4, -12),
+        (Op.IDIV, -7, 2, -3),
+        (Op.IREM, -7, 2, -1),
+        (Op.IAND, 12, 10, 8),
+        (Op.IOR, 12, 10, 14),
+        (Op.IXOR, 12, 10, 6),
+        (Op.ISHL, 1, 4, 16),
+        (Op.ISHR, -16, 2, -4),
+        (Op.IUSHR, -1, 28, 15),
+    ])
+    def test_binary_int(self, op, a, b, expected):
+        def build(asm):
+            asm.emit(Op.ICONST, a)
+            asm.emit(Op.ICONST, b)
+            asm.emit(op)
+        assert eval_int_expr(build) == expected
+
+    def test_overflow_wraps(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 2147483647)
+            asm.emit(Op.ICONST, 1)
+            asm.emit(Op.IADD)
+        assert eval_int_expr(build) == -2147483648
+
+    def test_ineg(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 5)
+            asm.emit(Op.INEG)
+        assert eval_int_expr(build) == -5
+
+    def test_div_by_zero_is_fatal(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 1)
+            asm.emit(Op.ICONST, 0)
+            asm.emit(Op.IDIV)
+            asm.emit(Op.IRETURN)
+        program = assemble_main(build)
+        with pytest.raises(ZeroDivisionError):
+            ThreadedInterpreter(program).run()
+
+
+class TestFloats:
+    def test_float_pipeline(self):
+        assert run_main("""
+            class Main {
+                static int main() {
+                    float a = 1.5;
+                    float b = a * 4.0 - 1.0;   // 5.0
+                    return (int) (b / 2.0);    // 2
+                }
+            }
+        """) == 2
+
+    def test_fcmp_via_source(self):
+        assert run_main(int_main(
+            "float a = 0.1; float b = 0.2; "
+            "if (a < b) { return 1; } return 0;")) == 1
+
+    def test_float_div_by_zero_infinity(self):
+        # Java float semantics: 1.0/0.0 == +inf, comparison still works.
+        assert run_main(int_main(
+            "float a = 1.0; float z = 0.0; float inf = a / z; "
+            "if (inf > 1000000.0) { return 1; } return 0;")) == 1
+
+    def test_i2f_f2i_roundtrip(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 41)
+            asm.emit(Op.I2F)
+            asm.emit(Op.FCONST, 1.9)
+            asm.emit(Op.FADD)
+            asm.emit(Op.F2I)
+        assert eval_int_expr(build) == 42
+
+
+class TestStackOps:
+    def test_dup(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 21)
+            asm.emit(Op.DUP)
+            asm.emit(Op.IADD)
+        assert eval_int_expr(build) == 42
+
+    def test_swap(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 1)
+            asm.emit(Op.ICONST, 10)
+            asm.emit(Op.SWAP)
+            asm.emit(Op.ISUB)    # 10 - 1
+        assert eval_int_expr(build) == 9
+
+    def test_dup_x1(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 2)
+            asm.emit(Op.ICONST, 3)
+            asm.emit(Op.DUP_X1)   # 3 2 3
+            asm.emit(Op.IADD)     # 3 5
+            asm.emit(Op.IMUL)     # 15
+        assert eval_int_expr(build) == 15
+
+
+class TestArrays:
+    def test_int_array_roundtrip(self):
+        assert run_main(int_main(
+            "int[] a = new int[5]; a[3] = 17; return a[3] + a.length;")) \
+            == 22
+
+    def test_defaults(self):
+        assert run_main(int_main(
+            "int[] a = new int[4]; return a[0] + a[1];")) == 0
+
+    def test_out_of_bounds_fatal(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "int[] a = new int[2]; return a[5];"))
+        with pytest.raises(VMRuntimeError, match="out of bounds"):
+            ThreadedInterpreter(program).run()
+        with pytest.raises(VMRuntimeError, match="out of bounds"):
+            SwitchInterpreter(program).run()
+
+    def test_negative_size_fatal(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "int[] a = new int[0 - 3]; return 0;"))
+        with pytest.raises(VMRuntimeError, match="negative"):
+            ThreadedInterpreter(program).run()
+
+    def test_array_of_arrays(self):
+        assert run_main(int_main(
+            "int[][] m = new int[3][]; m[1] = new int[2]; "
+            "m[1][1] = 7; return m[1][1];")) == 7
+
+    def test_null_array_load_fatal(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "int[] a = null; return a[0];"))
+        with pytest.raises(VMRuntimeError, match="null"):
+            ThreadedInterpreter(program).run()
+
+
+class TestObjects:
+    SOURCE = """
+        class Point {
+            int x; int y;
+            Point(int x, int y) { this.x = x; this.y = y; }
+            int sum() { return x + y; }
+        }
+        class Main {
+            static int main() {
+                Point p = new Point(3, 4);
+                p.x = p.x + 10;
+                return p.sum();
+            }
+        }
+    """
+
+    def test_fields_and_methods(self):
+        assert run_main(self.SOURCE) == 17
+
+    def test_virtual_dispatch(self):
+        assert run_main("""
+            class A { int f() { return 1; } }
+            class B extends A { int f() { return 2; } }
+            class Main {
+                static int main() {
+                    A a = new B();
+                    return a.f() * 10 + new A().f();
+                }
+            }
+        """) == 21
+
+    def test_null_field_access_fatal(self):
+        from repro.lang import compile_source
+        program = compile_source("""
+            class P { int x; }
+            class Main {
+                static int main() { P p = null; return p.x; }
+            }
+        """)
+        with pytest.raises(VMRuntimeError, match="null"):
+            ThreadedInterpreter(program).run()
+
+    def test_instanceof(self):
+        assert run_main("""
+            class A { }
+            class B extends A { }
+            class Main {
+                static int main() {
+                    A a = new B();
+                    int r = 0;
+                    if (a instanceof B) { r = r + 1; }
+                    if (a instanceof A) { r = r + 2; }
+                    if (null instanceof A) { r = r + 4; }
+                    return r;
+                }
+            }
+        """) == 3
+
+    def test_statics_shared(self):
+        assert run_main("""
+            class Counter {
+                static int n;
+                static void bump() { n = n + 1; }
+            }
+            class Main {
+                static int main() {
+                    Counter.bump();
+                    Counter.bump();
+                    Counter.bump();
+                    return Counter.n;
+                }
+            }
+        """) == 3
+
+
+class TestExceptions:
+    def test_catch_in_same_method(self):
+        assert run_main(int_main(
+            "try { Exception e = new Exception(); e.code = 5; throw e; }"
+            " catch (Exception ex) { return ex.code; } return 0;")) == 5
+
+    def test_unwind_through_frames(self):
+        assert run_main("""
+            class Main {
+                static void boom() {
+                    Exception e = new Exception();
+                    e.code = 99;
+                    throw e;
+                }
+                static void middle() { boom(); }
+                static int main() {
+                    try { middle(); }
+                    catch (Exception ex) { return ex.code; }
+                    return 0;
+                }
+            }
+        """) == 99
+
+    def test_catch_by_class_filters(self):
+        assert run_main("""
+            class MyError extends Exception { }
+            class Main {
+                static int main() {
+                    int r = 0;
+                    try {
+                        try { throw new Exception(); }
+                        catch (MyError m) { r = 1; }
+                    } catch (Exception e) { r = 2; }
+                    return r;
+                }
+            }
+        """) == 2
+
+    def test_uncaught_raises(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "throw new Exception(); return 0;"))
+        with pytest.raises(UncaughtVMException):
+            ThreadedInterpreter(program).run()
+        with pytest.raises(UncaughtVMException):
+            SwitchInterpreter(program).run()
+
+    def test_operand_stack_cleared_in_handler(self):
+        # Throw mid-expression; the handler must see a clean stack.
+        assert run_main("""
+            class Main {
+                static int boom() { throw new Exception(); }
+                static int main() {
+                    try { int x = 1 + boom(); return x; }
+                    catch (Exception e) { return 7; }
+                }
+            }
+        """) == 7
+
+
+class TestCallsAndRecursion:
+    def test_recursion(self):
+        assert run_main("""
+            class Main {
+                static int fib(int n) {
+                    if (n < 2) { return n; }
+                    return fib(n - 1) + fib(n - 2);
+                }
+                static int main() { return fib(12); }
+            }
+        """) == 144
+
+    def test_deep_recursion_uses_explicit_stack(self):
+        # 5000 frames would blow Python's stack if frames were native.
+        assert run_main("""
+            class Main {
+                static int down(int n) {
+                    if (n == 0) { return 0; }
+                    return down(n - 1) + 1;
+                }
+                static int main() { return down(5000); }
+            }
+        """) == 5000
+
+    def test_mutual_recursion(self):
+        assert run_main("""
+            class Main {
+                static int isEven(int n) {
+                    if (n == 0) { return 1; }
+                    return isOdd(n - 1);
+                }
+                static int isOdd(int n) {
+                    if (n == 0) { return 0; }
+                    return isEven(n - 1);
+                }
+                static int main() { return isEven(10) * 10 + isOdd(7); }
+            }
+        """) == 11
+
+
+class TestStepLimit:
+    def test_threaded_limit(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "int i = 0; while (true) { i = i + 1; } return i;"))
+        with pytest.raises(StepLimitExceeded):
+            ThreadedInterpreter(program, max_instructions=10_000).run()
+
+    def test_switch_limit(self):
+        from repro.lang import compile_source
+        program = compile_source(int_main(
+            "int i = 0; while (true) { i = i + 1; } return i;"))
+        with pytest.raises(StepLimitExceeded):
+            SwitchInterpreter(program, max_instructions=10_000).run()
+
+
+class TestNatives:
+    def test_print_output(self):
+        from repro.lang import compile_source
+        program = compile_source(
+            "class Main { static void main() { Sys.print(42); "
+            "Sys.prints(\"hi\"); } }")
+        machine = ThreadedInterpreter(program).run()
+        assert machine.output == ["42", "hi"]
+
+    def test_math_natives(self):
+        assert run_main(int_main(
+            "return Sys.abs(0 - 5) * 100 + Sys.max(3, 9) * 10 "
+            "+ Sys.min(3, 9) + Sys.isqrt(144);")) == 605
+
+    def test_float_natives(self):
+        assert run_main(int_main(
+            "float r = Sys.fsqrt(16.0) + Sys.fabs(0.0 - 1.0) "
+            "+ Sys.ffloor(2.7); return (int) r;")) == 7

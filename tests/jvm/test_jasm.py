@@ -1,0 +1,295 @@
+"""jasm assembly: parsing, execution, round-trips, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (JasmError, ThreadedInterpreter, format_jasm,
+                       link, parse_jasm, verify_program)
+from repro.lang import compile_classes
+
+LOOP = """
+# sum 0..99
+class Main
+  static method main() -> int
+    iconst 0
+    istore 0
+    iconst 0
+    istore 1
+  loop:
+    iload 1
+    iconst 100
+    if_icmpge done
+    iload 0
+    iload 1
+    iadd
+    istore 0
+    iinc 1 1
+    goto loop
+  done:
+    iload 0
+    ireturn
+  end
+end
+"""
+
+
+def run_jasm(text: str):
+    program = link(parse_jasm(text))
+    verify_program(program)
+    return ThreadedInterpreter(program).run()
+
+
+class TestParsing:
+    def test_loop_program(self):
+        assert run_jasm(LOOP).result == 4950
+
+    def test_comments_and_blanks_ignored(self):
+        text = LOOP.replace("iconst 100", "iconst 100  # bound")
+        assert run_jasm(text).result == 4950
+
+    def test_fields_and_objects(self):
+        machine = run_jasm("""
+class Box
+  field value int
+  static field total int
+end
+
+class Main
+  static method main() -> int
+    new Box
+    dup
+    iconst 41
+    putfield value
+    getfield value
+    iconst 1
+    iadd
+    putstatic Main.answer
+    getstatic Main.answer
+    ireturn
+  end
+  static field answer int
+end
+""")
+        assert machine.result == 42
+
+    def test_calls(self):
+        machine = run_jasm("""
+class Main
+  static method twice(int) -> int
+    iload 0
+    iload 0
+    iadd
+    ireturn
+  end
+  static method main() -> int
+    iconst 21
+    invokestatic Main.twice
+    ireturn
+  end
+end
+""")
+        assert machine.result == 42
+
+    def test_virtual_call(self):
+        machine = run_jasm("""
+class A
+  method f() -> int
+    iconst 7
+    ireturn
+  end
+end
+
+class Main
+  static method main() -> int
+    new A
+    invokevirtual f 0
+    ireturn
+  end
+end
+""")
+        assert machine.result == 7
+
+    def test_tableswitch(self):
+        text = """
+class Main
+  static method main() -> int
+    iconst 2
+    tableswitch 1 [ one two three ] default other
+  one:
+    iconst 10
+    ireturn
+  two:
+    iconst 20
+    ireturn
+  three:
+    iconst 30
+    ireturn
+  other:
+    iconst 99
+    ireturn
+  end
+end
+"""
+        assert run_jasm(text).result == 20
+
+    def test_exceptions(self):
+        machine = run_jasm("""
+class Main
+  static method main() -> int
+    try start stop handler Exception
+  start:
+    new Exception
+    athrow
+  stop:
+  handler:
+    pop
+    iconst 5
+    ireturn
+  end
+end
+""")
+        assert machine.result == 5
+
+    def test_float_and_string_literals(self):
+        machine = run_jasm("""
+class Main
+  static method main() -> int
+    sconst "hi\\nthere"
+    invokestatic Sys.prints
+    fconst 2.5
+    fconst 2.0
+    fmul
+    f2i
+    ireturn
+  end
+end
+""")
+        assert machine.result == 5
+        assert machine.output == ["hi\nthere"]
+
+    def test_natives(self):
+        assert run_jasm("""
+class Main
+  static method main() -> int
+    iconst -9
+    invokestatic Sys.abs
+    ireturn
+  end
+end
+""").result == 9
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(JasmError, match="unknown opcode"):
+            parse_jasm("class Main\n  static method main() -> void\n"
+                       "    frobnicate\n  end\nend")
+
+    def test_unbound_label(self):
+        with pytest.raises(JasmError, match="never bound"):
+            parse_jasm("class Main\n  static method main() -> void\n"
+                       "    goto nowhere\n    return\n  end\nend")
+
+    def test_unterminated_class(self):
+        with pytest.raises(JasmError, match="not terminated"):
+            parse_jasm("class Main\n")
+
+    def test_unterminated_method(self):
+        with pytest.raises(JasmError, match="not terminated"):
+            parse_jasm("class Main\n  static method main() -> void\n"
+                       "    return\n")
+
+    def test_bad_signature(self):
+        with pytest.raises(JasmError, match="signature"):
+            parse_jasm("class Main\n  static method main -> void\n"
+                       "  end\nend")
+
+    def test_unterminated_string(self):
+        with pytest.raises(JasmError, match="unterminated"):
+            parse_jasm('class Main\n  static method main() -> void\n'
+                       '    sconst "oops\n    return\n  end\nend')
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(JasmError, match="line 3"):
+            parse_jasm("class Main\n  static method main() -> void\n"
+                       "    badop\n  end\nend")
+
+
+class TestRoundTrip:
+    def assert_round_trips(self, classes):
+        text = format_jasm(classes)
+        reparsed = parse_jasm(text)
+        program_a = link(classes)
+        program_b = link(reparsed)
+        verify_program(program_b)
+        a = ThreadedInterpreter(program_a).run()
+        b = ThreadedInterpreter(program_b).run()
+        assert a.result == b.result
+        assert a.instr_count == b.instr_count
+        assert a.output == b.output
+
+    def test_jasm_round_trip(self):
+        self.assert_round_trips(parse_jasm(LOOP))
+
+    def test_compiled_minijava_round_trips(self):
+        classes = compile_classes("""
+            class Shape { int area() { return 0; } }
+            class Sq extends Shape {
+                int s;
+                Sq(int s) { this.s = s; }
+                int area() { return s * s; }
+            }
+            class Main {
+                static int main() {
+                    int total = 0;
+                    Shape sq = new Sq(4);
+                    for (int i = 0; i < 30; i++) {
+                        try {
+                            if (i % 11 == 3) { throw new Exception(); }
+                            total += sq.area();
+                        } catch (Exception e) { total -= 1; }
+                        switch (i & 3) {
+                            case 0: total += 1; break;
+                            default: total ^= i;
+                        }
+                    }
+                    float f = (float) total * 1.5;
+                    Sys.printf(f);
+                    return (int) f;
+                }
+            }
+        """)
+        self.assert_round_trips(classes)
+
+    def test_workload_round_trips(self):
+        from repro.workloads import workload_source
+        classes = compile_classes(workload_source("sootx", "tiny"))
+        self.assert_round_trips(classes)
+
+    def test_format_is_stable(self):
+        classes = parse_jasm(LOOP)
+        once = format_jasm(classes)
+        twice = format_jasm(parse_jasm(once))
+        assert once == twice
+
+
+class TestPropertyRoundTrip:
+    """Hypothesis: every structured random program survives a
+    compile -> format_jasm -> parse_jasm -> link -> run round trip."""
+
+    def test_generated_programs_round_trip(self):
+        from hypothesis import given, settings
+        from tests.lang.test_program_generator import program
+
+        @given(program())
+        @settings(max_examples=10, deadline=None)
+        def check(source):
+            classes = compile_classes(source)
+            direct = ThreadedInterpreter(link(classes)).run()
+            reparsed = parse_jasm(format_jasm(classes))
+            round_tripped = ThreadedInterpreter(link(reparsed)).run()
+            assert round_tripped.result == direct.result
+            assert round_tripped.instr_count == direct.instr_count
+
+        check()

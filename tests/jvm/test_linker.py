@@ -1,0 +1,225 @@
+"""Linker: hierarchy, vtables, statics, operand resolution, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Assembler, ClassDef, FieldDef, LinkError, MethodDef,
+                       NativeMethod, Op, link)
+from repro.jvm.bytecode import Instruction
+
+
+def ret_method(name="main", is_static=True, return_type="void"):
+    return MethodDef(name=name, is_static=is_static,
+                     return_type=return_type,
+                     code=[Instruction(Op.RETURN)])
+
+
+def make_program(*classes, entry="Main.main"):
+    return link(list(classes), entry=entry)
+
+
+class TestHierarchy:
+    def test_builtins_always_present(self):
+        program = make_program(ClassDef(name="Main",
+                                        methods=[ret_method()]))
+        for name in ("Object", "Throwable", "Exception"):
+            assert name in program.classes
+
+    def test_subclass_relation(self):
+        program = make_program(ClassDef(name="Main",
+                                        methods=[ret_method()]))
+        exc = program.classes["Exception"]
+        throwable = program.classes["Throwable"]
+        obj = program.classes["Object"]
+        assert exc.is_subclass_of(throwable)
+        assert exc.is_subclass_of(obj)
+        assert not throwable.is_subclass_of(exc)
+
+    def test_unknown_super_raises(self):
+        bad = ClassDef(name="Main", super_name="Missing",
+                       methods=[ret_method()])
+        with pytest.raises(LinkError, match="Missing"):
+            make_program(bad)
+
+    def test_cycle_raises(self):
+        a = ClassDef(name="A", super_name="B")
+        b = ClassDef(name="B", super_name="A")
+        main = ClassDef(name="Main", methods=[ret_method()])
+        with pytest.raises(LinkError, match="cycle"):
+            make_program(a, b, main)
+
+    def test_duplicate_class_raises(self):
+        a1 = ClassDef(name="A")
+        a2 = ClassDef(name="A")
+        with pytest.raises(LinkError, match="duplicate"):
+            make_program(a1, a2,
+                         ClassDef(name="Main", methods=[ret_method()]))
+
+    def test_sys_reserved(self):
+        with pytest.raises(LinkError, match="reserved"):
+            make_program(ClassDef(name="Sys"),
+                         ClassDef(name="Main", methods=[ret_method()]))
+
+
+class TestVtables:
+    def make_hierarchy(self):
+        base = ClassDef(name="Base", methods=[
+            ret_method("speak", is_static=False)])
+        derived = ClassDef(name="Derived", super_name="Base", methods=[
+            ret_method("speak", is_static=False)])
+        main = ClassDef(name="Main", methods=[ret_method()])
+        return make_program(base, derived, main)
+
+    def test_override_replaces_vtable_slot(self):
+        program = self.make_hierarchy()
+        base = program.classes["Base"]
+        derived = program.classes["Derived"]
+        assert base.vtable["speak"].rtclass is base
+        assert derived.vtable["speak"].rtclass is derived
+
+    def test_inherited_method_shared(self):
+        base = ClassDef(name="Base",
+                        methods=[ret_method("speak", is_static=False)])
+        derived = ClassDef(name="Derived", super_name="Base")
+        program = make_program(base, derived,
+                               ClassDef(name="Main",
+                                        methods=[ret_method()]))
+        assert program.classes["Derived"].vtable["speak"] \
+            is program.classes["Base"].vtable["speak"]
+
+    def test_static_methods_not_in_vtable(self):
+        cls = ClassDef(name="A", methods=[ret_method("util")])
+        program = make_program(cls, ClassDef(name="Main",
+                                             methods=[ret_method()]))
+        assert "util" not in program.classes["A"].vtable
+
+    def test_resolve_method_walks_up(self):
+        program = self.make_hierarchy()
+        derived = program.classes["Derived"]
+        assert derived.resolve_method("speak").rtclass is derived
+
+    def test_duplicate_method_raises(self):
+        cls = ClassDef(name="Main",
+                       methods=[ret_method(), ret_method()])
+        with pytest.raises(LinkError, match="duplicate"):
+            make_program(cls)
+
+
+class TestFields:
+    def test_field_defaults_inherited(self):
+        base = ClassDef(name="Base", fields=[FieldDef("x", "int")])
+        derived = ClassDef(name="Derived", super_name="Base",
+                           fields=[FieldDef("y", "float")])
+        program = make_program(
+            base, derived, ClassDef(name="Main", methods=[ret_method()]))
+        defaults = program.classes["Derived"].field_defaults
+        assert defaults == {"x": 0, "y": 0.0}
+
+    def test_statics_reset(self):
+        cls = ClassDef(name="Main", fields=[FieldDef("n", "int", True)],
+                       methods=[ret_method()])
+        program = make_program(cls)
+        main_cls = program.classes["Main"]
+        main_cls.statics["n"] = 99
+        program.reset_statics()
+        assert main_cls.statics["n"] == 0
+
+    def test_static_owner_resolution(self):
+        base = ClassDef(name="Base", fields=[FieldDef("n", "int", True)])
+        derived = ClassDef(name="Derived", super_name="Base")
+        program = make_program(
+            base, derived, ClassDef(name="Main", methods=[ret_method()]))
+        owner = program.classes["Derived"].find_static_owner("n")
+        assert owner is program.classes["Base"]
+
+
+class TestOperandResolution:
+    def test_invokestatic_resolved(self):
+        asm = Assembler()
+        asm.emit(Op.INVOKESTATIC, ("Main", "helper"))
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        helper = ret_method("helper")
+        program = make_program(ClassDef(name="Main",
+                                        methods=[main, helper]))
+        instr = program.method("Main.main").code[0]
+        assert instr.a is program.method("Main.helper")
+        assert instr.b == 0
+
+    def test_native_resolved(self):
+        asm = Assembler()
+        asm.emit(Op.ICONST, 1)
+        asm.emit(Op.INVOKESTATIC, ("Sys", "print"))
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        program = make_program(ClassDef(name="Main", methods=[main]))
+        instr = program.method("Main.main").code[1]
+        assert isinstance(instr.a, NativeMethod)
+        assert instr.b == 1
+
+    def test_new_resolved_to_class(self):
+        asm = Assembler()
+        asm.emit(Op.NEW, "Exception")
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        program = make_program(ClassDef(name="Main", methods=[main]))
+        instr = program.method("Main.main").code[0]
+        assert instr.a is program.classes["Exception"]
+
+    def test_invokestatic_of_instance_method_raises(self):
+        asm = Assembler()
+        asm.emit(Op.INVOKESTATIC, ("A", "m"))
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        a = ClassDef(name="A", methods=[ret_method("m", is_static=False)])
+        with pytest.raises(LinkError, match="instance"):
+            make_program(a, ClassDef(name="Main", methods=[main]))
+
+    def test_invokevirtual_requires_argc(self):
+        asm = Assembler()
+        asm.emit(Op.ACONST_NULL)
+        asm.emit(Op.INVOKEVIRTUAL, "m")   # b missing
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        with pytest.raises(LinkError, match="argument count"):
+            make_program(ClassDef(name="Main", methods=[main]))
+
+    def test_relinking_same_classdefs(self):
+        """Instruction copies mean a ClassDef can be linked twice."""
+        asm = Assembler()
+        asm.emit(Op.NEW, "Exception")
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        main = MethodDef(name="main", is_static=True, code=asm.finish())
+        cls = ClassDef(name="Main", methods=[main])
+        p1 = make_program(cls)
+        p2 = make_program(cls)
+        assert p1.method("Main.main").code[0].a \
+            is p1.classes["Exception"]
+        assert p2.method("Main.main").code[0].a \
+            is p2.classes["Exception"]
+
+
+class TestEntry:
+    def test_missing_entry_raises(self):
+        with pytest.raises(LinkError):
+            make_program(ClassDef(name="Main"), entry="Main.main")
+
+    def test_non_static_entry_raises(self):
+        cls = ClassDef(name="Main",
+                       methods=[ret_method("main", is_static=False)])
+        with pytest.raises(LinkError, match="static"):
+            make_program(cls)
+
+    def test_entry_with_args_raises(self):
+        main = ret_method("main")
+        main.param_types = ["int"]
+        with pytest.raises(LinkError, match="no arguments"):
+            make_program(ClassDef(name="Main", methods=[main]))
+
+    def test_empty_method_raises(self):
+        bad = MethodDef(name="main", is_static=True, code=[])
+        with pytest.raises(LinkError, match="no code"):
+            make_program(ClassDef(name="Main", methods=[bad]))

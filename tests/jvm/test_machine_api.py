@@ -1,0 +1,106 @@
+"""Machine/threaded-loop API: custom entries, frames, hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Machine, ThreadedInterpreter, VMRuntimeError,
+                       execute_block)
+from repro.lang import compile_source
+
+PROGRAM = compile_source("""
+    class Main {
+        static int add(int a, int b) { return a + b; }
+        static int main() { return add(20, 22); }
+    }
+""")
+
+
+class TestMachine:
+    def test_start_pushes_entry_frame(self):
+        PROGRAM.reset_statics()
+        machine = Machine(PROGRAM)
+        block = machine.start()
+        assert block is PROGRAM.entry.entry_block
+        assert machine.current_frame.method is PROGRAM.entry
+
+    def test_start_custom_method_with_args(self):
+        PROGRAM.reset_statics()
+        machine = Machine(PROGRAM)
+        block = machine.start(PROGRAM.method("Main.add"), [3, 4])
+        while block is not None:
+            block = execute_block(machine, block)
+        assert machine.result == 7
+
+    def test_start_without_entry_raises(self):
+        from repro.jvm.linker import Program
+        empty = Program()
+        machine = Machine(empty)
+        with pytest.raises(VMRuntimeError):
+            machine.start()
+
+    def test_instruction_counting(self):
+        PROGRAM.reset_statics()
+        machine = Machine(PROGRAM)
+        block = machine.start()
+        total = 0
+        while block is not None:
+            length = block.length
+            block = execute_block(machine, block)
+            total += length
+        assert machine.instr_count == total
+
+    def test_frames_empty_after_completion(self):
+        PROGRAM.reset_statics()
+        machine = Machine(PROGRAM)
+        block = machine.start()
+        while block is not None:
+            block = execute_block(machine, block)
+        assert machine.frames == []
+        assert machine.result == 42
+
+
+class TestDispatchHook:
+    def test_hook_sees_every_transition(self):
+        transitions = []
+
+        def hook(prev, cur):
+            transitions.append((prev.bid if prev else None, cur.bid))
+
+        interp = ThreadedInterpreter(PROGRAM)
+        interp.run(dispatch_hook=hook)
+        assert len(transitions) == interp.dispatch_count
+        assert transitions[0][0] is None          # entry has no prev
+        firsts = [t[1] for t in transitions]
+        assert firsts[0] == PROGRAM.entry.entry_block.bid
+
+    def test_hook_transitions_are_consecutive(self):
+        transitions = []
+
+        def hook(prev, cur):
+            transitions.append((prev, cur))
+
+        ThreadedInterpreter(PROGRAM).run(dispatch_hook=hook)
+        for (p1, c1), (p2, c2) in zip(transitions, transitions[1:]):
+            assert p2 is c1   # prev of step n+1 is cur of step n
+
+    def test_dispatch_count_without_hook_matches(self):
+        a = ThreadedInterpreter(PROGRAM)
+        a.run()
+        b = ThreadedInterpreter(PROGRAM)
+        b.run(dispatch_hook=lambda p, c: None)
+        assert a.dispatch_count == b.dispatch_count
+
+
+class TestFrameBehaviour:
+    def test_locals_padded_to_max(self):
+        from repro.jvm.frame import Frame
+        method = PROGRAM.method("Main.add")
+        frame = Frame(method, [1, 2], None)
+        assert len(frame.locals) == method.max_locals
+        assert frame.locals[:2] == [1, 2]
+
+    def test_repr(self):
+        from repro.jvm.frame import Frame
+        frame = Frame(PROGRAM.method("Main.add"), [1, 2], None)
+        assert "Main.add" in repr(frame)

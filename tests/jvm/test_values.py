@@ -1,0 +1,146 @@
+"""Java 32-bit integer and float semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.jvm.values import (INT_MAX, INT_MIN, default_value, fcmp,
+                              is_float, is_int, java_f2i, java_idiv,
+                              java_irem, java_ishl, java_ishr, java_iushr,
+                              wrap_int)
+
+ints = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+any_ints = st.integers(min_value=-(1 << 70), max_value=1 << 70)
+
+
+class TestWrapInt:
+    def test_identity_in_range(self):
+        for v in (0, 1, -1, INT_MAX, INT_MIN, 42):
+            assert wrap_int(v) == v
+
+    def test_overflow_wraps(self):
+        assert wrap_int(INT_MAX + 1) == INT_MIN
+        assert wrap_int(INT_MIN - 1) == INT_MAX
+
+    def test_large_multiply(self):
+        # Java: 1103515245 * 1103515245 == 1837938165 (wrapped)
+        assert wrap_int(1103515245 * 1103515245) == \
+            ((1103515245 * 1103515245 + (1 << 31)) % (1 << 32)) - (1 << 31)
+
+    @given(any_ints)
+    def test_always_in_range(self, v):
+        assert INT_MIN <= wrap_int(v) <= INT_MAX
+
+    @given(any_ints)
+    def test_congruent_mod_2_32(self, v):
+        assert (wrap_int(v) - v) % (1 << 32) == 0
+
+    @given(ints)
+    def test_idempotent(self, v):
+        assert wrap_int(wrap_int(v)) == wrap_int(v)
+
+
+class TestDivision:
+    def test_truncates_toward_zero(self):
+        assert java_idiv(7, 2) == 3
+        assert java_idiv(-7, 2) == -3
+        assert java_idiv(7, -2) == -3
+        assert java_idiv(-7, -2) == 3
+
+    def test_min_by_minus_one_wraps(self):
+        assert java_idiv(INT_MIN, -1) == INT_MIN
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            java_idiv(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            java_irem(1, 0)
+
+    def test_remainder_sign_follows_dividend(self):
+        assert java_irem(7, 2) == 1
+        assert java_irem(-7, 2) == -1
+        assert java_irem(7, -2) == 1
+        assert java_irem(-7, -2) == -1
+
+    @given(ints, ints.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = java_idiv(a, b)
+        r = java_irem(a, b)
+        assert wrap_int(q * b + r) == wrap_int(a)
+
+    @given(ints, ints.filter(lambda v: v != 0))
+    def test_rem_magnitude(self, a, b):
+        assert abs(java_irem(a, b)) < abs(b)
+
+
+class TestShifts:
+    def test_shift_distance_masked(self):
+        assert java_ishl(1, 32) == 1          # 32 & 31 == 0
+        assert java_ishl(1, 33) == 2
+        assert java_ishr(-8, 1) == -4
+
+    def test_ushr_on_negative(self):
+        assert java_iushr(-1, 28) == 15
+        assert java_iushr(INT_MIN, 31) == 1
+
+    def test_shl_overflow(self):
+        assert java_ishl(1, 31) == INT_MIN
+
+    @given(ints, st.integers(min_value=0, max_value=63))
+    def test_ushr_nonnegative(self, a, s):
+        if (s & 31) > 0:
+            assert java_iushr(a, s) >= 0
+
+    @given(ints, st.integers(min_value=0, max_value=63))
+    def test_shr_matches_floor_division(self, a, s):
+        assert java_ishr(a, s) == a >> (s & 31)
+
+
+class TestFloatOps:
+    def test_f2i_truncates(self):
+        assert java_f2i(2.9) == 2
+        assert java_f2i(-2.9) == -2
+
+    def test_f2i_saturates(self):
+        assert java_f2i(1e300) == INT_MAX
+        assert java_f2i(-1e300) == INT_MIN
+
+    def test_f2i_nan(self):
+        assert java_f2i(float("nan")) == 0
+
+    def test_fcmp_ordering(self):
+        assert fcmp(1.0, 2.0, 0) == -1
+        assert fcmp(2.0, 1.0, 0) == 1
+        assert fcmp(1.5, 1.5, 0) == 0
+
+    def test_fcmp_nan_uses_nan_result(self):
+        nan = float("nan")
+        assert fcmp(nan, 1.0, -1) == -1
+        assert fcmp(1.0, nan, 1) == 1
+        assert fcmp(nan, nan, -1) == -1
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_f2i_within_bounds(self, f):
+        assert INT_MIN <= java_f2i(f) <= INT_MAX
+
+
+class TestTypePredicates:
+    def test_is_int_excludes_bool(self):
+        assert is_int(3)
+        assert not is_int(True)
+        assert not is_int(3.0)
+
+    def test_is_float(self):
+        assert is_float(3.0)
+        assert not is_float(3)
+
+    def test_defaults(self):
+        assert default_value("int") == 0
+        assert default_value("boolean") == 0
+        assert default_value("float") == 0.0
+        assert default_value("Object") is None
+        assert default_value("int[]") is None

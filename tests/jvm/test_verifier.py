@@ -1,0 +1,180 @@
+"""Static verification: depth consistency, locals, closed-world calls."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import (Assembler, ClassDef, MethodDef, Op, VerifyError,
+                       link, verify_program)
+from repro.jvm.bytecode import Instruction
+
+
+def build_program(code, *, max_locals=0, extra_methods=(),
+                  extra_classes=(), exceptions=()):
+    main = MethodDef(name="main", is_static=True, return_type="void",
+                     max_locals=max_locals, code=list(code),
+                     exceptions=list(exceptions))
+    program = link([ClassDef(name="Main",
+                             methods=[main, *extra_methods]),
+                    *extra_classes])
+    return program
+
+
+def verify_code(code, **kwargs):
+    verify_program(build_program(code, **kwargs))
+
+
+class TestStackDepth:
+    def test_balanced_ok(self):
+        verify_code([Instruction(Op.ICONST, 1),
+                     Instruction(Op.ICONST, 2),
+                     Instruction(Op.IADD),
+                     Instruction(Op.POP),
+                     Instruction(Op.RETURN)])
+
+    def test_underflow_rejected(self):
+        with pytest.raises(VerifyError, match="pops"):
+            verify_code([Instruction(Op.IADD),
+                         Instruction(Op.RETURN)])
+
+    def test_return_with_residue_rejected(self):
+        with pytest.raises(VerifyError, match="leaves"):
+            verify_code([Instruction(Op.ICONST, 1),
+                         Instruction(Op.RETURN)])
+
+    def test_inconsistent_join_rejected(self):
+        # Path A pushes one value; path B pushes two; they join.
+        asm = Assembler()
+        join = asm.new_label()
+        asm.emit(Op.ICONST, 0)
+        asm.branch(Op.IFEQ, join)
+        asm.emit(Op.ICONST, 1)          # depth 1 on fallthrough
+        asm.bind(join)                  # depth 0 via branch
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        with pytest.raises(VerifyError, match="inconsistent"):
+            verify_code(asm.finish())
+
+    def test_consistent_join_ok(self):
+        asm = Assembler()
+        other = asm.new_label()
+        end = asm.new_label()
+        asm.emit(Op.ICONST, 0)
+        asm.branch(Op.IFEQ, other)
+        asm.emit(Op.ICONST, 1)
+        asm.branch(Op.GOTO, end)
+        asm.bind(other)
+        asm.emit(Op.ICONST, 2)
+        asm.bind(end)
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        verify_code(asm.finish())
+
+    def test_ireturn_requires_value(self):
+        main = MethodDef(name="main", is_static=True, return_type="int",
+                         code=[Instruction(Op.IRETURN)])
+        program = link([ClassDef(name="Main", methods=[main])])
+        with pytest.raises(VerifyError):
+            verify_program(program)
+
+
+class TestLocals:
+    def test_local_out_of_range_rejected(self):
+        # RtMethod auto-scans local indices into max_locals, so the
+        # bound must be forced down to exercise the verifier check.
+        program = build_program([Instruction(Op.RETURN)])
+        method = program.method("Main.main")
+        method.code = [Instruction(Op.ILOAD, 5),
+                       Instruction(Op.POP),
+                       Instruction(Op.RETURN)]
+        method.max_locals = 1
+        from repro.jvm.verifier import _verify_method
+        with pytest.raises(VerifyError, match="local index"):
+            _verify_method(method, {})
+
+    def test_local_in_range_ok(self):
+        verify_code([Instruction(Op.ICONST, 1),
+                     Instruction(Op.ISTORE, 2),
+                     Instruction(Op.RETURN)], max_locals=3)
+
+    def test_iinc_checked(self):
+        with pytest.raises(VerifyError, match="local index"):
+            # scanning sets max_locals from ILOAD/etc; force it small
+            main = MethodDef(name="main", is_static=True,
+                             return_type="void",
+                             code=[Instruction(Op.RETURN)])
+            program = link([ClassDef(name="Main", methods=[main])])
+            method = program.method("Main.main")
+            method.code = [Instruction(Op.IINC, 9, 1),
+                           Instruction(Op.RETURN)]
+            from repro.jvm.verifier import _verify_method
+            _verify_method(method, {})
+
+
+class TestCalls:
+    def test_static_call_effect(self):
+        helper = MethodDef(
+            name="helper", is_static=True, return_type="int",
+            param_types=["int", "int"],
+            code=[Instruction(Op.ICONST, 0), Instruction(Op.IRETURN)])
+        verify_code([Instruction(Op.ICONST, 1),
+                     Instruction(Op.ICONST, 2),
+                     Instruction(Op.INVOKESTATIC, ("Main", "helper")),
+                     Instruction(Op.POP),
+                     Instruction(Op.RETURN)],
+                    extra_methods=[helper])
+
+    def test_static_call_underflow(self):
+        helper = MethodDef(
+            name="helper", is_static=True, return_type="void",
+            param_types=["int"],
+            code=[Instruction(Op.RETURN)])
+        with pytest.raises(VerifyError):
+            verify_code([Instruction(Op.INVOKESTATIC,
+                                     ("Main", "helper")),
+                         Instruction(Op.RETURN)],
+                        extra_methods=[helper])
+
+    def test_virtual_unknown_name_rejected(self):
+        with pytest.raises(VerifyError, match="unknown"):
+            verify_code([Instruction(Op.ACONST_NULL),
+                         Instruction(Op.INVOKEVIRTUAL, "nothing", 0),
+                         Instruction(Op.RETURN)])
+
+    def test_virtual_inconsistent_returns_rejected(self):
+        a = ClassDef(name="A", methods=[MethodDef(
+            name="f", is_static=False, return_type="void",
+            code=[Instruction(Op.RETURN)])])
+        b = ClassDef(name="B", methods=[MethodDef(
+            name="f", is_static=False, return_type="int",
+            code=[Instruction(Op.ICONST, 0), Instruction(Op.IRETURN)])])
+        with pytest.raises(VerifyError, match="path-dependent"):
+            verify_code([Instruction(Op.RETURN)],
+                        extra_classes=[a, b])
+
+    def test_native_call_effect(self):
+        verify_code([Instruction(Op.ICONST, 3),
+                     Instruction(Op.INVOKESTATIC, ("Sys", "abs")),
+                     Instruction(Op.POP),
+                     Instruction(Op.RETURN)])
+
+
+class TestHandlers:
+    def test_handler_depth_one(self):
+        asm = Assembler()
+        handler = asm.new_label()
+        region = asm.begin_try(handler)
+        asm.emit(Op.NOP)
+        asm.end_try(region)
+        asm.emit(Op.RETURN)
+        asm.bind(handler)
+        asm.emit(Op.POP)    # the pushed throwable
+        asm.emit(Op.RETURN)
+        verify_code(asm.finish(), exceptions=asm.exception_table())
+
+    def test_workload_programs_verify(self):
+        # The real acceptance test: every workload passes verification.
+        from repro.workloads import load_workload
+        for name in ("compressx", "javacx", "scimarkx"):
+            program = load_workload(name, "tiny")
+            verify_program(program)   # load_workload verifies; re-check

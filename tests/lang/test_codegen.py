@@ -1,0 +1,384 @@
+"""Code generation semantics: compile snippets, run, check results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jvm import Op
+from repro.lang import CompileError, compile_source
+from tests.conftest import int_main, run_main
+
+
+class TestArithmeticAndPrecedence:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 / 3", 3),
+        ("-10 / 3", -3),
+        ("10 % 3", 1),
+        ("-10 % 3", -1),
+        ("1 << 3 | 1", 9),
+        ("255 >> 4", 15),
+        ("-1 >>> 28", 15),
+        ("6 & 3 ^ 1", 3),
+        ("~5", -6),
+        ("-(3 - 8)", 5),
+    ])
+    def test_int_expressions(self, expr, expected):
+        assert run_main(int_main(f"return {expr};")) == expected
+
+    def test_wraparound(self):
+        assert run_main(int_main(
+            "int big = 2147483647; return big + 1;")) == -2147483648
+
+    def test_large_literal_wraps(self):
+        assert run_main(int_main("return 2654435761 & 65535;")) \
+            == (2654435761 & 0xFFFFFFFF) % 65536
+
+
+class TestBooleansAndConditions:
+    @pytest.mark.parametrize("cond,expected", [
+        ("1 < 2", 1), ("2 < 1", 0), ("2 <= 2", 1), ("3 > 2", 1),
+        ("2 >= 3", 0), ("1 == 1", 1), ("1 != 1", 0),
+        ("true && false", 0), ("true || false", 1),
+        ("!(1 == 2)", 1),
+        ("1 < 2 && 2 < 3 || false", 1),
+    ])
+    def test_materialized_booleans(self, cond, expected):
+        assert run_main(int_main(
+            f"boolean b = {cond}; if (b) {{ return 1; }} return 0;")) \
+            == expected
+
+    def test_short_circuit_and(self):
+        # The second operand would divide by zero if evaluated.
+        assert run_main("""
+            class Main {
+                static int zero;
+                static boolean boom() { return 1 / zero == 0; }
+                static int main() {
+                    if (false && boom()) { return 1; }
+                    return 2;
+                }
+            }
+        """) == 2
+
+    def test_short_circuit_or(self):
+        assert run_main("""
+            class Main {
+                static int zero;
+                static boolean boom() { return 1 / zero == 0; }
+                static int main() {
+                    if (true || boom()) { return 1; }
+                    return 2;
+                }
+            }
+        """) == 1
+
+    def test_boolean_value_from_comparison(self):
+        assert run_main(int_main(
+            "boolean b = 3 > 2; boolean c = !b; "
+            "if (c) { return 0; } return 1;")) == 1
+
+    def test_ref_equality(self):
+        assert run_main("""
+            class A { }
+            class Main {
+                static int main() {
+                    A a = new A();
+                    A b = new A();
+                    A c = a;
+                    int r = 0;
+                    if (a == c) { r = r + 1; }
+                    if (a != b) { r = r + 2; }
+                    if (a == null) { r = r + 4; }
+                    if (null == b) { r = r + 8; }
+                    return r;
+                }
+            }
+        """) == 3
+
+    def test_float_nan_comparisons_false(self):
+        # NaN (0.0/0.0) compares false with < <= > >= ==.
+        assert run_main(int_main(
+            "float z = 0.0; float nan = z / z; int r = 0;"
+            "if (nan < 1.0) { r = r + 1; }"
+            "if (nan > 1.0) { r = r + 2; }"
+            "if (nan == nan) { r = r + 4; }"
+            "if (nan != nan) { r = r + 8; }"
+            "return r;")) == 8
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert run_main(int_main(
+            "int i = 0; int s = 0; "
+            "while (i < 10) { s = s + i; i = i + 1; } return s;")) == 45
+
+    def test_for_loop(self):
+        assert run_main(int_main(
+            "int s = 0; for (int i = 1; i <= 5; i = i + 1) "
+            "{ s = s * 10 + i; } return s;")) == 12345
+
+    def test_break_and_continue(self):
+        assert run_main(int_main(
+            "int s = 0;"
+            "for (int i = 0; i < 100; i = i + 1) {"
+            "  if (i == 7) { break; }"
+            "  if ((i & 1) == 1) { continue; }"
+            "  s = s + i;"
+            "} return s;")) == 12   # 0+2+4+6
+
+    def test_nested_loop_break_inner_only(self):
+        assert run_main(int_main(
+            "int s = 0;"
+            "for (int i = 0; i < 3; i = i + 1) {"
+            "  for (int j = 0; j < 10; j = j + 1) {"
+            "    if (j == 2) { break; }"
+            "    s = s + 1;"
+            "  }"
+            "} return s;")) == 6
+
+    def test_continue_in_while_reevaluates_condition(self):
+        assert run_main(int_main(
+            "int i = 0; int n = 0;"
+            "while (i < 10) { i = i + 1;"
+            "  if ((i & 1) == 0) { continue; } n = n + 1; }"
+            "return n;")) == 5
+
+    def test_empty_for_body(self):
+        assert run_main(int_main(
+            "int i; for (i = 0; i < 4; i = i + 1) { } return i;")) == 4
+
+
+class TestSwitch:
+    DENSE = """
+        int r = 0;
+        switch (%s) {
+            case 1: r = 10; break;
+            case 2: r = 20; break;
+            case 3: r = 30; break;
+            default: r = 99;
+        }
+        return r;
+    """
+
+    @pytest.mark.parametrize("value,expected",
+                             [(1, 10), (2, 20), (3, 30), (7, 99),
+                              (-1, 99)])
+    def test_dense_switch(self, value, expected):
+        assert run_main(int_main(self.DENSE % value)) == expected
+
+    SPARSE = """
+        int r = 0;
+        switch (%s) {
+            case 1: r = 1; break;
+            case 1000: r = 2; break;
+            case -5000: r = 3; break;
+            default: r = 9;
+        }
+        return r;
+    """
+
+    @pytest.mark.parametrize("value,expected",
+                             [(1, 1), (1000, 2), (-5000, 3), (0, 9)])
+    def test_sparse_switch_uses_compare_chain(self, value, expected):
+        source = int_main(self.SPARSE % value)
+        program = compile_source(source)
+        ops = {i.op for m in program.methods for i in m.code}
+        assert Op.TABLESWITCH not in ops
+        assert run_main(source) == expected
+
+    def test_dense_switch_uses_tableswitch(self):
+        program = compile_source(int_main(self.DENSE % 2))
+        ops = {i.op for m in program.methods for i in m.code}
+        assert Op.TABLESWITCH in ops
+
+    def test_fallthrough(self):
+        assert run_main(int_main("""
+            int r = 0;
+            switch (1) {
+                case 1: r = r + 1;
+                case 2: r = r + 10; break;
+                case 3: r = r + 100;
+            }
+            return r;
+        """)) == 11
+
+    def test_no_default_falls_past(self):
+        assert run_main(int_main(
+            "int r = 5; switch (42) { case 1: r = 1; } return r;")) == 5
+
+    def test_switch_side_effect_scrutinee_evaluated_once(self):
+        assert run_main("""
+            class Main {
+                static int calls;
+                static int next() { calls = calls + 1; return calls; }
+                static int main() {
+                    switch (next()) { case 1: break; default: break; }
+                    return calls;
+                }
+            }
+        """) == 1
+
+    def test_sparse_switch_scrutinee_evaluated_once(self):
+        assert run_main("""
+            class Main {
+                static int calls;
+                static int next() { calls = calls + 1; return 1000; }
+                static int main() {
+                    int r = 0;
+                    switch (next()) {
+                        case 1: r = 1; break;
+                        case 1000: r = 2; break;
+                        case 90000: r = 3; break;
+                    }
+                    return r * 10 + calls;
+                }
+            }
+        """) == 21
+
+
+class TestAssignments:
+    def test_assignment_as_value(self):
+        assert run_main(int_main(
+            "int x; int y = (x = 5) + 1; return x * 10 + y;")) == 56
+
+    def test_chained_assignment(self):
+        assert run_main(int_main(
+            "int a; int b; a = b = 7; return a + b;")) == 14
+
+    def test_field_assignment_as_value(self):
+        assert run_main("""
+            class Box { int v; }
+            class Main {
+                static int main() {
+                    Box b = new Box();
+                    int x = (b.v = 9) + 1;
+                    return b.v * 100 + x;
+                }
+            }
+        """) == 910
+
+    def test_static_assignment_as_value(self):
+        assert run_main("""
+            class G { static int n; }
+            class Main {
+                static int main() {
+                    int x = (G.n = 3) * 2;
+                    return G.n + x;
+                }
+            }
+        """) == 9
+
+    def test_array_assignment_as_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source(int_main(
+                "int[] a = new int[2]; int x = (a[0] = 1); return x;"))
+
+    def test_evaluation_order_left_to_right(self):
+        assert run_main("""
+            class Main {
+                static int trace;
+                static int mark(int v) {
+                    trace = trace * 10 + v;
+                    return v;
+                }
+                static int main() {
+                    int x = mark(1) + mark(2) * mark(3);
+                    return trace;
+                }
+            }
+        """) == 123
+
+
+class TestMethodsAndObjects:
+    def test_constructor_chain_fields(self):
+        assert run_main("""
+            class Pair {
+                int a; int b;
+                Pair(int a, int b) { this.a = a; this.b = b; }
+                int diff() { return a - b; }
+            }
+            class Main {
+                static int main() {
+                    return new Pair(9, 4).diff();
+                }
+            }
+        """) == 5
+
+    def test_polymorphic_sum(self):
+        assert run_main("""
+            class Shape { int area() { return 0; } }
+            class Sq extends Shape {
+                int s;
+                Sq(int s) { this.s = s; }
+                int area() { return s * s; }
+            }
+            class Tri extends Shape {
+                int b; int h;
+                Tri(int b, int h) { this.b = b; this.h = h; }
+                int area() { return b * h / 2; }
+            }
+            class Main {
+                static int main() {
+                    Shape[] shapes = new Shape[3];
+                    shapes[0] = new Sq(4);
+                    shapes[1] = new Tri(6, 5);
+                    shapes[2] = new Shape();
+                    int total = 0;
+                    for (int i = 0; i < shapes.length; i = i + 1) {
+                        total = total + shapes[i].area();
+                    }
+                    return total;
+                }
+            }
+        """) == 31
+
+    def test_inherited_method_sees_subclass_state(self):
+        assert run_main("""
+            class A {
+                int x;
+                int get() { return x; }
+            }
+            class B extends A { }
+            class Main {
+                static int main() {
+                    B b = new B();
+                    b.x = 5;
+                    return b.get();
+                }
+            }
+        """) == 5
+
+    def test_void_method_call_statement(self):
+        assert run_main("""
+            class Main {
+                static int n;
+                static void bump() { n = n + 2; }
+                static int main() { bump(); bump(); return n; }
+            }
+        """) == 4
+
+    def test_value_call_in_statement_position_pops(self):
+        assert run_main("""
+            class Main {
+                static int n;
+                static int bump() { n = n + 1; return n; }
+                static int main() { bump(); bump(); return n; }
+            }
+        """) == 2
+
+    def test_string_field_and_prints(self):
+        from repro.jvm import ThreadedInterpreter
+        program = compile_source("""
+            class Msg { String text; }
+            class Main {
+                static void main() {
+                    Msg m = new Msg();
+                    m.text = "hello";
+                    Sys.prints(m.text);
+                }
+            }
+        """)
+        machine = ThreadedInterpreter(program).run()
+        assert machine.output == ["hello"]

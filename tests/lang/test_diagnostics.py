@@ -1,0 +1,61 @@
+"""Diagnostics: positions and error formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import (CompileError, LexError, ParseError,
+                        SemanticError, compile_source)
+from repro.lang.diagnostics import NO_POS, Pos
+
+
+class TestPos:
+    def test_str(self):
+        assert str(Pos(3, 7)) == "3:7"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Pos(1, 1).line = 2
+
+    def test_no_pos_sentinel(self):
+        assert NO_POS.line == 0
+
+
+class TestErrorMessages:
+    def test_errors_carry_position(self):
+        try:
+            compile_source("class Main {\n  static int main() {\n"
+                           "    return missing;\n  }\n}")
+        except SemanticError as error:
+            assert error.pos.line == 3
+            assert "missing" in str(error)
+        else:
+            pytest.fail("expected SemanticError")
+
+    def test_parse_error_position(self):
+        try:
+            compile_source("class Main {\n  static int main() {\n"
+                           "    int x = ;\n  }\n}")
+        except ParseError as error:
+            assert error.pos.line == 3
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_lex_error_position(self):
+        try:
+            compile_source("class Main {\n  static void main() {\n"
+                           "    int x = `bad`;\n  }\n}")
+        except LexError as error:
+            assert error.pos.line == 3
+        else:
+            pytest.fail("expected LexError")
+
+    def test_hierarchy(self):
+        assert issubclass(LexError, CompileError)
+        assert issubclass(ParseError, CompileError)
+        assert issubclass(SemanticError, CompileError)
+
+    def test_message_attribute(self):
+        error = SemanticError("boom", Pos(2, 4))
+        assert error.message == "boom"
+        assert "2:4" in str(error)

@@ -1,0 +1,196 @@
+"""Property-based differential testing of the whole compile+execute
+pipeline: random expressions are compiled by the mini-Java compiler and
+executed by both interpreters; the result must match an independent
+Python evaluator implementing Java semantics.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jvm import SwitchInterpreter, ThreadedInterpreter
+from repro.jvm.values import (java_idiv, java_irem, java_ishl, java_ishr,
+                              java_iushr, wrap_int)
+from repro.lang import compile_source
+
+# ---------------------------------------------------------------------------
+# Expression AST for the generator: (op, left, right) or ("lit", v) or
+# ("var", index).  Three int variables a, b, c are in scope.
+
+_VARS = ("a", "b", "c")
+
+_BINOPS = {
+    "+": lambda x, y: wrap_int(x + y),
+    "-": lambda x, y: wrap_int(x - y),
+    "*": lambda x, y: wrap_int(x * y),
+    "/": java_idiv,
+    "%": java_irem,
+    "&": lambda x, y: x & y,
+    "|": lambda x, y: x | y,
+    "^": lambda x, y: x ^ y,
+    "<<": java_ishl,
+    ">>": java_ishr,
+    ">>>": java_iushr,
+}
+
+
+def expressions(depth: int):
+    leaf = st.one_of(
+        st.tuples(st.just("lit"),
+                  st.integers(min_value=-100, max_value=100)),
+        st.tuples(st.just("var"), st.integers(min_value=0, max_value=2)),
+    )
+    if depth == 0:
+        return leaf
+    sub = expressions(depth - 1)
+    node = st.tuples(st.sampled_from(sorted(_BINOPS)), sub, sub)
+    neg = st.tuples(st.just("neg"), sub)
+    inv = st.tuples(st.just("inv"), sub)
+    return st.one_of(leaf, node, neg, inv)
+
+
+def to_source(expr) -> str:
+    kind = expr[0]
+    if kind == "lit":
+        value = expr[1]
+        return f"({value})" if value < 0 else str(value)
+    if kind == "var":
+        return _VARS[expr[1]]
+    if kind == "neg":
+        return f"(-{to_source(expr[1])})"
+    if kind == "inv":
+        return f"(~{to_source(expr[1])})"
+    op, left, right = expr
+    return f"({to_source(left)} {op} {to_source(right)})"
+
+
+class Unevaluable(Exception):
+    """Division by zero somewhere in the expression: skip the case."""
+
+
+def evaluate(expr, env) -> int:
+    kind = expr[0]
+    if kind == "lit":
+        return expr[1]
+    if kind == "var":
+        return env[expr[1]]
+    if kind == "neg":
+        return wrap_int(-evaluate(expr[1], env))
+    if kind == "inv":
+        return wrap_int(~evaluate(expr[1], env))
+    op, left, right = expr
+    lv = evaluate(left, env)
+    rv = evaluate(right, env)
+    if op in ("/", "%") and rv == 0:
+        raise Unevaluable
+    return _BINOPS[op](lv, rv)
+
+
+@given(expressions(depth=4),
+       st.tuples(*[st.integers(min_value=-1000, max_value=1000)] * 3))
+@settings(max_examples=120, deadline=None)
+def test_random_int_expressions_match_oracle(expr, values):
+    try:
+        expected = evaluate(expr, values)
+    except Unevaluable:
+        return
+    source = f"""
+        class Main {{
+            static int compute(int a, int b, int c) {{
+                return {to_source(expr)};
+            }}
+            static int main() {{
+                return compute({values[0]}, {values[1]}, {values[2]});
+            }}
+        }}
+    """
+    program = compile_source(source)
+    threaded = ThreadedInterpreter(program).run()
+    switch = SwitchInterpreter(program)
+    switch.run()
+    assert threaded.result == expected
+    assert switch.result == expected
+
+
+# ---------------------------------------------------------------------------
+# Boolean / comparison oracle.
+
+def bool_expressions(depth: int):
+    comparison = st.tuples(
+        st.sampled_from(("<", "<=", ">", ">=", "==", "!=")),
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20))
+    if depth == 0:
+        return st.one_of(comparison,
+                         st.tuples(st.just("const"), st.booleans()))
+    sub = bool_expressions(depth - 1)
+    return st.one_of(
+        comparison,
+        st.tuples(st.just("const"), st.booleans()),
+        st.tuples(st.sampled_from(("&&", "||")), sub, sub),
+        st.tuples(st.just("!"), sub),
+    )
+
+
+_CMP = {"<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b, "!=": lambda a, b: a != b}
+
+
+def bool_to_source(expr) -> str:
+    kind = expr[0]
+    if kind == "const":
+        return "true" if expr[1] else "false"
+    if kind == "!":
+        return f"(!{bool_to_source(expr[1])})"
+    if kind in ("&&", "||"):
+        return (f"({bool_to_source(expr[1])} {kind} "
+                f"{bool_to_source(expr[2])})")
+    op, a, b = expr
+    left = f"({a})" if a < 0 else str(a)
+    right = f"({b})" if b < 0 else str(b)
+    return f"({left} {op} {right})"
+
+
+def bool_evaluate(expr) -> bool:
+    kind = expr[0]
+    if kind == "const":
+        return expr[1]
+    if kind == "!":
+        return not bool_evaluate(expr[1])
+    if kind == "&&":
+        return bool_evaluate(expr[1]) and bool_evaluate(expr[2])
+    if kind == "||":
+        return bool_evaluate(expr[1]) or bool_evaluate(expr[2])
+    op, a, b = expr
+    return _CMP[op](a, b)
+
+
+@given(bool_expressions(depth=4))
+@settings(max_examples=100, deadline=None)
+def test_random_boolean_expressions_match_oracle(expr):
+    expected = 1 if bool_evaluate(expr) else 0
+    source = f"""
+        class Main {{
+            static int main() {{
+                boolean r = {bool_to_source(expr)};
+                if (r) {{ return 1; }}
+                return 0;
+            }}
+        }}
+    """
+    program = compile_source(source)
+    threaded = ThreadedInterpreter(program).run()
+    assert threaded.result == expected
+    # Also exercise the condition-position compilation path.
+    cond_source = f"""
+        class Main {{
+            static int main() {{
+                if ({bool_to_source(expr)}) {{ return 1; }}
+                return 0;
+            }}
+        }}
+    """
+    cond = ThreadedInterpreter(compile_source(cond_source)).run()
+    assert cond.result == expected

@@ -1,0 +1,248 @@
+"""Language extensions: compound assignment, ++/--, do-while, ternary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import CompileError, ParseError, SemanticError, parse
+from repro.lang import ast
+from repro.lang.compiler import compile_source
+from tests.conftest import int_main, run_main
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize("stmts,expected", [
+        ("int x = 5; x += 3; return x;", 8),
+        ("int x = 5; x -= 3; return x;", 2),
+        ("int x = 5; x *= 3; return x;", 15),
+        ("int x = 7; x /= 2; return x;", 3),
+        ("int x = 7; x %= 4; return x;", 3),
+        ("int x = 5; x &= 3; return x;", 1),
+        ("int x = 5; x |= 2; return x;", 7),
+        ("int x = 5; x ^= 3; return x;", 6),
+        ("int x = 1; x <<= 3; return x;", 8),
+        ("int x = -16; x >>= 2; return x;", -4),
+        ("int x = -1; x >>>= 28; return x;", 15),
+    ])
+    def test_all_operators(self, stmts, expected):
+        assert run_main(int_main(stmts)) == expected
+
+    def test_float_compound(self):
+        assert run_main(int_main(
+            "float f = 2.0; f += 1.5; f *= 2.0; f -= 3.0; f /= 2.0; "
+            "return (int) f;")) == 2
+
+    def test_int_widens_into_float_target(self):
+        assert run_main(int_main(
+            "float f = 1.5; f += 2; return (int) (f * 10.0);")) == 35
+
+    def test_static_field_compound(self):
+        assert run_main("""
+            class G { static int n; }
+            class Main {
+                static int main() { G.n += 4; G.n *= 3; return G.n; }
+            }
+        """) == 12
+
+    def test_instance_field_compound_via_this(self):
+        assert run_main("""
+            class Counter {
+                int n;
+                void bump(int by) { n += by; }
+            }
+            class Main {
+                static int main() {
+                    Counter c = new Counter();
+                    c.bump(3);
+                    c.bump(4);
+                    return c.n;
+                }
+            }
+        """) == 7
+
+    def test_object_evaluated_once(self):
+        assert run_main("""
+            class Box { int v; }
+            class Main {
+                static int calls;
+                static Box box;
+                static Box get() { calls += 1; return box; }
+                static int main() {
+                    box = new Box();
+                    get().v += 5;
+                    get().v *= 3;
+                    return box.v * 10 + calls;
+                }
+            }
+        """) == 152
+
+    def test_array_index_evaluated_once(self):
+        assert run_main("""
+            class Main {
+                static int calls;
+                static int idx() { calls += 1; return 1; }
+                static int main() {
+                    int[] a = new int[3];
+                    a[idx()] += 6;
+                    return a[1] * 10 + calls;
+                }
+            }
+        """) == 61
+
+    def test_value_position_yields_new_value(self):
+        assert run_main(int_main(
+            "int x = 5; int y = (x *= 2); return x * 100 + y;")) == 1010
+
+    def test_bit_compound_requires_int(self):
+        with pytest.raises(SemanticError, match="int target"):
+            compile_source(int_main("float f = 1.0; f <<= 1; return 0;"))
+
+    def test_numeric_target_required(self):
+        with pytest.raises(SemanticError, match="numeric"):
+            compile_source(int_main(
+                "boolean b = true; b += 1; return 0;"))
+
+    def test_array_compound_as_value_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source(int_main(
+                "int[] a = new int[2]; int x = (a[0] += 1); return x;"))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse(int_main("1 += 2; return 0;"))
+
+
+class TestIncrementDecrement:
+    def test_postfix_statement(self):
+        assert run_main(int_main(
+            "int i = 0; int s = 0;"
+            "while (i < 6) { s += i; i++; } return s;")) == 15
+
+    def test_prefix_statement(self):
+        assert run_main(int_main(
+            "int i = 6; int s = 0;"
+            "while (i > 0) { --i; s += i; } return s;")) == 15
+
+    def test_for_loop_idiom(self):
+        assert run_main(int_main(
+            "int s = 0; for (int i = 0; i < 10; i++) { s += i; } "
+            "return s;")) == 45
+
+    def test_field_increment(self):
+        assert run_main("""
+            class C { int n; }
+            class Main {
+                static int main() {
+                    C c = new C();
+                    c.n++;
+                    c.n++;
+                    return c.n;
+                }
+            }
+        """) == 2
+
+    def test_array_element_increment(self):
+        assert run_main(int_main(
+            "int[] a = new int[2]; a[0]++; a[0]++; a[1]--; "
+            "return a[0] * 10 + a[1];")) == 19
+
+    def test_desugars_to_compound(self):
+        unit = parse(int_main("int i = 0; i++; return i;"))
+        stmt = unit.classes[0].methods[0].body.stmts[1]
+        assert isinstance(stmt.expr, ast.CompoundAssign)
+        assert stmt.expr.op == "+"
+
+    def test_invalid_target(self):
+        with pytest.raises(ParseError, match="increment"):
+            parse(int_main("5++; return 0;"))
+
+    def test_compiles_to_iinc(self):
+        from repro.jvm import Op
+        program = compile_source(int_main(
+            "int s = 0; for (int i = 0; i < 3; i++) { s += 1; } "
+            "return s;"))
+        ops = [i.op for m in program.methods for i in m.code]
+        assert Op.IINC in ops
+
+
+class TestDoWhile:
+    def test_executes_at_least_once(self):
+        assert run_main(int_main(
+            "int n = 0; do { n++; } while (false); return n;")) == 1
+
+    def test_loops_until_false(self):
+        assert run_main(int_main(
+            "int i = 0; int s = 0; do { s += i; i++; } while (i < 5);"
+            "return s;")) == 10
+
+    def test_break_and_continue(self):
+        assert run_main(int_main(
+            "int i = 0; int s = 0;"
+            "do { i++; if (i == 3) { continue; }"
+            "     if (i == 6) { break; } s += i; } while (i < 100);"
+            "return s;")) == 1 + 2 + 4 + 5
+
+    def test_one_dispatch_per_iteration(self):
+        # a do-while body+condition is a straight line: fewer blocks
+        # than the equivalent while loop
+        from repro.jvm import ThreadedInterpreter
+        do_program = compile_source(int_main(
+            "int i = 0; do { i++; } while (i < 1000); return i;"))
+        while_program = compile_source(int_main(
+            "int i = 0; while (i < 1000) { i++; } return i;"))
+        do_disp = ThreadedInterpreter(do_program)
+        do_disp.run()
+        while_disp = ThreadedInterpreter(while_program)
+        while_disp.run()
+        assert do_disp.dispatch_count <= while_disp.dispatch_count
+
+
+class TestTernary:
+    def test_basic_selection(self):
+        assert run_main(int_main("return 1 < 2 ? 10 : 20;")) == 10
+        assert run_main(int_main("return 1 > 2 ? 10 : 20;")) == 20
+
+    def test_nested_right_associative(self):
+        assert run_main(int_main(
+            "int x = 2; return x == 1 ? 10 : x == 2 ? 20 : 30;")) == 20
+
+    def test_numeric_promotion(self):
+        assert run_main(int_main(
+            "float f = true ? 1 : 2.5; return (int) (f * 10.0);")) == 10
+
+    def test_reference_branches(self):
+        assert run_main("""
+            class A { int v; }
+            class Main {
+                static int main() {
+                    A a = new A();
+                    a.v = 9;
+                    A picked = 1 < 2 ? a : null;
+                    return picked.v;
+                }
+            }
+        """) == 9
+
+    def test_only_selected_branch_evaluated(self):
+        assert run_main("""
+            class Main {
+                static int zero;
+                static int boom() { return 1 / zero; }
+                static int main() {
+                    return true ? 42 : boom();
+                }
+            }
+        """) == 42
+
+    def test_condition_must_be_boolean(self):
+        with pytest.raises(SemanticError):
+            compile_source(int_main("return 1 ? 2 : 3;"))
+
+    def test_incompatible_branches(self):
+        with pytest.raises(SemanticError, match="incompatible"):
+            compile_source(int_main("return true ? 1 : true;"))
+
+    def test_in_condition_position(self):
+        assert run_main(int_main(
+            "int x = 5; if ((x > 3 ? x : 0) == 5) { return 1; } "
+            "return 0;")) == 1

@@ -1,0 +1,104 @@
+"""Tokenizer behaviour and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("class foo int bar")
+        assert [t.kind for t in tokens[:-1]] == \
+            ["kw", "ident", "kw", "ident"]
+
+    def test_underscore_identifier(self):
+        assert tokenize("_x1")[0].kind == "ident"
+
+    def test_integers(self):
+        token = tokenize("12345")[0]
+        assert token.kind == "int"
+        assert token.value == 12345
+
+    def test_floats(self):
+        assert tokenize("1.5")[0].value == 1.5
+        assert tokenize("2.")[0].kind == "float"
+        assert tokenize("3f")[0].value == 3.0
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("1.5e-2")[0].value == 0.015
+
+    def test_malformed_number(self):
+        with pytest.raises(LexError):
+            tokenize("1.2.3")
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+    def test_string_literal(self):
+        token = tokenize('"hello world"')[0]
+        assert token.kind == "string"
+        assert token.value == "hello world"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\t\"q\\"')[0].value == 'a\nb\t"q\\'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError, match="escape"):
+            tokenize(r'"\q"')
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError, match="unexpected"):
+            tokenize("@")
+
+
+class TestOperators:
+    def test_longest_match(self):
+        assert texts("a >>> b >> c > d") == \
+            ["a", ">>>", "b", ">>", "c", ">", "d"]
+
+    def test_relational_pairs(self):
+        assert texts("<= >= == != && ||") == \
+            ["<=", ">=", "==", "!=", "&&", "||"]
+
+    def test_shift_vs_less(self):
+        assert texts("a<<b<c") == ["a", "<<", "b", "<", "c"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].pos.line == 1
+        assert tokens[1].pos.line == 2
+        assert tokens[2].pos.line == 3
+        assert tokens[2].pos.col == 3
+
+    def test_position_after_block_comment(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].pos.line == 2

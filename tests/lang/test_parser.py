@@ -1,0 +1,225 @@
+"""Parser structure and error behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast
+
+
+def parse_main_body(body: str):
+    unit = parse("class Main { static int main() { " + body + " } }")
+    return unit.classes[0].methods[0].body.stmts
+
+
+def parse_expr(text: str):
+    stmts = parse_main_body(f"return {text};")
+    return stmts[0].value
+
+
+class TestClassStructure:
+    def test_class_with_extends(self):
+        unit = parse("class A extends Object { } class B extends A { }")
+        assert unit.classes[1].super_name == "A"
+
+    def test_default_super_is_object(self):
+        unit = parse("class A { }")
+        assert unit.classes[0].super_name == "Object"
+
+    def test_fields_and_methods_separated(self):
+        unit = parse("""
+            class A {
+                int x;
+                static float y;
+                void m() { }
+                static int n() { return 1; }
+            }
+        """)
+        cls = unit.classes[0]
+        assert [f.name for f in cls.fields] == ["x", "y"]
+        assert cls.fields[1].is_static
+        assert [m.name for m in cls.methods] == ["m", "n"]
+        assert cls.methods[1].is_static
+
+    def test_constructor_recognized(self):
+        unit = parse("class A { A(int x) { } }")
+        ctor = unit.classes[0].methods[0]
+        assert ctor.is_ctor
+        assert ctor.name == "<init>"
+
+    def test_array_types(self):
+        unit = parse("class A { int[] a; float[][] b; }")
+        assert unit.classes[0].fields[0].type_name == "int[]"
+        assert unit.classes[0].fields[1].type_name == "float[][]"
+
+    def test_void_field_rejected(self):
+        with pytest.raises(ParseError, match="void"):
+            parse("class A { void x; }")
+
+    def test_missing_brace(self):
+        with pytest.raises(ParseError):
+            parse("class A {")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        stmts = parse_main_body("int x = 3; return x;")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert stmts[0].type_name == "int"
+
+    def test_class_type_decl_vs_expression(self):
+        stmts = parse_main_body("Foo x = null; x = x; return 0;")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert isinstance(stmts[1], ast.ExprStmt)
+
+    def test_array_decl_vs_index(self):
+        stmts = parse_main_body(
+            "int[] a = new int[3]; a[0] = 1; return a[0];")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert isinstance(stmts[1].expr, ast.Assign)
+        assert isinstance(stmts[1].expr.target, ast.Index)
+
+    def test_if_else(self):
+        stmts = parse_main_body(
+            "if (true) { return 1; } else { return 2; }")
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert node.else_branch is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmts = parse_main_body(
+            "if (true) if (false) return 1; else return 2; return 3;")
+        outer = stmts[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_for_variants(self):
+        stmts = parse_main_body("for (;;) { break; } return 0;")
+        node = stmts[0]
+        assert node.init is None and node.cond is None \
+            and node.update is None
+
+    def test_while(self):
+        stmts = parse_main_body("while (true) { break; } return 0;")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_switch_groups(self):
+        stmts = parse_main_body("""
+            switch (1) {
+                case 0:
+                case 1: return 1;
+                case 5: return 5;
+                default: return 9;
+            }
+        """)
+        switch = stmts[0]
+        assert [c.values for c in switch.cases] == [[0, 1], [5]]
+        assert switch.default is not None
+
+    def test_negative_case_label(self):
+        stmts = parse_main_body(
+            "switch (1) { case -2: return 1; default: return 0; }")
+        assert stmts[0].cases[0].values == [-2]
+
+    def test_non_constant_case_rejected(self):
+        with pytest.raises(ParseError, match="integer literal"):
+            parse_main_body("switch (1) { case x: return 1; }")
+
+    def test_duplicate_default_rejected(self):
+        with pytest.raises(ParseError, match="default"):
+            parse_main_body(
+                "switch (1) { default: return 1; default: return 2; }")
+
+    def test_try_catch(self):
+        stmts = parse_main_body(
+            "try { return 1; } catch (Exception e) { return 2; }")
+        node = stmts[0]
+        assert isinstance(node, ast.TryCatch)
+        assert node.exc_class == "Exception"
+        assert node.var_name == "e"
+
+    def test_throw(self):
+        stmts = parse_main_body("throw new Exception(); return 0;")
+        assert isinstance(stmts[0], ast.Throw)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_comparison_below_bitand(self):
+        # C-like would differ; ours: & binds tighter than ==? No:
+        # equality binds tighter than &, per grammar: | < ^ < & < ==.
+        expr = parse_expr("1 & 2 == 3")
+        assert expr.op == "&"
+        assert expr.right.op == "=="
+
+    def test_logical_precedence(self):
+        expr = parse_expr("true || false && true")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_unary_chain(self):
+        expr = parse_expr("- - 3")
+        assert isinstance(expr, ast.Unary)
+        assert isinstance(expr.operand, ast.Unary)
+
+    def test_cast(self):
+        expr = parse_expr("(int) 1.5")
+        assert isinstance(expr, ast.Cast)
+        assert expr.target_type == "int"
+
+    def test_parenthesized_not_cast(self):
+        expr = parse_expr("(1) + 2")
+        assert isinstance(expr, ast.Binary)
+
+    def test_call_chain(self):
+        expr = parse_expr("a.b(1).c(2, 3)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+        inner = expr.target.obj
+        assert isinstance(inner, ast.Call)
+
+    def test_field_then_index(self):
+        expr = parse_expr("obj.arr[2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.array, ast.FieldAccess)
+
+    def test_new_object(self):
+        expr = parse_expr("new Point(1, 2)")
+        assert isinstance(expr, ast.NewObject)
+        assert len(expr.args) == 2
+
+    def test_new_array_multi(self):
+        expr = parse_expr("new int[5][]")
+        assert isinstance(expr, ast.NewArray)
+        assert expr.elem == "int[]"
+
+    def test_instanceof(self):
+        expr = parse_expr("x instanceof Foo")
+        assert isinstance(expr, ast.InstanceOf)
+
+    def test_assignment_right_associative(self):
+        stmts = parse_main_body("x = y = 1; return 0;")
+        assign = stmts[0].expr
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse_expr("1 = 2")
+
+    def test_this(self):
+        expr = parse_expr("this")
+        assert isinstance(expr, ast.This)
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse_expr("]")

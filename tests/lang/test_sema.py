@@ -1,0 +1,317 @@
+"""Semantic analysis: typing rules, name resolution, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import SemanticError, analyze, parse
+from repro.lang import ast
+
+
+def analyze_source(source: str):
+    unit = parse(source)
+    return unit, analyze(unit)
+
+
+def analyze_main(body: str, prelude: str = ""):
+    return analyze_source(
+        prelude + " class Main { static int main() { " + body + " } }")
+
+
+def expect_error(body: str, match: str, prelude: str = ""):
+    with pytest.raises(SemanticError, match=match):
+        analyze_main(body, prelude)
+
+
+class TestDeclarations:
+    def test_duplicate_class(self):
+        with pytest.raises(SemanticError, match="duplicate class"):
+            analyze_source("class A { } class A { }")
+
+    def test_sys_reserved(self):
+        with pytest.raises(SemanticError, match="reserved"):
+            analyze_source("class Sys { }")
+
+    def test_unknown_super(self):
+        with pytest.raises(SemanticError, match="unknown class"):
+            analyze_source("class A extends Nope { }")
+
+    def test_inheritance_cycle(self):
+        with pytest.raises(SemanticError, match="cycle"):
+            analyze_source("class A extends B { } class B extends A { }")
+
+    def test_duplicate_field(self):
+        with pytest.raises(SemanticError, match="duplicate field"):
+            analyze_source("class A { int x; int x; }")
+
+    def test_duplicate_method(self):
+        with pytest.raises(SemanticError, match="duplicate method"):
+            analyze_source("class A { void m() { } void m() { } }")
+
+    def test_unknown_field_type(self):
+        with pytest.raises(SemanticError, match="unknown type"):
+            analyze_source("class A { Widget w; }")
+
+    def test_override_signature_must_match(self):
+        with pytest.raises(SemanticError, match="different"):
+            analyze_source("""
+                class A { int f(int x) { return x; } }
+                class B extends A { int f() { return 0; } }
+            """)
+
+    def test_override_same_signature_ok(self):
+        analyze_source("""
+            class A { int f(int x) { return x; } }
+            class B extends A { int f(int y) { return y + 1; } }
+        """)
+
+    def test_missing_return_rejected(self):
+        expect_error("int x = 1;", "without a return")
+
+    def test_return_through_if_else(self):
+        analyze_main("if (true) { return 1; } else { return 2; }")
+
+    def test_return_through_try_catch(self):
+        analyze_main("try { return 1; } "
+                     "catch (Exception e) { return 2; }")
+
+
+class TestTypes:
+    def test_int_widens_to_float(self):
+        unit, _ = analyze_main("float f = 3; return (int) f;")
+        decl = unit.classes[0].methods[0].body.stmts[0]
+        assert isinstance(decl.init, ast.Cast)
+        assert decl.init.type == "float"
+
+    def test_float_narrowing_needs_cast(self):
+        expect_error("int x = 1.5; return x;", "cannot assign")
+
+    def test_boolean_not_int(self):
+        expect_error("int x = true; return x;", "cannot assign")
+        expect_error("boolean b = 1; return 0;", "cannot assign")
+
+    def test_condition_must_be_boolean(self):
+        expect_error("if (1) { } return 0;", "expected boolean")
+        expect_error("while (0) { } return 0;", "expected boolean")
+
+    def test_arithmetic_types(self):
+        expect_error("return 1 + true;", "arithmetic")
+        expect_error("return null * 2;", "arithmetic")
+
+    def test_bit_ops_int_only(self):
+        expect_error("return 1 & 1.5;", "expected int")
+        expect_error("float f = 1.0; return f << 2;", "expected int")
+
+    def test_mixed_comparison_coerces(self):
+        analyze_main("if (1 < 2.5) { return 1; } return 0;")
+
+    def test_incomparable_types(self):
+        expect_error("if (null == 1) { } return 0;", "compare")
+
+    def test_null_assignable_to_refs(self):
+        analyze_main("int[] a = null; Object o = null; String s = null; "
+                     "return 0;")
+
+    def test_subclass_widens(self):
+        analyze_main("Object o = new Exception(); return 0;",
+                     prelude="")
+
+    def test_downcast_rejected(self):
+        expect_error("Exception e = new Object(); return 0;",
+                     "cannot assign")
+
+    def test_cast_only_numeric(self):
+        expect_error("Object o = null; return (int) o;", "cannot cast")
+
+    def test_logical_needs_boolean(self):
+        expect_error("if (1 && true) { } return 0;", "expected boolean")
+
+    def test_unary_types(self):
+        expect_error("return -true;", "unary")
+        expect_error("return ~1.5;", "expected int")
+        expect_error("boolean b = !3; return 0;", "expected boolean")
+
+
+class TestNames:
+    def test_unknown_name(self):
+        expect_error("return missing;", "unknown name")
+
+    def test_duplicate_local(self):
+        expect_error("int x = 1; int x = 2; return x;", "duplicate")
+
+    def test_shadowing_in_inner_scope_ok(self):
+        analyze_main("int x = 1; { int y = 2; } { int y = 3; } return x;")
+
+    def test_scope_ends_with_block(self):
+        expect_error("{ int y = 2; } return y;", "unknown name")
+
+    def test_for_scope(self):
+        expect_error("for (int i = 0; i < 3; i = i + 1) { } return i;",
+                     "unknown name")
+
+    def test_this_in_static_rejected(self):
+        expect_error("return this.x;", "static")
+
+    def test_instance_field_via_implicit_this(self):
+        analyze_source("""
+            class A {
+                int x;
+                int get() { return x; }
+            }
+        """)
+
+    def test_instance_field_from_static_rejected(self):
+        with pytest.raises(SemanticError, match="unknown name"):
+            analyze_source("""
+                class A {
+                    int x;
+                    static int get() { return x; }
+                }
+            """)
+
+    def test_static_field_unqualified(self):
+        analyze_source("""
+            class A {
+                static int n;
+                static int get() { return n; }
+            }
+        """)
+
+    def test_static_field_qualified(self):
+        analyze_main("return Counter.n;",
+                     prelude="class Counter { static int n; }")
+
+    def test_catch_var_scoped_to_handler(self):
+        expect_error(
+            "try { } catch (Exception e) { } return e.code;",
+            "unknown name")
+
+
+class TestCalls:
+    PRELUDE = """
+        class Helper {
+            static int twice(int x) { return x + x; }
+            int id(int x) { return x; }
+        }
+    """
+
+    def test_static_qualified(self):
+        analyze_main("return Helper.twice(4);", prelude=self.PRELUDE)
+
+    def test_arity_checked(self):
+        expect_error("return Helper.twice(1, 2);", "arguments",
+                     prelude=self.PRELUDE)
+
+    def test_arg_types_checked(self):
+        expect_error("return Helper.twice(null);", "cannot assign",
+                     prelude=self.PRELUDE)
+
+    def test_virtual_on_instance(self):
+        analyze_main("Helper h = new Helper(); return h.id(3);",
+                     prelude=self.PRELUDE)
+
+    def test_instance_from_static_context_rejected(self):
+        with pytest.raises(SemanticError, match="static context"):
+            analyze_source("""
+                class A {
+                    int inst() { return 1; }
+                    static int go() { return inst(); }
+                }
+            """)
+
+    def test_unqualified_instance_call(self):
+        analyze_source("""
+            class A {
+                int inst() { return 1; }
+                int go() { return inst(); }
+            }
+        """)
+
+    def test_native_signature_checked(self):
+        expect_error("Sys.print(1.5); return 0;", "cannot assign")
+        expect_error("return Sys.nothing();", "unknown native")
+
+    def test_native_resolved(self):
+        unit, _ = analyze_main("return Sys.abs(0 - 2);")
+
+    def test_call_on_non_object(self):
+        expect_error("int x = 1; return x.m();", "non-object")
+
+
+class TestConstructorsAndNew:
+    def test_ctor_args_checked(self):
+        prelude = "class P { int x; P(int x) { this.x = x; } }"
+        analyze_main("P p = new P(1); return p.x;", prelude=prelude)
+        expect_error("P p = new P(); return 0;", "arguments",
+                     prelude=prelude)
+
+    def test_default_ctor_rejects_args(self):
+        expect_error("Object o = new Object(3); return 0;",
+                     "no constructor")
+
+    def test_new_unknown_class(self):
+        expect_error("return new Widget().x;", "unknown class")
+
+    def test_new_array_size_must_be_int(self):
+        expect_error("int[] a = new int[1.5]; return 0;", "expected int")
+
+
+class TestArraysAndFields:
+    def test_array_length(self):
+        unit, _ = analyze_main("int[] a = new int[3]; return a.length;")
+
+    def test_array_length_not_assignable(self):
+        expect_error("int[] a = new int[3]; a.length = 5; return 0;",
+                     "read-only")
+
+    def test_index_non_array(self):
+        expect_error("int x = 1; return x[0];", "non-array")
+
+    def test_index_must_be_int(self):
+        expect_error("int[] a = new int[3]; return a[true];",
+                     "expected int")
+
+    def test_unknown_instance_field(self):
+        expect_error("Object o = null; return o.missing;", "no field")
+
+    def test_element_type_tracked(self):
+        expect_error(
+            "float[] a = new float[2]; int x = a[0]; return x;",
+            "cannot assign")
+
+    def test_throw_requires_throwable(self):
+        expect_error("throw new Object(); return 0;", "non-Throwable")
+
+    def test_catch_requires_throwable(self):
+        expect_error("try { } catch (Object o) { } return 0;",
+                     "non-Throwable")
+
+
+class TestBreakContinueSwitch:
+    def test_break_outside_loop(self):
+        expect_error("break; return 0;", "outside")
+
+    def test_continue_outside_loop(self):
+        expect_error("continue; return 0;", "outside")
+
+    def test_continue_in_switch_needs_loop(self):
+        expect_error(
+            "switch (1) { default: continue; } return 0;", "outside")
+
+    def test_break_in_switch_ok(self):
+        analyze_main("switch (1) { default: break; } return 0;")
+
+    def test_duplicate_case_values(self):
+        expect_error(
+            "switch (1) { case 1: break; case 1: break; } return 0;",
+            "duplicate case")
+
+    def test_switch_scrutinee_int(self):
+        expect_error("switch (true) { default: break; } return 0;",
+                     "expected int")
+
+    def test_slot_allocation(self):
+        unit, _ = analyze_main(
+            "int a = 1; { int b = 2; } int c = 3; return a + c;")
+        method = unit.classes[0].methods[0]
+        assert method.max_slots == 3

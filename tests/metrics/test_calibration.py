@@ -1,0 +1,95 @@
+"""Calibration and stability reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (calibration_report, stability_report)
+from repro.metrics.collectors import RunStats
+
+
+class FakeTrace:
+    def __init__(self, expected, entries, completions):
+        self.expected_completion = expected
+        self.entries = entries
+        self.completions = completions
+
+
+class TestCalibration:
+    def test_perfectly_calibrated(self):
+        traces = [FakeTrace(0.975, 1000, 975)]
+        report = calibration_report(traces)
+        assert report.entry_weighted_expected == pytest.approx(0.975)
+        assert report.entry_weighted_observed == pytest.approx(0.975)
+        assert report.calibration_error < 0.05
+
+    def test_overconfident_predictor_detected(self):
+        traces = [FakeTrace(0.99, 1000, 500)]
+        report = calibration_report(traces)
+        assert report.calibration_error > 0.3
+
+    def test_buckets_partition_range(self):
+        report = calibration_report([], bucket_count=5)
+        assert len(report.buckets) == 5
+        assert report.buckets[0].low == pytest.approx(0.5)
+        assert report.buckets[-1].high >= 1.0
+
+    def test_expected_one_included(self):
+        traces = [FakeTrace(1.0, 10, 10)]
+        report = calibration_report(traces)
+        assert sum(b.traces for b in report.buckets) == 1
+
+    def test_below_floor_clamped(self):
+        traces = [FakeTrace(0.1, 5, 1)]
+        report = calibration_report(traces, floor=0.5)
+        assert report.buckets[0].traces == 1
+
+    def test_empty_traces(self):
+        report = calibration_report([])
+        assert report.calibration_error == 0.0
+        assert report.entry_weighted_expected == 0.0
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(ValueError):
+            calibration_report([], bucket_count=0)
+
+    def test_table_renders(self):
+        traces = [FakeTrace(0.98, 100, 99), FakeTrace(0.6, 50, 30)]
+        text = calibration_report(traces).to_table().render()
+        assert "observed rate" in text
+
+    def test_real_run_calibration(self, counting_program):
+        from repro.core import run_traced
+        result = run_traced(counting_program)
+        report = calibration_report(result.cache.traces.values())
+        # the constructor's predictions are within 15 points on a
+        # stable loop workload
+        assert report.calibration_error < 0.15
+
+
+class TestStability:
+    def make_stats(self, **kwargs):
+        stats = RunStats()
+        for key, value in kwargs.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_ratios(self):
+        stats = self.make_stats(traces_constructed=10,
+                                anchors_replaced=5,
+                                traces_invalidated=4,
+                                block_dispatches=1000,
+                                trace_dispatches=1000)
+        report = stability_report(stats)
+        assert report.replacements_per_construction == 0.5
+        assert report.invalidations_per_thousand_dispatches == 2.0
+
+    def test_zero_guards(self):
+        report = stability_report(self.make_stats())
+        assert report.replacements_per_construction == 0.0
+        assert report.invalidations_per_thousand_dispatches == 0.0
+
+    def test_table_renders(self):
+        stats = self.make_stats(traces_constructed=3)
+        text = stability_report(stats).to_table().render()
+        assert "stability" in text.lower()

@@ -1,0 +1,110 @@
+"""RunStats derived values and the other metric dataclasses."""
+
+from __future__ import annotations
+
+import math
+
+from repro.metrics.collectors import (DispatchModelStats, OverheadSample,
+                                      RunStats)
+
+
+def stats(**kwargs) -> RunStats:
+    s = RunStats()
+    for key, value in kwargs.items():
+        setattr(s, key, value)
+    return s
+
+
+class TestRunStats:
+    def test_total_and_baseline_dispatches(self):
+        s = stats(block_dispatches=100, trace_dispatches=20,
+                  completed_blocks=60, partial_blocks=5)
+        assert s.total_dispatches == 120
+        assert s.baseline_dispatches == 165
+
+    def test_average_trace_length(self):
+        s = stats(trace_completions=4, completed_blocks=14)
+        assert s.average_trace_length == 3.5
+        assert stats().average_trace_length == 0.0
+
+    def test_coverage(self):
+        s = stats(instr_total=1000, instr_in_completed=870,
+                  instr_in_partial=30)
+        assert s.coverage == 0.87
+        assert s.cache_coverage == 0.90
+        assert stats().coverage == 0.0
+
+    def test_completion_rate(self):
+        s = stats(trace_entries=50, trace_completions=49)
+        assert s.completion_rate == 0.98
+        assert stats().completion_rate == 1.0
+
+    def test_dispatches_per_signal(self):
+        s = stats(block_dispatches=5000, trace_dispatches=0, signals=5)
+        assert s.dispatches_per_signal == 1000.0
+        assert math.isinf(stats().dispatches_per_signal)
+
+    def test_trace_event_interval(self):
+        s = stats(block_dispatches=900, trace_dispatches=100,
+                  signals=5, traces_constructed=5)
+        assert s.trace_events == 10
+        assert s.dispatches_per_trace_event == 100.0
+        assert math.isinf(stats().dispatches_per_trace_event)
+
+    def test_dispatch_reduction(self):
+        s = stats(block_dispatches=100, trace_dispatches=50,
+                  completed_blocks=350, partial_blocks=0)
+        assert math.isclose(s.dispatch_reduction, 1 - 150 / 450)
+        assert stats().dispatch_reduction == 0.0
+
+    def test_chain_rate(self):
+        s = stats(trace_dispatches=100, trace_chains=75)
+        assert s.chain_rate == 0.75
+        assert stats().chain_rate == 0.0
+
+    def test_steady_state_signal_interval(self):
+        s = stats(block_dispatches=1000, trace_dispatches=0,
+                  signals=10, signals_late=2)
+        assert s.steady_state_dispatches_per_signal == 250.0
+        import math
+        assert math.isinf(stats().steady_state_dispatches_per_signal)
+
+    def test_as_dict_includes_both(self):
+        d = stats(block_dispatches=3).as_dict()
+        assert d["block_dispatches"] == 3
+        assert "coverage" in d
+        assert "dispatches_per_signal" in d
+
+
+class TestDispatchModelStats:
+    def test_ratios(self):
+        model = DispatchModelStats(
+            instructions=1000, instruction_dispatches=1000,
+            block_dispatches=250, trace_model_dispatches=50)
+        assert model.block_over_instruction == 0.25
+        assert model.trace_over_block == 0.2
+
+    def test_zero_guards(self):
+        model = DispatchModelStats()
+        assert model.block_over_instruction == 0.0
+        assert model.trace_over_block == 0.0
+
+
+class TestOverheadSample:
+    def test_per_million(self):
+        sample = OverheadSample(benchmark="x", base_seconds=1.0,
+                                profiled_seconds=1.5,
+                                dispatches=2_000_000)
+        assert sample.overhead_seconds == 0.5
+        assert sample.overhead_per_million_dispatches == 0.25
+        assert sample.relative_overhead == 0.5
+
+    def test_noise_clamped(self):
+        sample = OverheadSample(benchmark="x", base_seconds=1.0,
+                                profiled_seconds=0.9, dispatches=100)
+        assert sample.overhead_seconds == 0.0
+
+    def test_zero_guards(self):
+        sample = OverheadSample()
+        assert sample.overhead_per_million_dispatches == 0.0
+        assert sample.relative_overhead == 0.0

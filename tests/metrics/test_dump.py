@@ -1,0 +1,80 @@
+"""Graph/trace export formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import run_traced
+from repro.metrics.dump import (bcg_to_dict, bcg_to_dot, run_to_dict,
+                                run_to_json, traces_to_list)
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.lang import compile_source
+    from tests.conftest import int_main
+    program = compile_source(int_main(
+        "int s = 0;"
+        "for (int o = 0; o < 60; o++) {"
+        "  for (int i = 0; i < 30; i++) { s = (s + i) & 1023; }"
+        "} return s;"))
+    return run_traced(program)
+
+
+class TestJson:
+    def test_bcg_dict_counts(self, result):
+        data = bcg_to_dict(result.profiler.bcg)
+        assert data["node_count"] == len(result.profiler.bcg)
+        assert data["edge_count"] == result.profiler.bcg.edge_count
+        assert len(data["nodes"]) == data["node_count"]
+
+    def test_node_fields(self, result):
+        data = bcg_to_dict(result.profiler.bcg)
+        node = max(data["nodes"], key=lambda n: n["executions"])
+        assert node["state"] in ("UNIQUE", "STRONG", "WEAK",
+                                 "NEWLY_CREATED")
+        for edge in node["edges"]:
+            assert 0.0 <= edge["probability"] <= 1.0
+
+    def test_traces_list(self, result):
+        traces = traces_to_list(result.cache)
+        assert len(traces) == len(result.cache)
+        for t in traces:
+            assert t["length"] == len(t["blocks"])
+            assert 0.0 <= t["observed_completion"] <= 1.0
+
+    def test_run_roundtrips_through_json(self, result):
+        payload = run_to_json(result)
+        decoded = json.loads(payload)
+        assert decoded["result"] == result.value
+        assert decoded["stats"]["trace_dispatches"] \
+            == result.stats.trace_dispatches
+
+    def test_run_dict_has_all_sections(self, result):
+        data = run_to_dict(result)
+        assert set(data) == {"result", "stats", "bcg", "traces"}
+
+
+class TestDot:
+    def test_valid_structure(self, result):
+        dot = bcg_to_dot(result.profiler.bcg)
+        assert dot.startswith("digraph bcg {")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_max_nodes_respected(self, result):
+        dot = bcg_to_dot(result.profiler.bcg, max_nodes=3)
+        node_lines = [l for l in dot.splitlines()
+                      if "[label=" in l and "->" not in l]
+        assert len(node_lines) <= 3
+
+    def test_anchor_highlight(self, result):
+        dot = bcg_to_dot(result.profiler.bcg)
+        if any(n.trace for n in result.profiler.bcg.nodes.values()):
+            assert "peripheries=2" in dot
+
+    def test_probability_labels(self, result):
+        dot = bcg_to_dot(result.profiler.bcg)
+        assert 'label="1.00"' in dot or 'label="0.9' in dot

@@ -1,0 +1,89 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import Table, comparison_table, format_cell
+
+
+class TestFormatCell:
+    def test_none_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_with_spec(self):
+        assert format_cell(0.8712, ".1%") == "87.1%"
+        assert format_cell(3.14159, ".2f") == "3.14"
+
+    def test_inf(self):
+        assert format_cell(float("inf")) == "inf"
+
+    def test_plain_values(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestTable:
+    def make(self):
+        table = Table("T", ["name", "a", "b"], formats=["", ".1f", ".0%"])
+        table.add_row("first", 1.25, 0.5)
+        table.add_row("second", None, 0.75)
+        return table
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "T" in text
+        assert "first" in text
+        assert "1.2" in text
+        assert "50%" in text
+        assert "-" in text
+
+    def test_row_length_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_accessor(self):
+        table = self.make()
+        assert table.column("a") == [1.25, None]
+
+    def test_row_map(self):
+        table = self.make()
+        assert table.row_map()["second"][2] == 0.75
+
+    def test_notes_rendered(self):
+        table = self.make()
+        table.notes.append("a note")
+        assert "note: a note" in table.render()
+
+    def test_alignment_consistent(self):
+        lines = self.make().render().splitlines()
+        header = lines[2]
+        row = lines[4]
+        assert len(header) == len(lines[3])   # divider matches header
+
+
+class TestMarkdown:
+    def test_markdown_structure(self):
+        table = Table("T", ["name", "v"], formats=["", ".1f"])
+        table.add_row("x", 1.25)
+        table.notes.append("hello")
+        md = table.to_markdown()
+        assert "**T**" in md
+        assert "| name | v |" in md
+        assert "| x | 1.2 |" in md
+        assert "*hello*" in md
+
+    def test_markdown_none_cells(self):
+        table = Table("T", ["a"])
+        table.add_row(None)
+        assert "| - |" in table.to_markdown()
+
+
+class TestComparisonTable:
+    def test_pairs_measured_and_paper(self):
+        table = comparison_table(
+            "C", ["x", "y"], {"x": 1.0}, {"x": 2.0, "y": None})
+        rows = table.row_map()
+        assert rows["x"][1:] == [1.0, 2.0]
+        assert rows["y"][1:] == [None, None]

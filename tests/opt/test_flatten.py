@@ -1,0 +1,126 @@
+"""Trace flattening: structure, guards, weight conservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceCacheConfig, run_traced
+from repro.jvm.bytecode import Op
+from repro.lang import compile_source
+from repro.opt import FlattenError, flatten
+from repro.opt.ir import (K_CALL, K_GUARD_COND, K_RET, K_SIMPLE, K_VCALL)
+from tests.conftest import int_main
+
+
+def traced_run(source, **config):
+    program = compile_source(source)
+    return run_traced(program, TraceCacheConfig(
+        start_state_delay=4, decay_period=16, **config))
+
+
+@pytest.fixture(scope="module")
+def loop_trace():
+    """A hot loop trace from a simple counting program."""
+    result = traced_run(int_main(
+        "int s = 0;"
+        "for (int i = 0; i < 2000; i = i + 1) { s = (s + i) & 4095; }"
+        "return s;"))
+    return result.cache.hottest(1)[0]
+
+
+@pytest.fixture(scope="module")
+def call_trace():
+    """A trace crossing a static call boundary."""
+    result = traced_run("""
+        class Main {
+            static int inc(int x) { return x + 1; }
+            static int main() {
+                int s = 0;
+                for (int i = 0; i < 2000; i = i + 1) { s = inc(s) & 255; }
+                return s;
+            }
+        }
+    """)
+    for trace in result.cache.hottest(10):
+        methods = {b.method.qualified_name for b in trace.blocks}
+        if len(methods) > 1:
+            return trace
+    pytest.skip("no cross-method trace found")
+
+
+class TestStructure:
+    def test_covers_all_but_final_block(self, loop_trace):
+        compiled = flatten(loop_trace)
+        assert compiled.final_block is loop_trace.blocks[-1]
+        expected = sum(b.length for b in loop_trace.blocks[:-1])
+        assert compiled.original_instr_count == expected
+
+    def test_weight_conserved(self, loop_trace):
+        compiled = flatten(loop_trace)
+        total = sum(i.weight for i in compiled.instrs) \
+            + compiled.tail_weight
+        assert total == compiled.original_instr_count
+
+    def test_block_prefix(self, loop_trace):
+        compiled = flatten(loop_trace)
+        prefix = compiled.block_weight_prefix
+        assert prefix[0] == 0
+        assert prefix[-1] == compiled.original_instr_count
+        assert all(a <= b for a, b in zip(prefix, prefix[1:]))
+
+    def test_internal_gotos_eliminated(self, loop_trace):
+        compiled = flatten(loop_trace)
+        assert all(i.op is not Op.GOTO for i in compiled.instrs)
+
+    def test_conditionals_become_guards(self, loop_trace):
+        compiled = flatten(loop_trace)
+        guard_kinds = {i.kind for i in compiled.instrs
+                       if i.kind != K_SIMPLE}
+        # the loop condition appears as a guard somewhere
+        assert K_GUARD_COND in guard_kinds
+
+    def test_too_short_trace_rejected(self):
+        class FakeTrace:
+            blocks = ((), )
+        with pytest.raises(FlattenError):
+            flatten(FakeTrace())
+
+    def test_calls_flattened(self, call_trace):
+        compiled = flatten(call_trace)
+        kinds = {i.kind for i in compiled.instrs}
+        assert kinds & {K_CALL, K_VCALL, K_RET}
+
+    def test_ordinals_monotone(self, loop_trace):
+        compiled = flatten(loop_trace)
+        ordinals = [i.ordinal for i in compiled.instrs]
+        assert ordinals == sorted(ordinals)
+        assert all(0 <= o < len(loop_trace.blocks) - 1 for o in ordinals)
+
+
+class TestVirtualGuard:
+    def test_vcall_guard_present(self):
+        # A monomorphic call site: the virtual edge is UNIQUE, so the
+        # trace crosses it and flattening emits a guarded VCALL.
+        result = traced_run("""
+            class A { int f() { return 1; } }
+            class B extends A { int f() { return 2; } }
+            class Main {
+                static int main() {
+                    A obj = new B();
+                    int s = 0;
+                    for (int i = 0; i < 3000; i = i + 1) {
+                        s = (s + obj.f()) & 4095;
+                    }
+                    return s;
+                }
+            }
+        """)
+        vcalls = 0
+        for trace in result.cache.traces.values():
+            try:
+                compiled = flatten(trace)
+            except FlattenError:
+                continue
+            vcalls += sum(1 for i in compiled.instrs
+                          if i.kind == K_VCALL)
+        assert vcalls >= 1

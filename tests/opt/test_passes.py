@@ -1,0 +1,142 @@
+"""Optimization passes: each rewrite preserves weight and semantics."""
+
+from __future__ import annotations
+
+from repro.jvm.bytecode import Op
+from repro.opt.ir import CompiledTrace, K_GUARD_COND, K_SIMPLE, TraceInstr
+from repro.opt.passes import (drop_push_pop, fold_constants,
+                              forward_store_load, fuse_iinc, optimize)
+
+
+def simple(op, a=None, b=None, weight=1):
+    return TraceInstr(K_SIMPLE, op=op, a=a, b=b, weight=weight)
+
+
+def compiled_of(*instrs):
+    c = CompiledTrace(trace=None, instrs=list(instrs))
+    c.original_instr_count = sum(i.weight for i in instrs)
+    return c
+
+
+def total_weight(compiled):
+    return sum(i.weight for i in compiled.instrs) + compiled.tail_weight
+
+
+class TestFoldConstants:
+    def test_int_add(self):
+        c = compiled_of(simple(Op.ICONST, 2), simple(Op.ICONST, 3),
+                        simple(Op.IADD))
+        assert fold_constants(c)
+        assert len(c.instrs) == 1
+        assert c.instrs[0].op is Op.ICONST
+        assert c.instrs[0].a == 5
+        assert c.instrs[0].weight == 3
+
+    def test_wraps_like_java(self):
+        c = compiled_of(simple(Op.ICONST, 2147483647),
+                        simple(Op.ICONST, 1), simple(Op.IADD))
+        fold_constants(c)
+        assert c.instrs[0].a == -2147483648
+
+    def test_division_not_folded(self):
+        # runtime trap semantics must be preserved
+        c = compiled_of(simple(Op.ICONST, 1), simple(Op.ICONST, 0),
+                        simple(Op.IDIV))
+        assert not fold_constants(c)
+        assert len(c.instrs) == 3
+
+    def test_float_mul(self):
+        c = compiled_of(simple(Op.FCONST, 1.5), simple(Op.FCONST, 2.0),
+                        simple(Op.FMUL))
+        fold_constants(c)
+        assert c.instrs[0].op is Op.FCONST
+        assert c.instrs[0].a == 3.0
+
+    def test_unary_neg(self):
+        c = compiled_of(simple(Op.ICONST, 7), simple(Op.INEG))
+        fold_constants(c)
+        assert c.instrs[0].a == -7
+
+    def test_i2f(self):
+        c = compiled_of(simple(Op.ICONST, 3), simple(Op.I2F))
+        fold_constants(c)
+        assert c.instrs[0].op is Op.FCONST
+        assert c.instrs[0].a == 3.0
+
+    def test_cascading_folds(self):
+        # (1 + 2) + 3 folds fully across rounds
+        c = compiled_of(simple(Op.ICONST, 1), simple(Op.ICONST, 2),
+                        simple(Op.IADD), simple(Op.ICONST, 3),
+                        simple(Op.IADD))
+        optimize(c)
+        assert len(c.instrs) == 1
+        assert c.instrs[0].a == 6
+        assert c.instrs[0].weight == 5
+
+    def test_guard_is_barrier(self):
+        guard = TraceInstr(K_GUARD_COND, op=Op.IFEQ)
+        c = compiled_of(simple(Op.ICONST, 1), guard,
+                        simple(Op.ICONST, 2), simple(Op.IADD))
+        assert not fold_constants(c)
+
+
+class TestFuseIinc:
+    def test_basic_fusion(self):
+        c = compiled_of(simple(Op.ILOAD, 3), simple(Op.ICONST, 1),
+                        simple(Op.IADD), simple(Op.ISTORE, 3))
+        assert fuse_iinc(c)
+        assert len(c.instrs) == 1
+        instr = c.instrs[0]
+        assert instr.op is Op.IINC
+        assert (instr.a, instr.b) == (3, 1)
+        assert instr.weight == 4
+
+    def test_different_slots_not_fused(self):
+        c = compiled_of(simple(Op.ILOAD, 3), simple(Op.ICONST, 1),
+                        simple(Op.IADD), simple(Op.ISTORE, 4))
+        assert not fuse_iinc(c)
+
+
+class TestDropPushPop:
+    def test_const_pop(self):
+        c = compiled_of(simple(Op.ICONST, 9), simple(Op.POP))
+        assert drop_push_pop(c)
+        assert c.instrs == []
+        assert c.tail_weight == 2
+
+    def test_weight_to_neighbour(self):
+        keep = simple(Op.ILOAD, 0)
+        c = compiled_of(keep, simple(Op.DUP), simple(Op.POP))
+        drop_push_pop(c)
+        assert c.instrs == [keep]
+        assert keep.weight == 3
+
+    def test_impure_push_kept(self):
+        c = compiled_of(simple(Op.GETFIELD, "x"), simple(Op.POP))
+        assert not drop_push_pop(c)
+
+
+class TestForwardStoreLoad:
+    def test_rewrites_to_dup(self):
+        c = compiled_of(simple(Op.ISTORE, 2), simple(Op.ILOAD, 2))
+        assert forward_store_load(c)
+        assert [i.op for i in c.instrs] == [Op.DUP, Op.ISTORE]
+        assert total_weight(c) == 2
+
+    def test_different_slots_untouched(self):
+        c = compiled_of(simple(Op.ISTORE, 2), simple(Op.ILOAD, 3))
+        assert not forward_store_load(c)
+
+
+class TestWeightConservation:
+    def test_optimize_conserves_total_weight(self):
+        instrs = [simple(Op.ICONST, 1), simple(Op.ICONST, 2),
+                  simple(Op.IADD), simple(Op.POP),
+                  simple(Op.ILOAD, 0), simple(Op.ICONST, 1),
+                  simple(Op.IADD), simple(Op.ISTORE, 0),
+                  simple(Op.ISTORE, 1), simple(Op.ILOAD, 1)]
+        c = compiled_of(*instrs)
+        before = total_weight(c)
+        optimize(c)
+        assert total_weight(c) == before
+        assert c.optimized_instr_count < len(instrs)

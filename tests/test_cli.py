@@ -1,0 +1,136 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+HELLO = """
+class Main {
+    static int main() {
+        int s = 0;
+        for (int i = 0; i < 100; i = i + 1) { s = s + i; }
+        Sys.print(s);
+        return s;
+    }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "hello.mj"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestRun:
+    @pytest.mark.parametrize("model", ["switch", "threaded", "traced"])
+    def test_models(self, source_file, capsys, model):
+        assert main(["run", source_file, "--model", model]) == 0
+        out = capsys.readouterr().out
+        assert "4950" in out
+        assert f"model={model}" in out
+
+    def test_compile_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.mj"
+        bad.write_text("class Main { static int main() { return x; } }")
+        assert main(["run", str(bad)]) == 1
+        assert "compile error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent.mj"]) == 1
+
+    def test_trace_parameters(self, source_file, capsys):
+        assert main(["run", source_file, "--threshold", "0.99",
+                     "--delay", "1"]) == 0
+
+
+class TestDisasm:
+    def test_disassembles(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "Main.main" in out
+        assert "ICONST" in out
+
+
+class TestWorkload:
+    def test_runs_tiny(self, capsys):
+        assert main(["workload", "compressx", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "stream coverage" in out
+
+    def test_calibration_flag(self, capsys):
+        assert main(["workload", "compressx", "--size", "tiny",
+                     "--calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "calibration" in out.lower()
+        assert "stability" in out.lower()
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["workload", "nope"])
+
+
+class TestTable:
+    def test_figures(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SIZE", "tiny")
+        assert main(["table", "figures", "--size", "tiny"]) == 0
+        assert "Fig.1" in capsys.readouterr().out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+
+class TestDump:
+    def test_json_dump(self, capsys):
+        assert main(["dump", "compressx", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        import json
+        data = json.loads(out)
+        assert "bcg" in data and "traces" in data
+
+    def test_dot_dump(self, capsys):
+        assert main(["dump", "compressx", "--size", "tiny",
+                     "--format", "dot", "--max-nodes", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph bcg")
+
+
+class TestJasmFiles:
+    def test_run_jasm_file(self, tmp_path, capsys):
+        path = tmp_path / "prog.jasm"
+        path.write_text("""
+class Main
+  static method main() -> int
+    iconst 6
+    iconst 7
+    imul
+    ireturn
+  end
+end
+""")
+        assert main(["run", str(path), "--model", "threaded"]) == 0
+        assert "42" in capsys.readouterr().out
+
+
+class TestBaselines:
+    def test_comparison(self, capsys):
+        assert main(["baselines", "compressx", "--size", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "dynamo" in out
+        assert "replay" in out
+        assert "whaley" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["workload", "sootx"])
+        assert args.size == "small"
+        assert args.threshold == 0.97

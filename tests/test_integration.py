@@ -1,0 +1,154 @@
+"""Cross-module integration and system-level invariants.
+
+These tests run the *whole* system (compiler -> VM -> profiler -> trace
+cache -> trace dispatch) and check the identities the paper's metrics
+rely on, plus equivalence against the plain interpreters on generated
+branchy programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TraceCacheConfig, run_traced
+from repro.jvm import SwitchInterpreter, ThreadedInterpreter
+from repro.lang import compile_source
+from repro.workloads import WORKLOAD_NAMES, load_workload
+
+
+class TestSystemIdentities:
+    @pytest.fixture(scope="class", params=WORKLOAD_NAMES)
+    def run(self, request):
+        program = load_workload(request.param, "tiny")
+        plain = ThreadedInterpreter(program)
+        machine = plain.run()
+        traced = run_traced(program)
+        return request.param, machine, plain.dispatch_count, traced
+
+    def test_same_result(self, run):
+        name, machine, _dispatches, traced = run
+        assert traced.value == machine.result, name
+
+    def test_same_instruction_count(self, run):
+        name, machine, _dispatches, traced = run
+        assert traced.stats.instr_total == machine.instr_count, name
+
+    def test_baseline_dispatch_identity(self, run):
+        # blocks executed = plain dispatch count, however they ran
+        name, _machine, dispatches, traced = run
+        assert traced.stats.baseline_dispatches == dispatches, name
+
+    def test_instruction_partition(self, run):
+        name, _machine, _dispatches, traced = run
+        s = traced.stats
+        assert s.instr_in_completed + s.instr_in_partial <= s.instr_total
+
+    def test_entries_partition(self, run):
+        name, _machine, _dispatches, traced = run
+        s = traced.stats
+        partials = s.trace_entries - s.trace_completions
+        assert partials >= 0
+        per_trace_partials = sum(
+            t.entries - t.completions
+            for t in traced.cache.traces.values())
+        assert per_trace_partials == partials
+
+    def test_bcg_invariants(self, run):
+        name, _machine, _dispatches, traced = run
+        assert traced.profiler.bcg.invariant_errors() == [], name
+
+    def test_counter_bounds(self, run):
+        name, _machine, _dispatches, traced = run
+        cap = traced.cache.config.counter_max
+        for node in traced.profiler.bcg.nodes.values():
+            for edge in node.edges.values():
+                assert 0 <= edge.weight <= cap
+
+    def test_trace_blocks_exist_in_program(self, run):
+        name, _machine, _dispatches, traced = run
+        program = load_workload(name, "tiny")
+        valid = {b.bid for b in program.blocks}
+        for trace in traced.cache.traces.values():
+            for block in trace.blocks:
+                assert block.bid in valid
+
+
+def _branchy_program(seed_values, loops, mod):
+    """A deterministic branchy program parameterized by hypothesis."""
+    v0, v1, v2 = seed_values
+    return f"""
+    class Main {{
+        static int step(int x) {{
+            if (x % {mod} == 0) {{ return x / 2 + {v0}; }}
+            if (x % 3 == 1) {{ return x * 3 + {v1}; }}
+            return x - {v2};
+        }}
+        static int main() {{
+            int x = {v0 + 7};
+            int sum = 0;
+            for (int i = 0; i < {loops}; i = i + 1) {{
+                x = step(x) & 1023;
+                sum = (sum + x) & 65535;
+                switch (x & 3) {{
+                    case 0: sum = sum + 1; break;
+                    case 1: sum = sum ^ x;
+                    case 2: sum = sum + 2; break;
+                    default: sum = sum - 1;
+                }}
+            }}
+            return sum;
+        }}
+    }}
+    """
+
+
+class TestGeneratedProgramEquivalence:
+    @given(st.tuples(st.integers(1, 50), st.integers(1, 50),
+                     st.integers(1, 50)),
+           st.integers(min_value=50, max_value=400),
+           st.integers(min_value=2, max_value=7))
+    @settings(max_examples=25, deadline=None)
+    def test_three_engines_agree(self, seeds, loops, mod):
+        program = compile_source(_branchy_program(seeds, loops, mod))
+        threaded = ThreadedInterpreter(program).run()
+        switch = SwitchInterpreter(program)
+        switch.run()
+        traced = run_traced(program, TraceCacheConfig(
+            start_state_delay=4, decay_period=16))
+        assert threaded.result == switch.result == traced.value
+        assert threaded.instr_count == switch.instr_count \
+            == traced.stats.instr_total
+
+    @given(st.integers(min_value=0, max_value=3))
+    @settings(max_examples=4, deadline=None)
+    def test_aggressive_configs_preserve_semantics(self, knob):
+        configs = [
+            TraceCacheConfig(threshold=0.95, start_state_delay=1,
+                             decay_period=4),
+            TraceCacheConfig(threshold=1.0, start_state_delay=1),
+            TraceCacheConfig(max_trace_blocks=3, start_state_delay=2),
+            TraceCacheConfig(loop_unroll_copies=4, start_state_delay=2),
+        ]
+        program = compile_source(_branchy_program((3, 5, 7), 300, 4))
+        expected = ThreadedInterpreter(program).run().result
+        assert run_traced(program, configs[knob]).value == expected
+
+
+class TestRepeatability:
+    def test_traced_runs_deterministic(self):
+        program = load_workload("sootx", "tiny")
+        a = run_traced(program)
+        b = run_traced(program)
+        assert a.value == b.value
+        assert a.stats.as_dict() == {
+            **b.stats.as_dict(), "runtime_seconds":
+            a.stats.as_dict()["runtime_seconds"]} or \
+            a.stats.trace_dispatches == b.stats.trace_dispatches
+
+    def test_controller_reusable_program(self):
+        # The same Program object supports many controller runs.
+        program = load_workload("compressx", "tiny")
+        results = {run_traced(program).value for _ in range(3)}
+        assert len(results) == 1

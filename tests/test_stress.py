@@ -1,0 +1,189 @@
+"""Stress/scale tests: generated extremes the suite otherwise misses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceCacheConfig, run_traced
+from repro.jvm import SwitchInterpreter, ThreadedInterpreter
+from repro.lang import compile_source
+from tests.conftest import run_both
+
+
+class TestDeepHierarchy:
+    def test_thirty_level_inheritance_chain(self):
+        levels = 30
+        classes = ["class C0 { int f() { return 0; } }"]
+        for i in range(1, levels):
+            override = (f"int f() {{ return {i}; }}"
+                        if i % 3 == 0 else "")
+            classes.append(
+                f"class C{i} extends C{i - 1} {{ {override} }}")
+        source = "\n".join(classes) + f"""
+            class Main {{
+                static int main() {{
+                    C0 obj = new C{levels - 1}();
+                    int best = obj.f();   // deepest override wins
+                    return best;
+                }}
+            }}
+        """
+        # deepest override at the largest multiple of 3 below 30
+        assert run_both(compile_source(source)) == 27
+
+    def test_instanceof_up_the_chain(self):
+        source = """
+            class A { }
+            class B extends A { }
+            class C extends B { }
+            class D extends C { }
+            class Main {
+                static int main() {
+                    A obj = new D();
+                    int r = 0;
+                    if (obj instanceof A) { r += 1; }
+                    if (obj instanceof B) { r += 2; }
+                    if (obj instanceof C) { r += 4; }
+                    if (obj instanceof D) { r += 8; }
+                    return r;
+                }
+            }
+        """
+        assert run_both(compile_source(source)) == 15
+
+
+class TestWideConstructs:
+    def test_large_dense_switch(self):
+        arms = "\n".join(f"case {i}: total += {i * 3}; break;"
+                         for i in range(64))
+        source = f"""
+            class Main {{
+                static int main() {{
+                    int total = 0;
+                    for (int i = 0; i < 200; i++) {{
+                        switch (i % 64) {{
+                            {arms}
+                            default: total -= 1;
+                        }}
+                    }}
+                    return total;
+                }}
+            }}
+        """
+        program = compile_source(source)
+        expected = sum((i % 64) * 3 for i in range(200))
+        assert run_both(program) == expected
+
+    def test_many_locals(self):
+        count = 80
+        decls = " ".join(f"int v{i} = {i};" for i in range(count))
+        total = " + ".join(f"v{i}" for i in range(count))
+        source = ("class Main { static int main() { "
+                  + decls + f" return {total}; }} }}")
+        assert run_both(compile_source(source)) == \
+            sum(range(count))
+
+    def test_deeply_nested_expression(self):
+        # The recursive-descent parser costs ~14 Python frames per
+        # nesting level; 40 levels stays comfortably inside the default
+        # interpreter recursion limit (deeper nesting is out of scope).
+        depth = 40
+        expr = "1"
+        for _ in range(depth):
+            expr = f"({expr} + 1)"
+        source = f"class Main {{ static int main() {{ return {expr}; }} }}"
+        assert run_both(compile_source(source)) == depth + 1
+
+    def test_many_methods_per_class(self):
+        count = 60
+        methods = "\n".join(
+            f"static int m{i}() {{ return {i}; }}" for i in range(count))
+        calls = " + ".join(f"m{i}()" for i in range(count))
+        source = (f"class Main {{ {methods} "
+                  f"static int main() {{ return {calls}; }} }}")
+        assert run_both(compile_source(source)) == sum(range(count))
+
+    def test_many_classes(self):
+        count = 40
+        classes = "\n".join(
+            f"class K{i} {{ static int v() {{ return {i}; }} }}"
+            for i in range(count))
+        calls = " + ".join(f"K{i}.v()" for i in range(count))
+        source = (classes + f"\nclass Main {{ static int main() "
+                  f"{{ return {calls}; }} }}")
+        assert run_both(compile_source(source)) == sum(range(count))
+
+
+class TestTraceSystemUnderStress:
+    def test_many_distinct_hot_regions(self):
+        # 25 separate hot loops -> 25+ trace regions, exercises cache
+        # growth and multiple independent anchors
+        loops = "\n".join(f"""
+            for (int i{i} = 0; i{i} < 120; i{i}++) {{
+                total = (total + i{i} * {i + 1}) & 1048575;
+            }}""" for i in range(25))
+        source = f"""
+            class Main {{
+                static int main() {{
+                    int total = 0;
+                    {loops}
+                    return total;
+                }}
+            }}
+        """
+        program = compile_source(source)
+        expected = ThreadedInterpreter(program).run().result
+        result = run_traced(program, TraceCacheConfig(
+            start_state_delay=8, decay_period=32))
+        assert result.value == expected
+        assert len(result.cache) >= 10
+        assert result.stats.coverage > 0.6
+
+    def test_megamorphic_call_site(self):
+        # 8 receiver classes rotating: the virtual edge never gets
+        # strong; the system must stay correct and keep completion high
+        classes = "\n".join(f"""
+            class V{i} extends V0 {{ int f() {{ return {i}; }} }}"""
+                            for i in range(1, 8))
+        source = f"""
+            class V0 {{ int f() {{ return 0; }} }}
+            {classes}
+            class Main {{
+                static int main() {{
+                    V0[] objs = new V0[8];
+                    objs[0] = new V0();
+                    {" ".join(f"objs[{i}] = new V{i}();"
+                              for i in range(1, 8))}
+                    int total = 0;
+                    for (int i = 0; i < 4000; i++) {{
+                        total = (total + objs[i & 7].f()) & 65535;
+                    }}
+                    return total;
+                }}
+            }}
+        """
+        program = compile_source(source)
+        expected = ThreadedInterpreter(program).run().result
+        result = run_traced(program, TraceCacheConfig(
+            start_state_delay=8))
+        assert result.value == expected
+        assert result.stats.completion_rate > 0.9
+
+    def test_bcg_size_bounded_by_program(self):
+        program = compile_source("""
+            class Main {
+                static int main() {
+                    int total = 0;
+                    for (int i = 0; i < 5000; i++) {
+                        if ((i & 1) == 0) { total += 1; }
+                        else { total += 2; }
+                    }
+                    return total;
+                }
+            }
+        """)
+        result = run_traced(program)
+        # nodes are pairs of *static* blocks: bounded by blocks^2 and in
+        # practice tiny
+        assert len(result.profiler.bcg) <= program.block_count ** 2
+        assert len(result.profiler.bcg) < 60

