@@ -1,0 +1,96 @@
+"""Wall-clock comparison of the two optimized-trace executors.
+
+Runs the three hottest (most trace-dominated) workloads under trace
+dispatch with the IR-interpreting backend (``compile_backend="ir"``)
+and the template-compiling backend (``"py"``), best of three runs
+each, asserting exact result/instruction agreement along the way.
+
+Results land in ``BENCH_dispatch_backends.json`` at the repo root so
+CI and later sessions can diff the speedups.  At the default ``small``
+size the py backend must clear 1.5x on every measured workload; the
+``tiny`` smoke size skips the speedup floor (codegen barely amortizes
+on runs that short).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import TraceCacheConfig, TraceController
+from repro.metrics.report import Table
+from repro.workloads import load_workload
+
+RESULT_PATH = Path(__file__).parent.parent / "BENCH_dispatch_backends.json"
+HOT_WORKLOADS = ("compressx", "raytracex", "scimarkx")
+SPEEDUP_FLOOR = 1.5
+ROUNDS = 3
+
+
+def best_of(program, backend: str):
+    """Fastest of ROUNDS fresh runs; returns (seconds, RunResult)."""
+    best_s, best_r = float("inf"), None
+    for _ in range(ROUNDS):
+        controller = TraceController(
+            program,
+            TraceCacheConfig(optimize_traces=True,
+                             compile_backend=backend))
+        started = time.perf_counter()
+        result = controller.run()
+        elapsed = time.perf_counter() - started
+        if elapsed < best_s:
+            best_s, best_r = elapsed, result
+    return best_s, best_r
+
+
+def measure(size: str) -> dict:
+    rows = {}
+    for name in HOT_WORKLOADS:
+        program = load_workload(name, size)
+        ir_s, ir = best_of(program, "ir")
+        py_s, py = best_of(program, "py")
+        assert py.value == ir.value, name
+        assert py.output == ir.output, name
+        assert py.stats.instr_total == ir.stats.instr_total, name
+        rows[name] = {
+            "ir_seconds": round(ir_s, 4),
+            "py_seconds": round(py_s, 4),
+            "speedup": round(ir_s / py_s, 2),
+            "instructions": ir.stats.instr_total,
+            "traces_compiled": py.stats.codegen_traces_compiled,
+            "code_cache_hits": py.stats.codegen_cache_hits,
+            "source_bytes": py.stats.codegen_source_bytes,
+            "compile_seconds": round(py.stats.codegen_compile_seconds, 4),
+            "side_exits": py.stats.codegen_side_exits,
+        }
+    return {
+        "size": size,
+        "rounds": ROUNDS,
+        "python": platform.python_version(),
+        "workloads": rows,
+    }
+
+
+def test_dispatch_backends(benchmark, size, record_table):
+    payload = benchmark.pedantic(lambda: measure(size),
+                                 rounds=1, iterations=1)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = Table(
+        f"Trace-dispatch backends, ir vs py ({size})",
+        ["workload", "ir (s)", "py (s)", "speedup", "traces",
+         "shared shapes", "side exits"],
+        formats=["", ".3f", ".3f", ".2f", "", "", ""])
+    for name, row in payload["workloads"].items():
+        table.add_row(name, row["ir_seconds"], row["py_seconds"],
+                      row["speedup"], row["traces_compiled"],
+                      row["code_cache_hits"], row["side_exits"])
+    record_table("dispatch_backends", table)
+
+    for name, row in payload["workloads"].items():
+        assert row["traces_compiled"] > 0, name
+        if size != "tiny":
+            assert row["speedup"] >= SPEEDUP_FLOOR, \
+                f"{name}: {row['speedup']}x < {SPEEDUP_FLOOR}x"

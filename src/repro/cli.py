@@ -85,7 +85,9 @@ def _config(args) -> TraceCacheConfig:
     return TraceCacheConfig(
         threshold=getattr(args, "threshold", 0.97),
         start_state_delay=getattr(args, "delay", 64),
-        optimize_traces=getattr(args, "optimize", False))
+        optimize_traces=getattr(args, "optimize", False),
+        compile_backend=getattr(args, "backend", "py"),
+        compile_threshold=getattr(args, "compile_threshold", 2))
 
 
 def cmd_workload(args) -> int:
@@ -103,6 +105,14 @@ def cmd_workload(args) -> int:
           f"{stats.dispatches_per_trace_event / 1000:.1f}")
     print(f"  dispatch reduction    : {stats.dispatch_reduction:.1%}")
     print(f"  trace chain rate      : {stats.chain_rate:.1%}")
+    if stats.codegen_traces_compiled or stats.codegen_uncompilable:
+        hits, misses = stats.codegen_cache_hits, stats.codegen_cache_misses
+        print(f"  codegen: {stats.codegen_traces_compiled} traces "
+              f"compiled ({stats.codegen_uncompilable} declined), "
+              f"{misses} shapes + {hits} shared, "
+              f"{stats.codegen_source_bytes:,} source bytes in "
+              f"{stats.codegen_compile_seconds * 1000:.1f}ms, "
+              f"{stats.codegen_side_exits} side exits")
     if args.calibration:
         print()
         print(calibration_report(result.cache.traces.values())
@@ -187,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--delay", type=int, default=64)
     run.add_argument("--optimize", action="store_true",
                      help="execute optimized (flattened) traces")
+    run.add_argument("--backend", choices=("ir", "py"), default="py",
+                     help="optimized-trace executor: interpret the IR "
+                          "or template-compile hot traces to Python")
+    run.add_argument("--compile-threshold", type=int, default=2,
+                     help="trace executions before codegen kicks in")
     run.set_defaults(func=cmd_run)
 
     disasm = sub.add_parser("disasm", help="disassemble a mini-Java file")
@@ -201,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--delay", type=int, default=64)
     workload.add_argument("--optimize", action="store_true",
                           help="execute optimized (flattened) traces")
+    workload.add_argument("--backend", choices=("ir", "py"), default="py",
+                          help="optimized-trace executor: interpret the "
+                               "IR or template-compile hot traces")
+    workload.add_argument("--compile-threshold", type=int, default=2,
+                          help="trace executions before codegen kicks in")
     workload.add_argument("--calibration", action="store_true",
                           help="print calibration/stability reports")
     workload.set_defaults(func=cmd_workload)
@@ -245,7 +265,7 @@ def main(argv=None) -> int:
     except CompileError as error:
         print(f"compile error: {error}", file=sys.stderr)
         return 1
-    except FileNotFoundError as error:
+    except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

@@ -29,6 +29,13 @@ class TraceCacheConfig:
     # Future-work extension (paper Section 6): compile dispatched
     # traces to an optimized linear IR with guards.
     optimize_traces: bool = False
+    # How optimized traces execute: "ir" walks the flattened IR in the
+    # interpretive executor; "py" template-compiles hot traces into
+    # specialized Python functions (guards become inline conditionals).
+    compile_backend: str = "py"
+    # Trace executions before the "py" backend pays for codegen; cold
+    # traces stay on the IR executor.
+    compile_threshold: int = 2
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -50,6 +57,14 @@ class TraceCacheConfig:
             raise ValueError("max_trace_blocks < min_trace_blocks")
         if self.loop_unroll_copies < 1:
             raise ValueError("loop_unroll_copies must be >= 1")
+        if self.compile_backend not in ("ir", "py"):
+            raise ValueError(
+                f"compile_backend must be 'ir' or 'py', got "
+                f"{self.compile_backend!r}")
+        if self.compile_threshold < 1:
+            raise ValueError(
+                f"compile_threshold must be >= 1, got "
+                f"{self.compile_threshold}")
 
     @property
     def counter_max(self) -> int:

@@ -55,11 +55,17 @@ class TraceController:
         self.profiler.signal_sink = self.cache.on_signal
         self.optimizer = None
         self._run_compiled = None
+        self._codegen = False
         if self.config.optimize_traces:
             # Imported lazily: the optimizer is an optional layer.
             from ..opt import TraceOptimizer, run_compiled
-            self.optimizer = TraceOptimizer()
+            self.optimizer = TraceOptimizer(
+                backend=self.config.compile_backend,
+                compile_threshold=self.config.compile_threshold)
             self._run_compiled = run_compiled
+            self._codegen = self.optimizer.codecache is not None
+            # When the cache unlinks a trace, drop its compiled forms.
+            self.cache.invalidation_sink = self.optimizer.invalidate
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -69,7 +75,11 @@ class TraceController:
         machine = Machine(program, self.max_instructions)
         stats = RunStats()
         profiler = self.profiler
+        # Hot-loop locals: every attribute or global touched per
+        # dispatch is bound once here.
         advance = profiler.advance
+        execute = execute_block
+        dispatch_trace = self._dispatch_trace
         current = machine.start()
         previous = None
         # Trace chaining: a completed trace whose very next dispatch is
@@ -86,12 +96,12 @@ class TraceController:
                     if last_was_trace:
                         stats.trace_chains += 1
                     last_was_trace = True
-                    previous, current = self._dispatch_trace(
+                    previous, current = dispatch_trace(
                         machine, trace, stats)
                     continue
             last_was_trace = False
             stats.block_dispatches += 1
-            nxt = execute_block(machine, current)
+            nxt = execute(machine, current)
             previous = current
             current = nxt
 
@@ -109,8 +119,19 @@ class TraceController:
         compiled = (self.optimizer.get(trace)
                     if self.optimizer is not None else None)
         if compiled is not None:
-            executed, nxt, _completed = self._run_compiled(machine,
-                                                           compiled)
+            # Hot path: an installed specialized function is one
+            # attribute load away; the backend_fn call (lazy install,
+            # threshold check) only runs while the trace is cold.
+            fn = compiled.py_fn
+            if fn is None and self._codegen:
+                fn = self.optimizer.backend_fn(compiled)
+            if fn is not None:
+                frame = machine.frames[-1]
+                executed, nxt, _completed = fn(
+                    machine, frame, frame.stack, frame.locals)
+            else:
+                executed, nxt, _completed = self._run_compiled(machine,
+                                                               compiled)
         else:
             executed = 0
             current = blocks[0]
@@ -163,10 +184,36 @@ class TraceController:
         stats.traces_in_cache = len(self.cache)
         stats.bcg_nodes = len(self.profiler.bcg)
         stats.bcg_edges = self.profiler.bcg.edge_count
-        if self.optimizer is not None:
-            stats.traces_compiled = self.optimizer.stats.traces_compiled
-            stats.opt_static_savings = self.optimizer.stats.static_savings
-            stats.opt_dynamic_savings = self.optimizer.dynamic_savings()
+        # Optimizer/codegen counters are set unconditionally (zeroed
+        # when the layer is off) so downstream consumers — the harness
+        # tables, reports — never meet a missing or stale attribute.
+        optimizer = self.optimizer
+        if optimizer is not None:
+            stats.traces_compiled = optimizer.stats.traces_compiled
+            stats.opt_static_savings = optimizer.stats.static_savings
+            stats.opt_dynamic_savings = optimizer.dynamic_savings()
+        else:
+            stats.traces_compiled = 0
+            stats.opt_static_savings = 0
+            stats.opt_dynamic_savings = 0
+        codecache = optimizer.codecache if optimizer is not None else None
+        if codecache is not None:
+            cg = codecache.stats
+            stats.codegen_traces_compiled = cg.traces_compiled
+            stats.codegen_uncompilable = cg.traces_uncompilable
+            stats.codegen_cache_hits = cg.cache_hits
+            stats.codegen_cache_misses = cg.cache_misses
+            stats.codegen_source_bytes = cg.source_bytes
+            stats.codegen_compile_seconds = cg.compile_seconds
+            stats.codegen_side_exits = codecache.side_exits_total()
+        else:
+            stats.codegen_traces_compiled = 0
+            stats.codegen_uncompilable = 0
+            stats.codegen_cache_hits = 0
+            stats.codegen_cache_misses = 0
+            stats.codegen_source_bytes = 0
+            stats.codegen_compile_seconds = 0.0
+            stats.codegen_side_exits = 0
 
 
 def run_traced(program: Program,

@@ -44,6 +44,10 @@ class TraceCache:
         self.traces: dict[tuple, Trace] = {}
         # node key -> set of anchor node keys whose trace contains it.
         self.node_to_anchors: dict[tuple, set[tuple]] = {}
+        # Called with each Trace this cache unlinks, so downstream
+        # compilation layers (IR optimizer, codegen backend) can drop
+        # their compiled forms of it.
+        self.invalidation_sink = None
         self.stats = TraceCacheStats()
         self._serial = 0
 
@@ -118,11 +122,16 @@ class TraceCache:
         if not anchors:
             return
         bcg = self.profiler.bcg
+        unlinked = []
         for anchor_key in anchors:
             anchor = bcg.nodes.get(anchor_key)
             if anchor is not None and anchor.trace is not None:
+                unlinked.append(anchor.trace)
                 anchor.trace = None
                 self.stats.traces_invalidated += 1
+        if self.invalidation_sink is not None:
+            for trace in unlinked:
+                self.invalidation_sink(trace)
 
     # ------------------------------------------------------------------
     # Introspection helpers used by examples and experiments.

@@ -176,75 +176,77 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
     stack = frame.stack
     locals_ = frame.locals
     code = block.method.code
+    push = stack.append
+    pop = stack.pop
 
     for index in range(block.start, block.end):
         instr = code[index]
         op = instr.op
 
         if op is _ILOAD or op is _FLOAD or op is _ALOAD:
-            stack.append(locals_[instr.a])
+            push(locals_[instr.a])
         elif op is _ICONST or op is _FCONST or op is _SCONST:
-            stack.append(instr.a)
+            push(instr.a)
         elif op is _ISTORE or op is _FSTORE or op is _ASTORE:
-            locals_[instr.a] = stack.pop()
+            locals_[instr.a] = pop()
         elif op is _IINC:
             locals_[instr.a] = wrap_int(locals_[instr.a] + instr.b)
         elif op is _IADD:
-            b = stack.pop()
+            b = pop()
             stack[-1] = wrap_int(stack[-1] + b)
         elif op is _ISUB:
-            b = stack.pop()
+            b = pop()
             stack[-1] = wrap_int(stack[-1] - b)
         elif op is _IMUL:
-            b = stack.pop()
+            b = pop()
             stack[-1] = wrap_int(stack[-1] * b)
         elif op is _IDIV:
-            b = stack.pop()
+            b = pop()
             stack[-1] = java_idiv(stack[-1], b)
         elif op is _IREM:
-            b = stack.pop()
+            b = pop()
             stack[-1] = java_irem(stack[-1], b)
         elif op is _INEG:
             stack[-1] = wrap_int(-stack[-1])
         elif op is _IAND:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] & b
         elif op is _IOR:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] | b
         elif op is _IXOR:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] ^ b
         elif op is _ISHL:
-            b = stack.pop()
+            b = pop()
             stack[-1] = java_ishl(stack[-1], b)
         elif op is _ISHR:
-            b = stack.pop()
+            b = pop()
             stack[-1] = java_ishr(stack[-1], b)
         elif op is _IUSHR:
-            b = stack.pop()
+            b = pop()
             stack[-1] = java_iushr(stack[-1], b)
         elif op is _IALOAD or op is _FALOAD or op is _AALOAD:
-            i = stack.pop()
-            arr = stack.pop()
+            i = pop()
+            arr = pop()
             if arr is None:
                 raise VMRuntimeError("array load through null")
-            stack.append(arr.data[arr.check_index(i)])
+            push(arr.data[arr.check_index(i)])
         elif op is _IASTORE or op is _FASTORE or op is _AASTORE:
-            value = stack.pop()
-            i = stack.pop()
-            arr = stack.pop()
+            value = pop()
+            i = pop()
+            arr = pop()
             if arr is None:
                 raise VMRuntimeError("array store through null")
             arr.data[arr.check_index(i)] = value
         elif op is _GETFIELD:
-            obj = stack.pop()
+            obj = pop()
             if obj is None:
                 raise VMRuntimeError(f"getfield {instr.a!r} on null")
-            stack.append(obj.fields[instr.a])
+            push(obj.fields[instr.a])
         elif op is _PUTFIELD:
-            value = stack.pop()
-            obj = stack.pop()
+            value = pop()
+            obj = pop()
             if obj is None:
                 raise VMRuntimeError(f"putfield {instr.a!r} on null")
             if instr.a not in obj.fields:
@@ -253,25 +255,26 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
             obj.fields[instr.a] = value
         elif op is _GETSTATIC:
             owner, field = instr.a
-            stack.append(owner.statics[field])
+            push(owner.statics[field])
         elif op is _PUTSTATIC:
             owner, field = instr.a
-            owner.statics[field] = stack.pop()
+            owner.statics[field] = pop()
         elif op is _FADD:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] + b
         elif op is _FSUB:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] - b
         elif op is _FMUL:
-            b = stack.pop()
+            b = pop()
             stack[-1] = stack[-1] * b
         elif op is _FDIV:
-            b = stack.pop()
+            b = pop()
             a = stack[-1]
             if b == 0.0:
-                # Java float division by zero yields infinity/NaN.
-                if a == 0.0:
+                # Java float division by zero yields infinity, except
+                # that a zero or NaN dividend yields NaN.
+                if a == 0.0 or a != a:
                     stack[-1] = float("nan")
                 else:
                     stack[-1] = float("inf") if a > 0 else float("-inf")
@@ -280,37 +283,37 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
         elif op is _FNEG:
             stack[-1] = -stack[-1]
         elif op is _FCMPL:
-            b = stack.pop()
+            b = pop()
             stack[-1] = fcmp(stack[-1], b, -1)
         elif op is _FCMPG:
-            b = stack.pop()
+            b = pop()
             stack[-1] = fcmp(stack[-1], b, 1)
         elif op is _I2F:
             stack[-1] = float(stack[-1])
         elif op is _F2I:
             stack[-1] = java_f2i(stack[-1])
         elif op is _DUP:
-            stack.append(stack[-1])
+            push(stack[-1])
         elif op is _DUP_X1:
             stack.insert(-2, stack[-1])
         elif op is _POP:
-            stack.pop()
+            pop()
         elif op is _SWAP:
             stack[-1], stack[-2] = stack[-2], stack[-1]
         elif op is _ACONST_NULL:
-            stack.append(None)
+            push(None)
         elif op is _NEW:
-            stack.append(ObjRef(instr.a))
+            push(ObjRef(instr.a))
         elif op is _NEWARRAY:
-            stack.append(ArrayRef(instr.a, stack.pop()))
+            push(ArrayRef(instr.a, pop()))
         elif op is _ARRAYLENGTH:
-            arr = stack.pop()
+            arr = pop()
             if arr is None:
                 raise VMRuntimeError("arraylength of null")
-            stack.append(len(arr.data))
+            push(len(arr.data))
         elif op is _INSTANCEOF:
-            obj = stack.pop()
-            stack.append(
+            obj = pop()
+            push(
                 1 if isinstance(obj, ObjRef)
                 and obj.rtclass.is_subclass_of(instr.a) else 0)
         elif op is _NOP:
@@ -320,50 +323,50 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
         elif op is _GOTO:
             return block.succ_target
         elif op is _IF_ICMPLT:
-            b = stack.pop()
-            return block.succ_target if stack.pop() < b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() < b else block.succ_fall
         elif op is _IF_ICMPGE:
-            b = stack.pop()
-            return block.succ_target if stack.pop() >= b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() >= b else block.succ_fall
         elif op is _IF_ICMPEQ:
-            b = stack.pop()
-            return block.succ_target if stack.pop() == b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() == b else block.succ_fall
         elif op is _IF_ICMPNE:
-            b = stack.pop()
-            return block.succ_target if stack.pop() != b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() != b else block.succ_fall
         elif op is _IF_ICMPLE:
-            b = stack.pop()
-            return block.succ_target if stack.pop() <= b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() <= b else block.succ_fall
         elif op is _IF_ICMPGT:
-            b = stack.pop()
-            return block.succ_target if stack.pop() > b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() > b else block.succ_fall
         elif op is _IFEQ:
-            return block.succ_target if stack.pop() == 0 else block.succ_fall
+            return block.succ_target if pop() == 0 else block.succ_fall
         elif op is _IFNE:
-            return block.succ_target if stack.pop() != 0 else block.succ_fall
+            return block.succ_target if pop() != 0 else block.succ_fall
         elif op is _IFLT:
-            return block.succ_target if stack.pop() < 0 else block.succ_fall
+            return block.succ_target if pop() < 0 else block.succ_fall
         elif op is _IFLE:
-            return block.succ_target if stack.pop() <= 0 else block.succ_fall
+            return block.succ_target if pop() <= 0 else block.succ_fall
         elif op is _IFGT:
-            return block.succ_target if stack.pop() > 0 else block.succ_fall
+            return block.succ_target if pop() > 0 else block.succ_fall
         elif op is _IFGE:
-            return block.succ_target if stack.pop() >= 0 else block.succ_fall
+            return block.succ_target if pop() >= 0 else block.succ_fall
         elif op is _IF_ACMPEQ:
-            b = stack.pop()
-            return block.succ_target if stack.pop() is b else block.succ_fall
+            b = pop()
+            return block.succ_target if pop() is b else block.succ_fall
         elif op is _IF_ACMPNE:
-            b = stack.pop()
-            return (block.succ_target if stack.pop() is not b
+            b = pop()
+            return (block.succ_target if pop() is not b
                     else block.succ_fall)
         elif op is _IFNULL:
-            return (block.succ_target if stack.pop() is None
+            return (block.succ_target if pop() is None
                     else block.succ_fall)
         elif op is _IFNONNULL:
-            return (block.succ_target if stack.pop() is not None
+            return (block.succ_target if pop() is not None
                     else block.succ_fall)
         elif op is _TABLESWITCH:
-            value = stack.pop()
+            value = pop()
             low = instr.a[0]
             offset = value - low
             if 0 <= offset < len(block.switch_blocks):
@@ -380,7 +383,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
                     args = []
                 result = target.fn(machine, args)
                 if target.returns_value:
-                    stack.append(result)
+                    push(result)
                 return block.continuation
             if argc:
                 args = stack[-argc:]
@@ -396,7 +399,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
                 del stack[-argc:]
             else:
                 args = []
-            receiver = stack.pop()
+            receiver = pop()
             if receiver is None:
                 raise VMRuntimeError(
                     f"invokevirtual {instr.a!r} on null receiver")
@@ -416,7 +419,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
                 del stack[-argc:]
             else:
                 args = []
-            receiver = stack.pop()
+            receiver = pop()
             if receiver is None:
                 raise VMRuntimeError(
                     f"invokespecial {target.qualified_name} on null")
@@ -425,7 +428,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
             return target.entry_block
         elif op is _RETURN or op is _IRETURN or op is _FRETURN \
                 or op is _ARETURN:
-            value = _NO_VALUE if op is _RETURN else stack.pop()
+            value = _NO_VALUE if op is _RETURN else pop()
             popped = machine.frames.pop()
             if not machine.frames:
                 machine.result = None if value is _NO_VALUE else value
@@ -434,7 +437,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
                 machine.frames[-1].stack.append(value)
             return popped.return_block
         elif op is _ATHROW:
-            return _throw(machine, stack.pop(), index)
+            return _throw(machine, pop(), index)
         else:
             raise VMRuntimeError(f"unimplemented opcode {op.name}")
 

@@ -53,6 +53,16 @@ def java_iushr(a: int, b: int) -> int:
     return wrap_int((a & _INT_MASK) >> (b & 31))
 
 
+def java_fdiv(a: float, b: float) -> float:
+    """Java float division: ``x / 0.0`` is NaN when x is zero *or NaN*,
+    signed infinity otherwise; nonzero divisors divide normally."""
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return float("nan")
+        return float("inf") if a > 0 else float("-inf")
+    return a / b
+
+
 def java_f2i(value: float) -> int:
     """Java f2i: truncate toward zero, saturating at int bounds, NaN -> 0."""
     if value != value:  # NaN

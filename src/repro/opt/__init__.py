@@ -2,9 +2,14 @@
 
 Flattens cached traces to a guarded linear IR, runs peephole passes
 (goto elimination, constant folding, IINC fusion, push/pop removal)
-and executes the result with block-exact semantics and accounting.
+and executes the result with block-exact semantics and accounting —
+either interpretively (:func:`run_compiled`, the "ir" backend) or via
+template-compiled specialized Python functions (:mod:`codegen` +
+:mod:`codecache`, the "py" backend).
 """
 
+from .codecache import CodeCache, CodegenStats
+from .codegen import LoweredTrace, lower
 from .executor import run_compiled
 from .flatten import FlattenError, flatten
 from .ir import CompiledTrace, TraceInstr
@@ -14,5 +19,6 @@ from .passes import (drop_push_pop, fold_constants, forward_store_load,
 
 __all__ = ["run_compiled", "FlattenError", "flatten", "CompiledTrace",
            "TraceInstr", "OptimizerStats", "TraceOptimizer",
+           "CodeCache", "CodegenStats", "LoweredTrace", "lower",
            "drop_push_pop", "fold_constants", "forward_store_load",
            "fuse_iinc", "optimize"]

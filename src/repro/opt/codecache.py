@@ -1,0 +1,91 @@
+"""Structural-hash-keyed cache of compiled trace code objects.
+
+:func:`repro.opt.codegen.lower` symbolizes every per-trace object into
+a constant slot, so the generated source text *is* the structural
+identity of a trace shape.  The cache keys ``compile()``d code objects
+by that text: two traces with identical shapes share one code object
+and only pay a cheap ``exec`` to bind their own constants — the same
+dedup move the trace cache itself makes with its block-sequence hash
+table.
+
+Instantiation binds, per trace: the constant pool (``C0..Cn``), the
+shared helper functions, and a fresh per-guard side-exit counter list.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from .codegen import HELPERS, TRACE_FN_NAME, lower
+from .ir import CompiledTrace
+
+
+@dataclass(slots=True)
+class CodegenStats:
+    """Aggregate statistics of the template-compilation backend."""
+
+    traces_compiled: int = 0        # specialized functions installed
+    traces_uncompilable: int = 0    # declined (no lowering template)
+    cache_hits: int = 0             # code object reused across traces
+    cache_misses: int = 0           # distinct shapes compiled
+    source_bytes: int = 0           # generated Python source, total
+    compile_seconds: float = 0.0    # time inside compile()
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+
+class CodeCache:
+    """Compile-and-instantiate service for the "py" trace backend."""
+
+    def __init__(self) -> None:
+        self._code: dict[str, object] = {}     # source text -> code obj
+        self._installed: list[CompiledTrace] = []
+        self.stats = CodegenStats()
+
+    def __len__(self) -> int:
+        return len(self._code)
+
+    def install(self, compiled: CompiledTrace):
+        """Compile `compiled` to a specialized function and attach it
+        as ``compiled.py_fn``; returns the function, or None when the
+        trace is not lowerable (the IR executor keeps it)."""
+        lowered = lower(compiled)
+        if lowered is None:
+            compiled.py_uncompilable = True
+            self.stats.traces_uncompilable += 1
+            return None
+        code = self._code.get(lowered.key)
+        if code is None:
+            started = time.perf_counter()
+            code = compile(lowered.source, "<trace-codegen>", "exec")
+            self.stats.compile_seconds += time.perf_counter() - started
+            self.stats.cache_misses += 1
+            self.stats.source_bytes += len(lowered.source)
+            self._code[lowered.key] = code
+        else:
+            self.stats.cache_hits += 1
+
+        exits = [0] * lowered.guard_count
+        namespace = dict(HELPERS)
+        namespace["EXITS"] = exits
+        for index, obj in enumerate(lowered.consts):
+            namespace[f"C{index}"] = obj
+        exec(code, namespace)
+        fn = namespace[TRACE_FN_NAME]
+        compiled.py_fn = fn
+        compiled.side_exit_counts = exits
+        self._installed.append(compiled)
+        self.stats.traces_compiled += 1
+        return fn
+
+    def side_exits_total(self) -> int:
+        """Guard side exits taken inside generated code, summed over
+        every function this cache ever installed."""
+        return sum(sum(c.side_exit_counts) for c in self._installed
+                   if c.side_exit_counts)

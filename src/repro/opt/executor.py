@@ -188,7 +188,8 @@ def run_compiled(machine, compiled: CompiledTrace):
                 b = stack.pop()
                 a = stack[-1]
                 if b == 0.0:
-                    if a == 0.0:
+                    # Zero or NaN dividend yields NaN, not infinity.
+                    if a == 0.0 or a != a:
                         stack[-1] = float("nan")
                     else:
                         stack[-1] = (float("inf") if a > 0

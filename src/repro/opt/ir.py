@@ -78,6 +78,12 @@ class CompiledTrace:
     # Per-execution statistics:
     executions: int = 0
     guard_failures: int = 0
+    # Template-compiled ("py" backend) form, installed lazily once the
+    # trace is hot.  `py_fn(machine, frame, stack, locals_)` has the
+    # exact `run_compiled` contract; None when not (yet) compiled.
+    py_fn: object = None
+    py_uncompilable: bool = False    # codegen declined this trace
+    side_exit_counts: list | None = None   # per-guard exits (py backend)
 
     @property
     def optimized_instr_count(self) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .codecache import CodeCache
 from .flatten import FlattenError, flatten
 from .ir import CompiledTrace
 from .passes import optimize
@@ -35,10 +36,19 @@ class OptimizerStats:
 
 
 class TraceOptimizer:
-    """Compiles traces to optimized linear IR, with caching."""
+    """Compiles traces to optimized linear IR, with caching.
 
-    def __init__(self, enable_passes: bool = True) -> None:
+    With ``backend="py"`` the optimizer also owns a :class:`CodeCache`
+    and template-compiles each trace into a specialized Python function
+    once it has run ``compile_threshold`` times on the IR executor
+    (cold traces never pay codegen)."""
+
+    def __init__(self, enable_passes: bool = True, backend: str = "ir",
+                 compile_threshold: int = 2) -> None:
         self.enable_passes = enable_passes
+        self.backend = backend
+        self.compile_threshold = compile_threshold
+        self.codecache = CodeCache() if backend == "py" else None
         self.compiled: dict[int, CompiledTrace] = {}    # id(trace) ->
         self.unoptimizable: set[int] = set()
         self.stats = OptimizerStats()
@@ -65,9 +75,24 @@ class TraceOptimizer:
         self.stats.optimized_instrs += compiled.optimized_instr_count
         return compiled
 
+    def backend_fn(self, compiled: CompiledTrace):
+        """The specialized function for `compiled`, compiling it now if
+        the trace just crossed the hotness threshold; None while cold,
+        uncompilable, or when the backend is "ir"."""
+        fn = compiled.py_fn
+        if fn is not None:
+            return fn
+        if (self.codecache is None or compiled.py_uncompilable
+                or compiled.executions < self.compile_threshold):
+            return None
+        return self.codecache.install(compiled)
+
     def invalidate(self, trace) -> None:
-        """Drop the compiled form (the trace was rebuilt)."""
-        self.compiled.pop(id(trace), None)
+        """Drop the compiled form — IR and generated code both — when
+        the trace cache unlinks `trace` (it was rebuilt or replaced)."""
+        dropped = self.compiled.pop(id(trace), None)
+        if dropped is not None:
+            dropped.py_fn = None
         self.unoptimizable.discard(id(trace))
 
     def dynamic_savings(self) -> int:

@@ -9,9 +9,9 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.jvm.values import (INT_MAX, INT_MIN, default_value, fcmp,
-                              is_float, is_int, java_f2i, java_idiv,
-                              java_irem, java_ishl, java_ishr, java_iushr,
-                              wrap_int)
+                              is_float, is_int, java_f2i, java_fdiv,
+                              java_idiv, java_irem, java_ishl, java_ishr,
+                              java_iushr, wrap_int)
 
 ints = st.integers(min_value=INT_MIN, max_value=INT_MAX)
 any_ints = st.integers(min_value=-(1 << 70), max_value=1 << 70)
@@ -144,3 +144,26 @@ class TestTypePredicates:
         assert default_value("float") == 0.0
         assert default_value("Object") is None
         assert default_value("int[]") is None
+
+
+class TestJavaFdiv:
+    def test_ordinary_division(self):
+        assert java_fdiv(6.0, 1.5) == 4.0
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(java_fdiv(0.0, 0.0))
+
+    def test_nan_over_zero_is_nan(self):
+        # Regression: a NaN dividend used to take the signed-infinity
+        # branch (NaN > 0 is False, so it produced -inf).
+        assert math.isnan(java_fdiv(float("nan"), 0.0))
+
+    def test_signed_infinities(self):
+        assert java_fdiv(2.5, 0.0) == float("inf")
+        assert java_fdiv(-2.5, 0.0) == float("-inf")
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_matches_python_for_nonzero_divisors(self, a, b):
+        if b != 0.0:
+            assert java_fdiv(a, b) == a / b
