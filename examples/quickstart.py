@@ -4,7 +4,7 @@ trace-dispatching VM, then print the paper's five dependent values.
 Run:  python examples/quickstart.py
 """
 
-from repro import TraceCacheConfig, compile_source, run_traced
+from repro import VM
 
 SOURCE = """
 class Main {
@@ -27,9 +27,8 @@ class Main {
 
 
 def main() -> None:
-    program = compile_source(SOURCE)
-    config = TraceCacheConfig(threshold=0.97, start_state_delay=64)
-    result = run_traced(program, config)
+    vm = VM(SOURCE, threshold=0.97, start_state_delay=64)
+    result = vm.run()
     stats = result.stats
 
     print(f"program result            : {result.value}")

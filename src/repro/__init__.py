@@ -11,9 +11,9 @@ paper's evaluation.
 
 Quickstart::
 
-    from repro import compile_source, run_traced, TraceCacheConfig
+    from repro import VM
 
-    program = compile_source('''
+    vm = VM('''
         class Main {
             static int main() {
                 int total = 0;
@@ -21,11 +21,20 @@ Quickstart::
                 return total;
             }
         }
-    ''')
-    result = run_traced(program, TraceCacheConfig(threshold=0.97))
-    print(result.value, result.stats.coverage)
+    ''', threshold=0.97)
+    result = vm.run()
+    print(result.value, vm.stats.coverage)
+
+Attach an :class:`Observability` context to watch the run live —
+JSONL event streams, Chrome/Perfetto trace files, periodic snapshots::
+
+    from repro import VM, Observability
+
+    obs = Observability(chrome_trace_path="run.trace.json")
+    VM(program, obs=obs).run()
 """
 
+from .api import VM, compile_program
 from .core import (BranchCorrelationGraph, BranchNode, BranchState,
                    EventLog, Profiler, RunResult, Trace, TraceCache,
                    TraceCacheConfig, TraceController, run_traced)
@@ -33,11 +42,13 @@ from .jvm import (Program, SwitchInterpreter, ThreadedInterpreter,
                   disassemble_program, link, verify_program)
 from .lang import CompileError, compile_source
 from .metrics.collectors import RunStats
+from .obs import EventBus, Observability, PhaseTimers
 from .workloads import SIZES, WORKLOAD_NAMES, load_workload, workload_source
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "VM", "compile_program", "Observability", "EventBus", "PhaseTimers",
     "BranchCorrelationGraph", "BranchNode", "BranchState", "EventLog",
     "Profiler", "RunResult", "Trace", "TraceCache", "TraceCacheConfig",
     "TraceController", "run_traced", "Program", "SwitchInterpreter",

@@ -6,12 +6,17 @@ Commands:
   execution model with ``--model switch|threaded|traced``).
 - ``disasm FILE``     — compile and disassemble.
 - ``workload NAME``   — run a paper workload under the trace cache and
-  print the five dependent values (``--size``, ``--threshold``,
-  ``--delay``).
+  print the five dependent values.
 - ``table N``         — regenerate paper table N (1-7) or ``figures``.
 - ``report``          — the full evaluation as one markdown document.
 - ``dump NAME``       — export a run's BCG/traces as JSON or Graphviz.
 - ``baselines NAME``  — compare selection schemes on a workload.
+
+The trace-cache flags (``--threshold``, ``--delay``, ``--optimize``,
+``--backend``, ``--compile-threshold``) and the observability flags
+(``--events``, ``--chrome-trace``, ``--snapshot-every``) are defined
+once and accepted uniformly by ``run``, ``workload``, ``dump`` and
+``baselines``.
 
 ``run`` and ``disasm`` accept mini-Java sources or ``.jasm`` assembly.
 """
@@ -19,69 +24,26 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .core import TraceCacheConfig, run_traced
+from .api import VM, compile_program
+from .core import TraceCacheConfig
 from .harness import (ExperimentMatrix, figures_dispatch_models,
                       run_baseline, run_experiment, table1, table2,
                       table3, table4, table5, table6, table7)
 from .jvm import (SwitchInterpreter, ThreadedInterpreter,
                   disassemble_program, program_summary)
-from .lang import CompileError, compile_source
+from .lang import CompileError
 from .metrics.calibration import calibration_report, stability_report
 from .metrics.report import Table
+from .obs import Observability
 from .workloads import SIZES, WORKLOAD_NAMES, load_workload
 
 
-def _compile_file(path: str):
-    """Compile a source file: mini-Java by default, `.jasm` assembly
-    when the extension says so."""
-    with open(path) as handle:
-        source = handle.read()
-    if path.endswith(".jasm"):
-        from .jvm import link, parse_jasm, verify_program
-        program = link(parse_jasm(source))
-        verify_program(program)
-        return program
-    return compile_source(source)
-
-
-def cmd_run(args) -> int:
-    program = _compile_file(args.file)
-    started = time.perf_counter()
-    if args.model == "switch":
-        interp = SwitchInterpreter(program)
-        interp.run()
-        result, output = interp.result, interp.output
-        dispatches = interp.dispatch_count
-    elif args.model == "threaded":
-        interp = ThreadedInterpreter(program)
-        machine = interp.run()
-        result, output = machine.result, machine.output
-        dispatches = interp.dispatch_count
-    else:
-        traced = run_traced(program, _config(args))
-        result, output = traced.value, traced.output
-        dispatches = traced.stats.total_dispatches
-    elapsed = time.perf_counter() - started
-    for line in output:
-        print(line)
-    print(f"-> result: {result}  "
-          f"({dispatches:,} dispatches, {elapsed:.3f}s, "
-          f"model={args.model})")
-    return 0
-
-
-def cmd_disasm(args) -> int:
-    program = _compile_file(args.file)
-    print(program_summary(program))
-    print()
-    print(disassemble_program(program))
-    return 0
-
-
 def _config(args) -> TraceCacheConfig:
+    """The TraceCacheConfig described by the shared trace flags."""
     return TraceCacheConfig(
         threshold=getattr(args, "threshold", 0.97),
         start_state_delay=getattr(args, "delay", 64),
@@ -90,9 +52,79 @@ def _config(args) -> TraceCacheConfig:
         compile_threshold=getattr(args, "compile_threshold", 2))
 
 
+def _obs(args) -> Observability | None:
+    """An Observability context when any obs flag is set, else None."""
+    events = getattr(args, "events", None)
+    chrome = getattr(args, "chrome_trace", None)
+    every = getattr(args, "snapshot_every", 0)
+    if not (events or chrome or every):
+        return None
+    return Observability(events_path=events, chrome_trace_path=chrome,
+                         snapshot_every=every)
+
+
+def _report_obs(vm: VM) -> None:
+    """Post-run summary of where observability output went."""
+    obs = vm.obs
+    if obs is None:
+        return
+    vm.close()
+    parts = [f"{obs.bus.emitted} events"]
+    if obs.events_path:
+        parts.append(f"jsonl -> {obs.events_path}")
+    if obs.chrome_trace_path:
+        parts.append(f"chrome trace -> {obs.chrome_trace_path}")
+    if obs.snapshot_every:
+        parts.append(f"{obs.snapshots_taken} snapshots "
+                     f"(every {obs.snapshot_every:,} dispatches)")
+    print(f"obs: {', '.join(parts)}")
+    if obs.snapshot_every and obs.snapshots:
+        print(json.dumps(obs.snapshots[-1], sort_keys=True))
+
+
+def cmd_run(args) -> int:
+    program = compile_program(args.file)
+    started = time.perf_counter()
+    if args.model == "switch":
+        interp = SwitchInterpreter(program)
+        interp.run()
+        result, output = interp.result, interp.output
+        dispatches = interp.dispatch_count
+        vm = None
+    elif args.model == "threaded":
+        interp = ThreadedInterpreter(program)
+        machine = interp.run()
+        result, output = machine.result, machine.output
+        dispatches = interp.dispatch_count
+        vm = None
+    else:
+        vm = VM(program, config=_config(args), obs=_obs(args))
+        traced = vm.run()
+        result, output = traced.value, traced.output
+        dispatches = traced.stats.total_dispatches
+    elapsed = time.perf_counter() - started
+    for line in output:
+        print(line)
+    print(f"-> result: {result}  "
+          f"({dispatches:,} dispatches, {elapsed:.3f}s, "
+          f"model={args.model})")
+    if vm is not None:
+        _report_obs(vm)
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = compile_program(args.file)
+    print(program_summary(program))
+    print()
+    print(disassemble_program(program))
+    return 0
+
+
 def cmd_workload(args) -> int:
     program = load_workload(args.name, args.size)
-    result = run_traced(program, _config(args))
+    vm = VM(program, config=_config(args), obs=_obs(args))
+    result = vm.run()
     stats = result.stats
     print(f"{args.name} ({args.size}): result={result.value}")
     print(f"  instructions          : {stats.instr_total:,}")
@@ -113,6 +145,7 @@ def cmd_workload(args) -> int:
               f"{stats.codegen_source_bytes:,} source bytes in "
               f"{stats.codegen_compile_seconds * 1000:.1f}ms, "
               f"{stats.codegen_side_exits} side exits")
+    _report_obs(vm)
     if args.calibration:
         print()
         print(calibration_report(result.cache.traces.values())
@@ -153,12 +186,14 @@ def cmd_report(args) -> int:
 
 def cmd_dump(args) -> int:
     program = load_workload(args.name, args.size)
-    result = run_traced(program, TraceCacheConfig())
+    vm = VM(program, config=_config(args), obs=_obs(args))
+    result = vm.run()
     from .metrics.dump import bcg_to_dot, run_to_json
     if args.format == "dot":
         print(bcg_to_dot(result.profiler.bcg, max_nodes=args.max_nodes))
     else:
         print(run_to_json(result))
+    _report_obs(vm)
     return 0
 
 
@@ -168,7 +203,11 @@ def cmd_baselines(args) -> int:
         ["scheme", "coverage", "completion", "avg length",
          "dispatch reduction"],
         formats=["", ".1%", ".1%", ".1f", ".1%"])
-    stats = run_experiment(args.name, args.size).stats
+    # The bcg (paper) row honors the shared trace/obs flags; the
+    # baseline schemes have their own selection machinery.
+    program = load_workload(args.name, args.size)
+    vm = VM(program, config=_config(args), obs=_obs(args))
+    stats = vm.run().stats
     table.add_row("bcg (paper)", stats.coverage, stats.completion_rate,
                   stats.average_trace_length, stats.dispatch_reduction)
     for scheme in ("dynamo", "replay", "whaley"):
@@ -179,7 +218,44 @@ def cmd_baselines(args) -> int:
                       sstats.average_trace_length,
                       sstats.dispatch_reduction)
     print(table.render())
+    _report_obs(vm)
     return 0
+
+
+def _trace_flags() -> argparse.ArgumentParser:
+    """Parent parser: trace-cache tunables, defined exactly once."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("trace-cache options")
+    group.add_argument("--threshold", type=float, default=0.97,
+                       help="minimum expected trace completion rate")
+    group.add_argument("--delay", type=int, default=64,
+                       help="start-state delay (executions before a "
+                            "branch can enter traces)")
+    group.add_argument("--optimize", action="store_true",
+                       help="execute optimized (flattened) traces")
+    group.add_argument("--backend", choices=("ir", "py"), default="py",
+                       help="optimized-trace executor: interpret the IR "
+                            "or template-compile hot traces to Python")
+    group.add_argument("--compile-threshold", type=int, default=2,
+                       help="trace executions before codegen kicks in")
+    return parent
+
+
+def _obs_flags() -> argparse.ArgumentParser:
+    """Parent parser: observability outputs, defined exactly once."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability options")
+    group.add_argument("--events", metavar="FILE",
+                       help="stream every observability event to FILE "
+                            "as JSON lines")
+    group.add_argument("--chrome-trace", metavar="FILE",
+                       help="write a chrome://tracing / Perfetto "
+                            "trace-event file")
+    group.add_argument("--snapshot-every", type=int, default=0,
+                       metavar="N",
+                       help="take a stable-schema snapshot every N "
+                            "dispatches (printed and streamed)")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,20 +264,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Dynamic profiling and trace cache generation "
                     "(Berndl & Hendren, CGO 2003) — reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
+    trace_flags = _trace_flags()
+    obs_flags = _obs_flags()
 
-    run = sub.add_parser("run", help="compile and run a mini-Java file")
+    run = sub.add_parser("run", help="compile and run a mini-Java file",
+                         parents=[trace_flags, obs_flags])
     run.add_argument("file")
     run.add_argument("--model", choices=("switch", "threaded", "traced"),
                      default="traced")
-    run.add_argument("--threshold", type=float, default=0.97)
-    run.add_argument("--delay", type=int, default=64)
-    run.add_argument("--optimize", action="store_true",
-                     help="execute optimized (flattened) traces")
-    run.add_argument("--backend", choices=("ir", "py"), default="py",
-                     help="optimized-trace executor: interpret the IR "
-                          "or template-compile hot traces to Python")
-    run.add_argument("--compile-threshold", type=int, default=2,
-                     help="trace executions before codegen kicks in")
     run.set_defaults(func=cmd_run)
 
     disasm = sub.add_parser("disasm", help="disassemble a mini-Java file")
@@ -209,18 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.set_defaults(func=cmd_disasm)
 
     workload = sub.add_parser("workload",
-                              help="run a paper workload traced")
+                              help="run a paper workload traced",
+                              parents=[trace_flags, obs_flags])
     workload.add_argument("name", choices=WORKLOAD_NAMES)
     workload.add_argument("--size", choices=SIZES, default="small")
-    workload.add_argument("--threshold", type=float, default=0.97)
-    workload.add_argument("--delay", type=int, default=64)
-    workload.add_argument("--optimize", action="store_true",
-                          help="execute optimized (flattened) traces")
-    workload.add_argument("--backend", choices=("ir", "py"), default="py",
-                          help="optimized-trace executor: interpret the "
-                               "IR or template-compile hot traces")
-    workload.add_argument("--compile-threshold", type=int, default=2,
-                          help="trace executions before codegen kicks in")
     workload.add_argument("--calibration", action="store_true",
                           help="print calibration/stability reports")
     workload.set_defaults(func=cmd_workload)
@@ -240,7 +302,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=cmd_report)
 
     dump = sub.add_parser(
-        "dump", help="export a run's BCG/traces as JSON or Graphviz")
+        "dump", help="export a run's BCG/traces as JSON or Graphviz",
+        parents=[trace_flags, obs_flags])
     dump.add_argument("name", choices=WORKLOAD_NAMES)
     dump.add_argument("--size", choices=SIZES, default="tiny")
     dump.add_argument("--format", choices=("json", "dot"),
@@ -249,7 +312,8 @@ def build_parser() -> argparse.ArgumentParser:
     dump.set_defaults(func=cmd_dump)
 
     baselines = sub.add_parser("baselines",
-                               help="compare selection schemes")
+                               help="compare selection schemes",
+                               parents=[trace_flags, obs_flags])
     baselines.add_argument("name", choices=WORKLOAD_NAMES)
     baselines.add_argument("--size", choices=SIZES, default="small")
     baselines.set_defaults(func=cmd_baselines)

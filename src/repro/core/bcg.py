@@ -95,6 +95,7 @@ class BranchCorrelationGraph:
         self.nodes: dict[tuple, BranchNode] = {}
         self.decay_count = 0
         self.edges_created = 0
+        self.bus = None    # obs EventBus (set by the profiler), or None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -142,8 +143,21 @@ class BranchCorrelationGraph:
 
         Dead edges (weight 0) are removed so stale correlations do not
         linger; the node total and inline cache are rebuilt.
+
+        Counter saturation is reported here rather than on the hot
+        succession path: an edge found at the counter cap when its
+        decay sweep arrives spent part of the period saturated, which
+        is exactly what the event is meant to surface.
         """
         self.decay_count += 1
+        bus = self.bus
+        if bus is not None and bus.wants("profiler.counter_saturated"):
+            cap = self.config.counter_max
+            saturated = [z for z, edge in node.edges.items()
+                         if edge.weight >= cap]
+            if saturated:
+                bus.emit("profiler.counter_saturated", node=node.key,
+                         successors=saturated, cap=cap)
         dead: list[int] = []
         total = 0
         best = None

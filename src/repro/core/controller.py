@@ -46,12 +46,17 @@ class TraceController:
     def __init__(self, program: Program,
                  config: TraceCacheConfig | None = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-                 event_log: EventLog | None = None) -> None:
+                 event_log: EventLog | None = None,
+                 obs=None) -> None:
         self.program = program
         self.config = config or TraceCacheConfig()
         self.max_instructions = max_instructions
-        self.profiler = Profiler(self.config, event_log=event_log)
-        self.cache = TraceCache(self.config, self.profiler)
+        self.obs = obs              # repro.obs.Observability, or None
+        self._bus = obs.bus if obs is not None else None
+        self.profiler = Profiler(self.config, event_log=event_log,
+                                 bus=self._bus)
+        self.cache = TraceCache(self.config, self.profiler,
+                                bus=self._bus)
         self.profiler.signal_sink = self.cache.on_signal
         self.optimizer = None
         self._run_compiled = None
@@ -61,11 +66,15 @@ class TraceController:
             from ..opt import TraceOptimizer, run_compiled
             self.optimizer = TraceOptimizer(
                 backend=self.config.compile_backend,
-                compile_threshold=self.config.compile_threshold)
+                compile_threshold=self.config.compile_threshold,
+                bus=self._bus)
             self._run_compiled = run_compiled
             self._codegen = self.optimizer.codecache is not None
             # When the cache unlinks a trace, drop its compiled forms.
             self.cache.invalidation_sink = self.optimizer.invalidate
+        if obs is not None:
+            # Routes the signal sink and codegen through phase timers.
+            obs.attach(self)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -74,10 +83,21 @@ class TraceController:
         program.reset_statics()
         machine = Machine(program, self.max_instructions)
         stats = RunStats()
-        profiler = self.profiler
+        # The dispatch loop exists twice: the fast loop is byte-for-
+        # byte the unobserved hot path, the observed variant adds the
+        # snapshot countdown and run lifecycle events.  Splitting keeps
+        # the disabled-observability cost at exactly zero.
+        if self.obs is None:
+            self._run_fast(machine, stats)
+        else:
+            self._run_observed(machine, stats)
+        self._finalize(machine, stats)
+        return RunResult(machine, stats, self.profiler, self.cache)
+
+    def _run_fast(self, machine: Machine, stats: RunStats) -> None:
         # Hot-loop locals: every attribute or global touched per
         # dispatch is bound once here.
-        advance = profiler.advance
+        advance = self.profiler.advance
         execute = execute_block
         dispatch_trace = self._dispatch_trace
         current = machine.start()
@@ -105,8 +125,47 @@ class TraceController:
             previous = current
             current = nxt
 
-        self._finalize(machine, stats)
-        return RunResult(machine, stats, profiler, self.cache)
+    def _run_observed(self, machine: Machine, stats: RunStats) -> None:
+        """The fast loop plus run lifecycle events, the ``run`` phase
+        span, and the ``--snapshot-every`` countdown."""
+        obs = self.obs
+        obs.begin_run(self, stats)
+        advance = self.profiler.advance
+        execute = execute_block
+        dispatch_trace = self._dispatch_trace
+        snap_every = obs.snapshot_every
+        snap_left = snap_every
+        current = machine.start()
+        previous = None
+        last_was_trace = False
+
+        while current is not None:
+            dispatched = False
+            if previous is not None:
+                node = advance(previous.bid, current)
+                trace = node.trace
+                if trace is not None:
+                    stats.trace_dispatches += 1
+                    if last_was_trace:
+                        stats.trace_chains += 1
+                    last_was_trace = True
+                    previous, current = dispatch_trace(
+                        machine, trace, stats)
+                    dispatched = True
+            if not dispatched:
+                last_was_trace = False
+                stats.block_dispatches += 1
+                nxt = execute(machine, current)
+                previous = current
+                current = nxt
+            if snap_every:
+                snap_left -= 1
+                if snap_left <= 0:
+                    snap_left = snap_every
+                    obs.take_snapshot(
+                        self, dispatches=stats.total_dispatches)
+
+        obs.end_run(self, machine, stats)
 
     # ------------------------------------------------------------------
     def _dispatch_trace(self, machine: Machine, trace: Trace,
@@ -118,6 +177,7 @@ class TraceController:
 
         compiled = (self.optimizer.get(trace)
                     if self.optimizer is not None else None)
+        used_codegen = False
         if compiled is not None:
             # Hot path: an installed specialized function is one
             # attribute load away; the backend_fn call (lazy install,
@@ -126,6 +186,7 @@ class TraceController:
             if fn is None and self._codegen:
                 fn = self.optimizer.backend_fn(compiled)
             if fn is not None:
+                used_codegen = True
                 frame = machine.frames[-1]
                 executed, nxt, _completed = fn(
                     machine, frame, frame.stack, frame.locals)
@@ -156,6 +217,10 @@ class TraceController:
             trace.record_partial(executed, instructions)
             stats.partial_blocks += executed
             stats.instr_in_partial += instructions
+            # A partial exit from generated code is a guard side exit.
+            if used_codegen and self._bus is not None:
+                self._bus.emit("codegen.side_exit", trace=trace.serial,
+                               executed=executed, of=count)
 
         # Intra-trace branches were not profiled; restore the branch
         # context to the last branch the trace actually took.  With
@@ -214,13 +279,29 @@ class TraceController:
             stats.codegen_source_bytes = 0
             stats.codegen_compile_seconds = 0.0
             stats.codegen_side_exits = 0
+        # Observability accounting (zeroed when the layer is off, like
+        # the codegen counters above).
+        obs = self.obs
+        if obs is not None:
+            stats.events_emitted = obs.bus.emitted
+            stats.events_suppressed = obs.bus.suppressed
+            stats.obs_snapshots = obs.snapshots_taken
+        else:
+            stats.events_emitted = 0
+            stats.events_suppressed = 0
+            stats.obs_snapshots = 0
 
 
 def run_traced(program: Program,
                config: TraceCacheConfig | None = None,
                max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-               event_log: EventLog | None = None) -> RunResult:
-    """One-call API: run `program` under the trace-dispatching VM."""
-    controller = TraceController(program, config, max_instructions,
-                                 event_log)
-    return controller.run()
+               event_log: EventLog | None = None,
+               obs=None) -> RunResult:
+    """One-call API: run `program` under the trace-dispatching VM.
+
+    Back-compat shim over :class:`repro.api.VM`, which is the stable
+    embedding facade — new keyword arguments accrue there, not here.
+    """
+    from ..api import VM
+    return VM(program, config=config, max_instructions=max_instructions,
+              event_log=event_log, obs=obs).run()

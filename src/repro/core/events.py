@@ -1,7 +1,15 @@
-"""State-change signals flowing from the profiler to the trace cache."""
+"""State-change signals flowing from the profiler to the trace cache.
+
+This is the narrow, legacy observation channel predating
+:mod:`repro.obs`: it records only profiler state-change signals.  The
+event bus generalizes it (``profiler.state_change`` events carry the
+same data plus the rest of the taxonomy); :class:`EventLog` is kept
+for existing callers and experiments that want exactly the signals.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from .states import Summary
@@ -23,17 +31,29 @@ class StateChangeSignal:
 
 @dataclass(slots=True)
 class EventLog:
-    """Bounded in-memory log of signals (diagnostics / experiments)."""
+    """Bounded ring buffer of signals (diagnostics / experiments).
+
+    At capacity the *oldest* signal is evicted, keeping the most recent
+    N — the steady-state tail is the interesting part of a long run.
+    `dropped` counts evictions and is surfaced in obs snapshots.
+    """
 
     capacity: int = 10_000
-    signals: list[StateChangeSignal] = field(default_factory=list)
+    signals: deque = field(default=None)
     dropped: int = 0
 
-    def record(self, signal: StateChangeSignal) -> None:
-        if len(self.signals) < self.capacity:
-            self.signals.append(signal)
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.signals is None:
+            self.signals = deque(maxlen=self.capacity)
         else:
-            self.dropped += 1
+            self.signals = deque(self.signals, maxlen=self.capacity)
+
+    def record(self, signal: StateChangeSignal) -> None:
+        if len(self.signals) == self.capacity:
+            self.dropped += 1           # deque evicts the oldest
+        self.signals.append(signal)
 
     @property
     def total(self) -> int:

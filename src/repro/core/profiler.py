@@ -44,11 +44,14 @@ class Profiler:
     """
 
     def __init__(self, config: TraceCacheConfig,
-                 signal_sink=None, event_log: EventLog | None = None) -> None:
+                 signal_sink=None, event_log: EventLog | None = None,
+                 bus=None) -> None:
         self.config = config
         self.bcg = BranchCorrelationGraph(config)
         self.signal_sink = signal_sink
         self.event_log = event_log
+        self.bus = bus              # repro.obs EventBus, or None
+        self.bcg.bus = bus          # saturation events at decay sweeps
         self.stats = ProfilerStats()
         self.last_node: BranchNode | None = None
         self._decay_period = config.decay_period
@@ -84,6 +87,10 @@ class Profiler:
         elif node.exec_count % self._decay_period == 0:
             stats.decays += 1
             bcg.decay(node)
+            bus = self.bus
+            if bus is not None:
+                bus.emit("profiler.decay", node=node.key,
+                         serial=stats.advances)
             self._recheck(node)
 
         self.last_node = node
@@ -133,6 +140,14 @@ class Profiler:
         if self.event_log is not None:
             self.event_log.record(StateChangeSignal(
                 node.key, old_summary, new_summary, self.stats.advances))
+        bus = self.bus
+        if bus is not None:
+            bus.emit("profiler.state_change", node=node.key,
+                     old_state=old_summary[0].name,
+                     old_best=old_summary[1],
+                     new_state=new_summary[0].name,
+                     new_best=new_summary[1],
+                     serial=self.stats.advances)
         if self.signal_sink is not None:
             self.signal_sink(node, old_summary, new_summary)
 

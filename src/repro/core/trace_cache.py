@@ -38,9 +38,10 @@ class TraceCache:
     links into the branch correlation graph."""
 
     def __init__(self, config: TraceCacheConfig,
-                 profiler: Profiler) -> None:
+                 profiler: Profiler, bus=None) -> None:
         self.config = config
         self.profiler = profiler
+        self.bus = bus              # repro.obs EventBus, or None
         self.traces: dict[tuple, Trace] = {}
         # node key -> set of anchor node keys whose trace contains it.
         self.node_to_anchors: dict[tuple, set[tuple]] = {}
@@ -65,8 +66,12 @@ class TraceCache:
         bcg = self.profiler.bcg
         entries = find_entry_points(bcg, node, self.config)
         stats.entry_points_found += len(entries)
+        bus = self.bus
         examined: dict[tuple, object] = {}
         for entry in entries:
+            if bus is not None:
+                bus.emit("constructor.walk_started", entry=entry.key,
+                         signal_node=node.key)
             path, loop_start = max_likelihood_walk(entry, self.config)
             for n in path:
                 examined[n.key] = n
@@ -85,12 +90,22 @@ class TraceCache:
     def _cut_and_install(self, sequence) -> None:
         chunks = cut_by_threshold(sequence, self.config.threshold,
                                   self.config.max_trace_blocks)
+        bus = self.bus
         for chunk, probability in chunks:
             if len(chunk) >= self.config.min_trace_blocks:
+                if bus is not None:
+                    bus.emit("constructor.walk_cut",
+                             blocks=[n.dst for n in chunk],
+                             probability=round(probability, 6))
                 self._install(chunk, probability)
+            elif bus is not None:
+                bus.emit("constructor.walk_aborted",
+                         blocks=[n.dst for n in chunk],
+                         reason="below_min_blocks")
 
     def _install(self, chunk, probability: float) -> Trace:
         stats = self.stats
+        bus = self.bus
         key = tuple(n.dst for n in chunk)
         trace = self.traces.get(key)
         if trace is None:
@@ -103,8 +118,15 @@ class TraceCache:
             )
             self.traces[key] = trace
             stats.traces_constructed += 1
+            if bus is not None:
+                bus.emit("cache.trace_created", serial=trace.serial,
+                         blocks=list(key),
+                         expected_completion=round(probability, 6))
         else:
             stats.traces_linked += 1
+            if bus is not None:
+                bus.emit("cache.trace_linked", serial=trace.serial,
+                         blocks=list(key))
 
         anchor = chunk[0]
         if anchor.trace is not trace:
@@ -122,6 +144,7 @@ class TraceCache:
         if not anchors:
             return
         bcg = self.profiler.bcg
+        bus = self.bus
         unlinked = []
         for anchor_key in anchors:
             anchor = bcg.nodes.get(anchor_key)
@@ -129,6 +152,10 @@ class TraceCache:
                 unlinked.append(anchor.trace)
                 anchor.trace = None
                 self.stats.traces_invalidated += 1
+                if bus is not None:
+                    bus.emit("cache.trace_invalidated",
+                             serial=unlinked[-1].serial,
+                             anchor=anchor_key, cause=node.key)
         if self.invalidation_sink is not None:
             for trace in unlinked:
                 self.invalidation_sink(trace)

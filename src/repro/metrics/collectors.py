@@ -52,6 +52,11 @@ class RunStats:
     codegen_source_bytes: int = 0      # generated Python source, total
     codegen_compile_seconds: float = 0.0
     codegen_side_exits: int = 0        # guard exits in generated code
+    # Observability layer (repro.obs).  Zeroed when no Observability
+    # is attached, mirroring the codegen convention.
+    events_emitted: int = 0            # bus events delivered
+    events_suppressed: int = 0         # emits short-circuited (no sub)
+    obs_snapshots: int = 0             # periodic snapshots taken
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,93 @@
+"""Monotonic phase timers with a bounded span history.
+
+The system's wall-clock time divides into phases: the dispatch loop
+itself, trace **construction** (signal handling: backtrack, walk, cut,
+install), **codegen** (template compilation) and whole **run** spans.
+:class:`PhaseTimers` accumulates per-phase totals and keeps a bounded
+ring buffer of individual spans — the raw material for the Chrome
+trace exporter's duration events.
+
+Timing is attached by *wrapping* the cold entry points (the profiler's
+signal sink, the code cache's install), never the per-dispatch hot
+path, so phase accounting costs nothing unless observability is on.
+Dispatch time is derived: ``run - construct - codegen``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+
+
+class PhaseTimers:
+    """Per-phase totals/counts plus a ring buffer of (phase, start, dur)."""
+
+    __slots__ = ("totals", "counts", "spans", "spans_dropped", "clock")
+
+    def __init__(self, capacity: int = 4096,
+                 clock=time.perf_counter) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.totals: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self.spans: deque = deque(maxlen=capacity)
+        self.spans_dropped = 0
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    def stop(self, phase: str, started: float) -> float:
+        """Close a span opened at clock() time `started`; returns dur."""
+        duration = self.clock() - started
+        self.totals[phase] = self.totals.get(phase, 0.0) + duration
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+        if len(self.spans) == self.spans.maxlen:
+            self.spans_dropped += 1
+        self.spans.append((phase, started, duration))
+        return duration
+
+    @contextmanager
+    def phase(self, name: str):
+        started = self.clock()
+        try:
+            yield
+        finally:
+            self.stop(name, started)
+
+    def wrap(self, phase: str, fn):
+        """`fn` with every call accounted to `phase`."""
+        clock = self.clock
+        stop = self.stop
+
+        def timed(*args, **kwargs):
+            started = clock()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                stop(phase, started)
+        timed.__wrapped__ = fn
+        timed.__name__ = getattr(fn, "__name__", "timed")
+        return timed
+
+    # ------------------------------------------------------------------
+    def seconds(self, phase: str) -> float:
+        return self.totals.get(phase, 0.0)
+
+    def dispatch_seconds(self) -> float:
+        """Run time not attributed to construction or codegen."""
+        other = self.seconds("construct") + self.seconds("codegen")
+        return max(0.0, self.seconds("run") - other)
+
+    def snapshot(self) -> dict:
+        """Stable-schema phase accounting for the snapshot API."""
+        phases = {
+            phase: {"seconds": self.totals[phase],
+                    "count": self.counts.get(phase, 0)}
+            for phase in sorted(self.totals)
+        }
+        return {
+            "phases": phases,
+            "dispatch_seconds": self.dispatch_seconds(),
+            "spans_recorded": len(self.spans),
+            "spans_dropped": self.spans_dropped,
+        }

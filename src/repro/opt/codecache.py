@@ -43,10 +43,11 @@ class CodegenStats:
 class CodeCache:
     """Compile-and-instantiate service for the "py" trace backend."""
 
-    def __init__(self) -> None:
+    def __init__(self, bus=None) -> None:
         self._code: dict[str, object] = {}     # source text -> code obj
         self._installed: list[CompiledTrace] = []
         self.stats = CodegenStats()
+        self.bus = bus              # repro.obs EventBus, or None
 
     def __len__(self) -> int:
         return len(self._code)
@@ -55,21 +56,33 @@ class CodeCache:
         """Compile `compiled` to a specialized function and attach it
         as ``compiled.py_fn``; returns the function, or None when the
         trace is not lowerable (the IR executor keeps it)."""
+        bus = self.bus
+        serial = getattr(compiled.trace, "serial", None)
         lowered = lower(compiled)
         if lowered is None:
             compiled.py_uncompilable = True
             self.stats.traces_uncompilable += 1
+            if bus is not None:
+                bus.emit("codegen.uncompilable", trace=serial)
             return None
         code = self._code.get(lowered.key)
         if code is None:
             started = time.perf_counter()
             code = compile(lowered.source, "<trace-codegen>", "exec")
-            self.stats.compile_seconds += time.perf_counter() - started
+            seconds = time.perf_counter() - started
+            self.stats.compile_seconds += seconds
             self.stats.cache_misses += 1
             self.stats.source_bytes += len(lowered.source)
             self._code[lowered.key] = code
+            if bus is not None:
+                bus.emit("codegen.compile", trace=serial,
+                         source_bytes=len(lowered.source),
+                         guards=lowered.guard_count,
+                         seconds=seconds)
         else:
             self.stats.cache_hits += 1
+            if bus is not None:
+                bus.emit("codegen.cache_hit", trace=serial)
 
         exits = [0] * lowered.guard_count
         namespace = dict(HELPERS)

@@ -44,11 +44,12 @@ class TraceOptimizer:
     (cold traces never pay codegen)."""
 
     def __init__(self, enable_passes: bool = True, backend: str = "ir",
-                 compile_threshold: int = 2) -> None:
+                 compile_threshold: int = 2, bus=None) -> None:
         self.enable_passes = enable_passes
         self.backend = backend
         self.compile_threshold = compile_threshold
-        self.codecache = CodeCache() if backend == "py" else None
+        self.bus = bus              # repro.obs EventBus, or None
+        self.codecache = CodeCache(bus=bus) if backend == "py" else None
         self.compiled: dict[int, CompiledTrace] = {}    # id(trace) ->
         self.unoptimizable: set[int] = set()
         self.stats = OptimizerStats()
@@ -92,7 +93,12 @@ class TraceOptimizer:
         the trace cache unlinks `trace` (it was rebuilt or replaced)."""
         dropped = self.compiled.pop(id(trace), None)
         if dropped is not None:
+            had_code = dropped.py_fn is not None
             dropped.py_fn = None
+            bus = self.bus
+            if bus is not None:
+                bus.emit("codegen.invalidation_drop",
+                         trace=trace.serial, had_generated_code=had_code)
         self.unoptimizable.discard(id(trace))
 
     def dynamic_savings(self) -> int:

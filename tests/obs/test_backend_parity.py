@@ -1,0 +1,68 @@
+"""The structural event stream is backend-independent.
+
+Profiling, trace construction, and cache mutations are driven by block
+dispatch — which backend executes an installed trace must not change
+what the profiler sees.  Codegen events (``codegen.*``) and the
+``vm.run_started`` backend tag are the only permitted differences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import VM, Observability
+from repro.lang import compile_source
+
+SOURCE = """
+class Main {
+    static int step(int x) {
+        if ((x & 7) < 3) { return x + 2; }
+        return x + 1;
+    }
+    static int main() {
+        int total = 0;
+        for (int outer = 0; outer < 120; outer = outer + 1) {
+            for (int i = 0; i < 50; i = i + 1) {
+                total = (total + step(i)) & 1048575;
+            }
+        }
+        return total;
+    }
+}
+"""
+
+STRUCTURAL = ("profiler", "cache", "constructor")
+
+
+def observed_run(backend):
+    obs = Observability()
+    vm = VM(compile_source(SOURCE), obs=obs, start_state_delay=16,
+            optimize_traces=True, compile_backend=backend)
+    result = vm.run()
+    structural = [(e.kind, e.data) for e in obs.events
+                  if e.category in STRUCTURAL]
+    kinds = {e.kind for e in obs.events}
+    return result, structural, kinds
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {"ir": observed_run("ir"), "py": observed_run("py")}
+
+
+class TestBackendParity:
+    def test_results_identical(self, runs):
+        ir_result, py_result = runs["ir"][0], runs["py"][0]
+        assert ir_result.value == py_result.value
+        assert ir_result.stats.total_dispatches \
+            == py_result.stats.total_dispatches
+
+    def test_structural_event_streams_identical(self, runs):
+        ir_events, py_events = runs["ir"][1], runs["py"][1]
+        assert ir_events          # the workload must actually trace
+        assert ir_events == py_events
+
+    def test_codegen_events_only_on_py_backend(self, runs):
+        ir_kinds, py_kinds = runs["ir"][2], runs["py"][2]
+        assert not {k for k in ir_kinds if k.startswith("codegen.")}
+        assert "codegen.compile" in py_kinds

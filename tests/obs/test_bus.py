@@ -1,0 +1,129 @@
+"""Event bus: taxonomy, filtering, and the disabled fast path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import bus as bus_module
+from repro.obs.bus import (CATEGORIES, KINDS, Event, EventBus,
+                           EventRecorder)
+
+
+class TestTaxonomy:
+    def test_kinds_are_category_dot_name(self):
+        for kind in KINDS:
+            category, dot, name = kind.partition(".")
+            assert dot == "." and category and name, kind
+
+    def test_categories_derived(self):
+        assert set(CATEGORIES) == {k.partition(".")[0] for k in KINDS}
+        for expected in ("vm", "profiler", "cache", "constructor",
+                         "codegen", "obs"):
+            assert expected in CATEGORIES
+
+    def test_every_kind_documented(self):
+        for kind, description in KINDS.items():
+            assert description.strip(), kind
+
+
+class TestSubscription:
+    def test_wildcard_receives_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("profiler.decay", node=(1, 2))
+        bus.emit("cache.trace_created", serial=1)
+        assert [e.kind for e in seen] == ["profiler.decay",
+                                          "cache.trace_created"]
+
+    def test_kind_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=["cache.trace_created"])
+        bus.emit("cache.trace_created", serial=1)
+        bus.emit("cache.trace_invalidated", serial=1)
+        assert [e.kind for e in seen] == ["cache.trace_created"]
+
+    def test_category_filter(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, categories=["codegen"])
+        bus.emit("codegen.compile", trace=1)
+        bus.emit("profiler.decay", node=(1, 2))
+        bus.emit("codegen.cache_hit", trace=2)
+        assert [e.kind for e in seen] == ["codegen.compile",
+                                          "codegen.cache_hit"]
+
+    def test_unknown_kind_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ValueError):
+            bus.subscribe(lambda e: None, kinds=["cache.nope"])
+        with pytest.raises(ValueError):
+            bus.subscribe(lambda e: None, categories=["nope"])
+        bus.subscribe(lambda e: None)
+        with pytest.raises(ValueError):
+            bus.emit("not.registered")
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, kinds=["profiler.decay"])
+        assert bus.wants("profiler.decay")
+        assert bus.unsubscribe(seen.append)
+        assert not bus.wants("profiler.decay")
+        assert not bus.unsubscribe(seen.append)
+        bus.emit("profiler.decay", node=(1, 2))
+        assert seen == []
+
+    def test_event_fields(self):
+        bus = EventBus()
+        captured = []
+        bus.subscribe(captured.append)
+        bus.emit("vm.run_started", max_instructions=10)
+        event = captured[0]
+        assert event.seq == 1
+        assert event.category == "vm"
+        assert event.data == {"max_instructions": 10}
+        assert isinstance(event.ts, float)
+
+
+class TestDisabledFastPath:
+    def test_no_subscribers_suppresses_without_allocating(self,
+                                                          monkeypatch):
+        bus = EventBus()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("Event constructed on suppressed path")
+        monkeypatch.setattr(bus_module, "Event", boom)
+        assert bus.emit("profiler.decay", node=(1, 2)) is None
+        assert bus.suppressed == 1
+        assert bus.emitted == 0
+        assert bus.seq == 0
+
+    def test_non_matching_kind_suppresses(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None, kinds=["cache.trace_created"])
+        assert bus.emit("profiler.decay", node=(1, 2)) is None
+        assert bus.suppressed == 1
+        assert not bus.wants("profiler.decay")
+
+    def test_wants_matches_emit_behaviour(self):
+        bus = EventBus()
+        assert not bus.wants("cache.trace_created")
+        bus.subscribe(lambda e: None, categories=["cache"])
+        assert bus.wants("cache.trace_created")
+        assert not bus.wants("codegen.compile")
+
+
+class TestEventRecorder:
+    def test_ring_keeps_most_recent(self):
+        recorder = EventRecorder(capacity=3)
+        for seq in range(1, 6):
+            recorder.record(Event("profiler.decay", seq, 0.0, {}))
+        assert [e.seq for e in recorder.events] == [3, 4, 5]
+        assert recorder.dropped == 2
+        assert recorder.total == 5
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EventRecorder(capacity=0)

@@ -1,0 +1,83 @@
+"""Phase timers: accounting, wrapping, span ring bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timers import PhaseTimers
+
+
+def fake_clock(times):
+    """A clock yielding successive values from `times`."""
+    iterator = iter(times)
+    return lambda: next(iterator)
+
+
+class TestAccounting:
+    def test_stop_accumulates(self):
+        timers = PhaseTimers(clock=fake_clock([10.0, 14.0]))
+        started = timers.clock()
+        timers.stop("construct", started)
+        assert timers.seconds("construct") == pytest.approx(4.0)
+        assert timers.counts["construct"] == 1
+        assert list(timers.spans) == [("construct", 10.0,
+                                       pytest.approx(4.0))]
+
+    def test_phase_context_manager(self):
+        timers = PhaseTimers(clock=fake_clock([1.0, 3.5]))
+        with timers.phase("codegen"):
+            pass
+        assert timers.seconds("codegen") == pytest.approx(2.5)
+
+    def test_wrap_times_every_call(self):
+        timers = PhaseTimers(clock=fake_clock([0.0, 1.0, 2.0, 4.0]))
+        calls = []
+        wrapped = timers.wrap("construct", lambda x: calls.append(x))
+        wrapped(1)
+        wrapped(2)
+        assert calls == [1, 2]
+        assert timers.counts["construct"] == 2
+        assert timers.seconds("construct") == pytest.approx(3.0)
+
+    def test_wrap_times_even_on_exception(self):
+        timers = PhaseTimers(clock=fake_clock([0.0, 1.0]))
+
+        def fails():
+            raise RuntimeError("boom")
+        wrapped = timers.wrap("construct", fails)
+        with pytest.raises(RuntimeError):
+            wrapped()
+        assert timers.counts["construct"] == 1
+
+    def test_dispatch_seconds_derived(self):
+        timers = PhaseTimers(clock=fake_clock(
+            [0.0, 10.0, 0.0, 2.0, 0.0, 1.0]))
+        timers.stop("run", timers.clock())
+        timers.stop("construct", timers.clock())
+        timers.stop("codegen", timers.clock())
+        assert timers.dispatch_seconds() == pytest.approx(7.0)
+
+
+class TestSpanRing:
+    def test_bounded_with_drop_count(self):
+        times = [t for pair in ((i, i + 0.5) for i in range(5))
+                 for t in pair]
+        timers = PhaseTimers(capacity=3, clock=fake_clock(times))
+        for _ in range(5):
+            timers.stop("run", timers.clock())
+        assert len(timers.spans) == 3
+        assert timers.spans_dropped == 2
+        # The survivors are the most recent spans.
+        assert [start for _, start, _ in timers.spans] == [2, 3, 4]
+
+    def test_snapshot_schema(self):
+        timers = PhaseTimers(clock=fake_clock([0.0, 1.0]))
+        timers.stop("run", timers.clock())
+        snap = timers.snapshot()
+        assert set(snap) == {"phases", "dispatch_seconds",
+                             "spans_recorded", "spans_dropped"}
+        assert set(snap["phases"]["run"]) == {"seconds", "count"}
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            PhaseTimers(capacity=0)

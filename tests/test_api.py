@@ -1,0 +1,127 @@
+"""The `repro.api.VM` facade and the `run_traced` back-compat shim."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import VM, Observability, TraceCacheConfig, run_traced
+from repro.api import compile_program
+from repro.jvm.linker import Program
+from repro.lang import compile_source
+
+SOURCE = """
+class Main {
+    static int main() {
+        int total = 0;
+        for (int i = 0; i < 500; i = i + 1) {
+            if ((i & 1) == 0) { total = total + 2; }
+            else { total = total + 1; }
+        }
+        return total;
+    }
+}
+"""
+
+
+class TestCompileProgram:
+    def test_program_passthrough(self):
+        program = compile_source(SOURCE)
+        assert compile_program(program) is program
+
+    def test_source_text(self):
+        assert isinstance(compile_program(SOURCE), Program)
+
+    def test_mj_path(self, tmp_path):
+        path = tmp_path / "main.mj"
+        path.write_text(SOURCE)
+        assert isinstance(compile_program(path), Program)
+        assert isinstance(compile_program(str(path)), Program)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            compile_program("/nonexistent/prog.mj")
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            compile_program(42)
+
+
+class TestVM:
+    def test_run_and_artifacts(self):
+        vm = VM(SOURCE)
+        result = vm.run()
+        assert result.value == 750
+        assert vm.value == 750
+        assert vm.stats is result.stats
+        assert vm.output == result.output
+        assert vm.events == []          # no obs attached
+
+    def test_artifacts_require_a_run(self):
+        vm = VM(SOURCE)
+        with pytest.raises(RuntimeError):
+            vm.stats
+        with pytest.raises(RuntimeError):
+            vm.value
+
+    def test_keyword_config_overrides(self):
+        vm = VM(SOURCE, threshold=0.9, start_state_delay=16)
+        assert vm.config.threshold == 0.9
+        assert vm.config.start_state_delay == 16
+
+    def test_explicit_config_plus_overrides(self):
+        base = TraceCacheConfig(threshold=0.9)
+        vm = VM(SOURCE, config=base, start_state_delay=16)
+        assert vm.config.threshold == 0.9
+        assert vm.config.start_state_delay == 16
+        assert base.start_state_delay != 16     # base not mutated
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError):
+            VM(SOURCE, threshold=2.0)
+        with pytest.raises(TypeError):
+            VM(SOURCE, no_such_field=1)
+
+    def test_repeated_runs_share_warm_state(self):
+        vm = VM(SOURCE, start_state_delay=16)
+        first = vm.run()
+        second = vm.run()
+        assert second.value == first.value
+        assert vm.cache is vm.controller.cache
+        assert len(vm.cache) >= 1       # traces survive across runs
+
+    def test_context_manager_closes_obs(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        with VM(SOURCE, start_state_delay=16,
+                obs=Observability(events_path=str(events_path))) as vm:
+            vm.run()
+            assert vm.events
+        assert events_path.exists()
+
+    def test_snapshot_without_obs(self):
+        vm = VM(SOURCE, start_state_delay=16)
+        vm.run()
+        snap = vm.snapshot()
+        assert snap["cache"]["traces"] == len(vm.cache)
+
+    def test_facade_exported_from_package_root(self):
+        assert repro.VM is VM
+        assert repro.compile_program is compile_program
+
+
+class TestRunTracedShim:
+    def test_matches_facade(self):
+        program = compile_source(SOURCE)
+        config = TraceCacheConfig(start_state_delay=16)
+        shim = run_traced(program, config)
+        facade = VM(program, config=config).run()
+        assert shim.value == facade.value
+        assert shim.stats.total_dispatches \
+            == facade.stats.total_dispatches
+
+    def test_accepts_obs(self):
+        obs = Observability()
+        result = run_traced(compile_source(SOURCE),
+                            TraceCacheConfig(start_state_delay=16),
+                            obs=obs)
+        assert result.stats.events_emitted == obs.bus.emitted > 0

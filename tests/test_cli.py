@@ -134,3 +134,63 @@ class TestParser:
         args = build_parser().parse_args(["workload", "sootx"])
         assert args.size == "small"
         assert args.threshold == 0.97
+
+    @pytest.mark.parametrize("command", [
+        ["run", "x.mj"], ["workload", "compressx"],
+        ["dump", "compressx"], ["baselines", "compressx"]])
+    def test_shared_flags_accepted_everywhere(self, command):
+        args = build_parser().parse_args(
+            command + ["--threshold", "0.9", "--delay", "8",
+                       "--optimize", "--backend", "ir",
+                       "--compile-threshold", "3",
+                       "--events", "e.jsonl", "--chrome-trace", "t.json",
+                       "--snapshot-every", "500"])
+        assert args.threshold == 0.9
+        assert args.delay == 8
+        assert args.optimize is True
+        assert args.backend == "ir"
+        assert args.compile_threshold == 3
+        assert args.events == "e.jsonl"
+        assert args.chrome_trace == "t.json"
+        assert args.snapshot_every == 500
+
+
+class TestObsFlags:
+    def test_events_and_chrome_trace_written(self, source_file,
+                                             tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        chrome = tmp_path / "trace.json"
+        assert main(["run", source_file, "--delay", "8",
+                     "--events", str(events),
+                     "--chrome-trace", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "obs:" in out
+
+        import json
+        lines = events.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert set(record) == {"seq", "ts", "kind", "data"}
+        doc = json.loads(chrome.read_text())
+        assert doc["traceEvents"]
+
+    def test_snapshot_every_prints_snapshot(self, source_file, capsys):
+        assert main(["run", source_file, "--delay", "8",
+                     "--snapshot-every", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out
+        import json
+        snap = json.loads(out.strip().splitlines()[-1])
+        assert snap["schema"] == 1
+        assert "cache" in snap
+
+    def test_workload_accepts_obs_flags(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(["workload", "compressx", "--size", "tiny",
+                     "--events", str(events)]) == 0
+        assert events.exists()
+        assert "obs:" in capsys.readouterr().out
+
+    def test_no_obs_flags_no_obs_report(self, source_file, capsys):
+        assert main(["run", source_file, "--delay", "8"]) == 0
+        assert "obs:" not in capsys.readouterr().out

@@ -12,9 +12,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TraceCacheConfig, run_traced
+from repro import VM, TraceCacheConfig
 from repro.jvm import SwitchInterpreter, ThreadedInterpreter
-from repro.lang import compile_source
 from repro.workloads import WORKLOAD_NAMES, load_workload
 
 
@@ -24,7 +23,7 @@ class TestSystemIdentities:
         program = load_workload(request.param, "tiny")
         plain = ThreadedInterpreter(program)
         machine = plain.run()
-        traced = run_traced(program)
+        traced = VM(program).run()
         return request.param, machine, plain.dispatch_count, traced
 
     def test_same_result(self, run):
@@ -111,12 +110,12 @@ class TestGeneratedProgramEquivalence:
            st.integers(min_value=2, max_value=7))
     @settings(max_examples=25, deadline=None)
     def test_three_engines_agree(self, seeds, loops, mod):
-        program = compile_source(_branchy_program(seeds, loops, mod))
-        threaded = ThreadedInterpreter(program).run()
-        switch = SwitchInterpreter(program)
+        vm = VM(_branchy_program(seeds, loops, mod),
+                start_state_delay=4, decay_period=16)
+        threaded = ThreadedInterpreter(vm.program).run()
+        switch = SwitchInterpreter(vm.program)
         switch.run()
-        traced = run_traced(program, TraceCacheConfig(
-            start_state_delay=4, decay_period=16))
+        traced = vm.run()
         assert threaded.result == switch.result == traced.value
         assert threaded.instr_count == switch.instr_count \
             == traced.stats.instr_total
@@ -131,16 +130,17 @@ class TestGeneratedProgramEquivalence:
             TraceCacheConfig(max_trace_blocks=3, start_state_delay=2),
             TraceCacheConfig(loop_unroll_copies=4, start_state_delay=2),
         ]
-        program = compile_source(_branchy_program((3, 5, 7), 300, 4))
-        expected = ThreadedInterpreter(program).run().result
-        assert run_traced(program, configs[knob]).value == expected
+        vm = VM(_branchy_program((3, 5, 7), 300, 4),
+                config=configs[knob])
+        expected = ThreadedInterpreter(vm.program).run().result
+        assert vm.run().value == expected
 
 
 class TestRepeatability:
     def test_traced_runs_deterministic(self):
         program = load_workload("sootx", "tiny")
-        a = run_traced(program)
-        b = run_traced(program)
+        a = VM(program).run()
+        b = VM(program).run()
         assert a.value == b.value
         assert a.stats.as_dict() == {
             **b.stats.as_dict(), "runtime_seconds":
@@ -150,5 +150,5 @@ class TestRepeatability:
     def test_controller_reusable_program(self):
         # The same Program object supports many controller runs.
         program = load_workload("compressx", "tiny")
-        results = {run_traced(program).value for _ in range(3)}
+        results = {VM(program).run().value for _ in range(3)}
         assert len(results) == 1
