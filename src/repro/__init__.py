@@ -35,6 +35,8 @@ JSONL event streams, Chrome/Perfetto trace files, periodic snapshots::
 """
 
 from .api import VM, compile_program
+from .check import (DiffReport, InvariantChecker, ProgramSpec,
+                    assert_equivalent, run_differential)
 from .core import (BranchCorrelationGraph, BranchNode, BranchState,
                    EventLog, Profiler, RunResult, Trace, TraceCache,
                    TraceCacheConfig, TraceController, run_traced)
@@ -45,10 +47,12 @@ from .metrics.collectors import RunStats
 from .obs import EventBus, Observability, PhaseTimers
 from .workloads import SIZES, WORKLOAD_NAMES, load_workload, workload_source
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "VM", "compile_program", "Observability", "EventBus", "PhaseTimers",
+    "DiffReport", "InvariantChecker", "ProgramSpec", "assert_equivalent",
+    "run_differential",
     "BranchCorrelationGraph", "BranchNode", "BranchState", "EventLog",
     "Profiler", "RunResult", "Trace", "TraceCache", "TraceCacheConfig",
     "TraceController", "run_traced", "Program", "SwitchInterpreter",

@@ -1,0 +1,31 @@
+"""Correctness tooling: generation, differential execution, invariants.
+
+``repro.check`` is the subsystem behind ``repro fuzz``: a seeded
+bytecode-level program generator (:mod:`~repro.check.genprog`), an
+N-way differential runner across every execution engine
+(:mod:`~repro.check.differential`), whitebox invariant checkers driven
+by the observability bus (:mod:`~repro.check.invariants`), and greedy
+reproducer shrinking with a JSON corpus format
+(:mod:`~repro.check.shrink`).
+"""
+
+from __future__ import annotations
+
+from .differential import (DIFF_PROFILES, DiffReport, Divergence,
+                           EngineResult, assert_equivalent,
+                           run_differential, run_spec_differential)
+from .genprog import (MethodSpec, ProgramSpec, build_classdefs,
+                      build_program, generate, instruction_count,
+                      spec_from_json, spec_to_json)
+from .invariants import InvariantChecker, InvariantViolation
+from .shrink import (corpus_files, load_reproducer, save_reproducer,
+                     shrink)
+
+__all__ = [
+    "DIFF_PROFILES", "DiffReport", "Divergence", "EngineResult",
+    "assert_equivalent", "run_differential", "run_spec_differential",
+    "MethodSpec", "ProgramSpec", "build_classdefs", "build_program",
+    "generate", "instruction_count", "spec_from_json", "spec_to_json",
+    "InvariantChecker", "InvariantViolation",
+    "corpus_files", "load_reproducer", "save_reproducer", "shrink",
+]

@@ -1,0 +1,855 @@
+"""Seeded bytecode-level program generator for differential fuzzing.
+
+Programs are described by a :class:`ProgramSpec` — a JSON-serializable
+tree of *segments*, each a self-contained unit of bytecode with net-zero
+operand-stack effect.  The segment grammar covers the shapes the
+mini-Java compiler never emits (degenerate tableswitch arms, nested
+exception regions, wide operand-stack states via DUP/SWAP chains,
+float/int mixing through NaN and the ``wrap_int`` edge ranges) while
+staying *verifier-valid by construction*:
+
+- every segment leaves the operand stack exactly as it found it, so
+  segments can be dropped or reordered freely (the shrinker relies on
+  this),
+- locals follow a typed-slot discipline (params and scratch ints, then
+  floats, then one array slot) even though the verifier only checks
+  depth,
+- divisors are forced non-zero (``x | 1``), array indices are masked to
+  power-of-two bounds, and call targets always have a higher method
+  index (acyclic call graph), so the only VM-level exception a program
+  raises is its own explicit ``throw`` segment.
+
+The entry point ``Main.main`` is a fixed driver loop calling the first
+worker method ``reps`` times and folding the results into a wrapped
+accumulator — hotness comes from ``reps`` times the worker's own loops,
+so traces form even under mild profiles.  :func:`instruction_count`
+deliberately counts *worker* bodies only; the driver is a constant-shape
+harness shared by every generated program.
+
+Everything is deterministic: ``generate(seed)`` builds the same spec on
+every machine, and the spec alone (JSON) rebuilds the same program.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+
+from ..jvm import (Assembler, ClassDef, FieldDef, MethodDef, Op, link,
+                   verify_program)
+from ..jvm.linker import Program
+from ..jvm.values import INT_MAX, INT_MIN, wrap_int
+
+SPEC_SCHEMA = 1
+
+# Integer constants concentrated on wrap_int edge ranges.
+INT_EDGE_CONSTS = (
+    0, 1, -1, 2, 3, 7, 16, 255, 256, 4096, 65535, 65536,
+    INT_MAX, INT_MIN, INT_MAX - 1, INT_MIN + 1, 1 << 30, -(1 << 30),
+    48271, -12345,
+)
+
+# Float constants including every special the FDIV/FCMP/F2I paths care
+# about.  Specials are stored JSON-encoded (see _f_enc/_f_dec).
+FLOAT_CONSTS = (
+    0.0, -0.0, 1.0, -1.0, 0.5, -1.5, 3.0, 1e10, -1e-10, 2.5e38,
+    float("inf"), float("-inf"), float("nan"),
+)
+
+# Deterministic initial values for scratch locals (by slot index).
+INIT_INTS = (INT_MAX, INT_MIN, 12345, -7, 1, 0)
+INIT_FLOATS = (1.5, -0.0, 3.0, 0.25, float("nan"), float("inf"))
+
+SEGMENT_KINDS = (
+    "iarith", "farith", "iinc", "loop", "switch", "trycatch", "throw",
+    "call", "native", "virtual", "array", "static", "stackmix",
+    "print", "printf",
+)
+
+_IARITH_OPS = {
+    "add": Op.IADD, "sub": Op.ISUB, "mul": Op.IMUL,
+    "div": Op.IDIV, "rem": Op.IREM, "and": Op.IAND,
+    "or": Op.IOR, "xor": Op.IXOR, "shl": Op.ISHL,
+    "shr": Op.ISHR, "ushr": Op.IUSHR, "neg": Op.INEG,
+}
+
+_FARITH_BIN = {"fadd": Op.FADD, "fsub": Op.FSUB, "fmul": Op.FMUL,
+               "fdiv": Op.FDIV}
+_FARITH_CMP = {"fcmpl": Op.FCMPL, "fcmpg": Op.FCMPG}
+
+_NATIVE_FNS = {"abs": 1, "min": 2, "max": 2}
+
+_STACKMIX_OPS = ("DUP", "DUP_X1", "SWAP", "POP")
+
+
+def _f_enc(value: float):
+    """JSON-safe float encoding (specials become strings)."""
+    if value != value:
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+def _f_dec(value) -> float:
+    if isinstance(value, str):
+        return float(value)
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# The spec model.
+@dataclass
+class MethodSpec:
+    """One worker method: typed local slots plus a segment list."""
+
+    params: int = 1             # int parameters, slots [0, params)
+    ints: int = 2               # scratch ints, slots [params, params+ints)
+    floats: int = 1             # floats, next slots
+    segments: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.params = max(0, int(self.params))
+        self.ints = max(1, int(self.ints))
+        self.floats = max(0, int(self.floats))
+
+
+@dataclass
+class ProgramSpec:
+    """A complete generated program (JSON round-trippable)."""
+
+    seed: int | None = None
+    reps: int = 40              # driver-loop repetitions in Main.main
+    entry_catches: bool = True  # driver wraps calls in a catch-all
+    methods: list = field(default_factory=list)     # list[MethodSpec]
+
+    def __post_init__(self) -> None:
+        self.reps = max(1, int(self.reps))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": SPEC_SCHEMA,
+            "seed": self.seed,
+            "reps": self.reps,
+            "entry_catches": self.entry_catches,
+            "methods": [
+                {"params": m.params, "ints": m.ints, "floats": m.floats,
+                 "segments": m.segments}
+                for m in self.methods
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgramSpec":
+        return cls(
+            seed=data.get("seed"),
+            reps=data.get("reps", 1),
+            entry_catches=data.get("entry_catches", True),
+            methods=[MethodSpec(params=m.get("params", 0),
+                                ints=m.get("ints", 1),
+                                floats=m.get("floats", 0),
+                                segments=list(m.get("segments", [])))
+                     for m in data.get("methods", [])],
+        )
+
+
+def spec_to_json(spec: ProgramSpec) -> str:
+    return json.dumps(spec.to_dict(), indent=2, sort_keys=True)
+
+
+def spec_from_json(text: str) -> ProgramSpec:
+    return ProgramSpec.from_dict(json.loads(text))
+
+
+def clone_spec(spec: ProgramSpec) -> ProgramSpec:
+    """A deep, independent copy (via the JSON round trip)."""
+    return spec_from_json(spec_to_json(spec))
+
+
+# ----------------------------------------------------------------------
+# Spec surgery shared by the budget fitter and the shrinker.
+def iter_bodies(spec: ProgramSpec):
+    """Yield every segment list in the spec, nested bodies included."""
+    pending = [m.segments for m in spec.methods]
+    while pending:
+        body = pending.pop()
+        yield body
+        for seg in body:
+            nested = seg.get("body")
+            if nested is not None:
+                pending.append(nested)
+
+
+def drop_method(spec: ProgramSpec, index: int) -> ProgramSpec | None:
+    """A copy of `spec` without method `index`; calls are re-pointed.
+
+    Call segments targeting the dropped method are removed, higher
+    targets are renumbered.  Returns None when the drop would leave no
+    methods (the driver needs a method 0 to call).
+    """
+    if len(spec.methods) <= 1:
+        return None
+    out = clone_spec(spec)
+    del out.methods[index]
+    for body in iter_bodies(out):
+        body[:] = [seg for seg in body
+                   if not (seg.get("kind") == "call"
+                           and seg.get("target") == index)]
+        for seg in body:
+            if seg.get("kind") == "call" and seg.get("target", 0) > index:
+                seg["target"] = seg["target"] - 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# Building: spec -> ClassDefs -> linked, verified Program.
+class _MethodEmitter:
+    """Emits one worker method through the Assembler.
+
+    Defensive by design: every slot reference is clamped into the
+    method's typed ranges and structurally invalid stackmix operations
+    are skipped, so *any* spec mutation the shrinker produces still
+    builds a verifier-valid method.
+    """
+
+    def __init__(self, spec: ProgramSpec, index: int,
+                 mspec: MethodSpec) -> None:
+        self.spec = spec
+        self.index = index
+        self.m = mspec
+        self.asm = Assembler()
+        self.int_slots = mspec.params + mspec.ints
+        self.fbase = self.int_slots
+        self.aslot = self.fbase + mspec.floats
+        self.max_locals = self.aslot + 1
+
+    # -- slot helpers --------------------------------------------------
+    def _islot(self, idx) -> int:
+        return min(max(0, int(idx)), self.int_slots - 1)
+
+    def _fslot(self, idx) -> int:
+        return self.fbase + min(max(0, int(idx)), max(0, self.m.floats - 1))
+
+    # -- operand pushes ------------------------------------------------
+    def isrc(self, src) -> None:
+        tag, value = src[0], src[1]
+        if tag == "local":
+            self.asm.emit(Op.ILOAD, self._islot(value))
+        else:
+            self.asm.emit(Op.ICONST, wrap_int(int(value)))
+
+    def fsrc(self, src) -> None:
+        tag, value = src[0], src[1]
+        if tag == "flocal" and self.m.floats > 0:
+            self.asm.emit(Op.FLOAD, self._fslot(value))
+        elif tag == "flocal":
+            self.asm.emit(Op.FCONST, 1.0)
+        else:
+            self.asm.emit(Op.FCONST, _f_dec(value))
+
+    def istore(self, dst) -> None:
+        self.asm.emit(Op.ISTORE, self._islot(dst))
+
+    def fstore(self, dst) -> None:
+        if self.m.floats > 0:
+            self.asm.emit(Op.FSTORE, self._fslot(dst))
+        else:
+            self.asm.emit(Op.POP)
+
+    # -- segment dispatch ----------------------------------------------
+    def emit_segment(self, seg: dict) -> None:
+        getattr(self, "_seg_" + seg.get("kind", "iinc"), self._seg_iinc)(seg)
+
+    def _seg_iinc(self, seg) -> None:
+        self.asm.emit(Op.IINC, self._islot(seg.get("local", 0)),
+                      wrap_int(int(seg.get("delta", 1))))
+
+    def _seg_iarith(self, seg) -> None:
+        op = _IARITH_OPS.get(seg.get("op"), Op.IADD)
+        self.isrc(seg["a"])
+        if op is Op.INEG:
+            self.asm.emit(Op.INEG)
+        else:
+            self.isrc(seg["b"])
+            if op is Op.IDIV or op is Op.IREM:
+                # Divisor forced odd, hence non-zero: division is total.
+                self.asm.emit(Op.ICONST, 1)
+                self.asm.emit(Op.IOR)
+            self.asm.emit(op)
+        self.istore(seg["dst"])
+
+    def _seg_farith(self, seg) -> None:
+        name = seg.get("op", "fadd")
+        if name in _FARITH_BIN:
+            self.fsrc(seg["a"])
+            self.fsrc(seg["b"])
+            self.asm.emit(_FARITH_BIN[name])
+            self.fstore(seg["dst"])
+        elif name in _FARITH_CMP:
+            self.fsrc(seg["a"])
+            self.fsrc(seg["b"])
+            self.asm.emit(_FARITH_CMP[name])
+            self.istore(seg["dst"])
+        elif name == "fneg":
+            self.fsrc(seg["a"])
+            self.asm.emit(Op.FNEG)
+            self.fstore(seg["dst"])
+        elif name == "i2f":
+            self.isrc(seg["a"])
+            self.asm.emit(Op.I2F)
+            self.fstore(seg["dst"])
+        else:                                   # f2i
+            self.fsrc(seg["a"])
+            self.asm.emit(Op.F2I)
+            self.istore(seg["dst"])
+
+    def _seg_loop(self, seg) -> None:
+        counter = self._islot(seg.get("counter", 0))
+        count = max(1, int(seg.get("count", 1)))
+        asm = self.asm
+        asm.emit(Op.ICONST, 0)
+        asm.emit(Op.ISTORE, counter)
+        top = asm.new_label()
+        asm.bind(top)
+        for sub in seg.get("body", ()):
+            self.emit_segment(sub)
+        asm.emit(Op.IINC, counter, 1)
+        asm.emit(Op.ILOAD, counter)
+        asm.emit(Op.ICONST, count)
+        asm.branch(Op.IF_ICMPLT, top)
+
+    def _seg_switch(self, seg) -> None:
+        asm = self.asm
+        arms = list(seg.get("arms", (1,))) or [1]
+        dst = self._islot(seg.get("dst", 0))
+        self.isrc(seg["on"])
+        arm_labels = [asm.new_label() for _ in arms]
+        default = asm.new_label()
+        join = asm.new_label()
+        asm.tableswitch(int(seg.get("low", 0)), arm_labels, default)
+        for label, delta in zip(arm_labels, arms):
+            asm.bind(label)
+            asm.emit(Op.IINC, dst, wrap_int(int(delta)))
+            asm.branch(Op.GOTO, join)
+        asm.bind(default)
+        asm.emit(Op.IINC, dst, wrap_int(int(seg.get("default", -1))))
+        asm.bind(join)
+        asm.emit(Op.NOP)        # join target needs an instruction to land on
+
+    def _seg_trycatch(self, seg) -> None:
+        asm = self.asm
+        handler = asm.new_label()
+        skip = asm.new_label()
+        join = asm.new_label()
+        region = asm.begin_try(handler, seg.get("catch"))
+        self.isrc(seg["cond"])
+        asm.emit(Op.ICONST, max(2, int(seg.get("mod", 3))))
+        asm.emit(Op.IREM)
+        asm.branch(Op.IFNE, skip)
+        asm.emit(Op.NEW, "Exception")
+        asm.emit(Op.ATHROW)
+        asm.bind(skip)
+        for sub in seg.get("body", ()):
+            self.emit_segment(sub)
+        asm.end_try(region)
+        asm.branch(Op.GOTO, join)
+        asm.bind(handler)       # entered at depth 1 (the throwable)
+        asm.emit(Op.POP)
+        asm.emit(Op.IINC, self._islot(seg.get("dst", 0)),
+                 wrap_int(int(seg.get("hdelta", 50))))
+        asm.bind(join)
+        asm.emit(Op.NOP)
+
+    def _seg_throw(self, seg) -> None:
+        asm = self.asm
+        skip = asm.new_label()
+        self.isrc(seg["cond"])
+        asm.emit(Op.ICONST, max(2, int(seg.get("mod", 97))))
+        asm.emit(Op.IREM)
+        asm.branch(Op.IFNE, skip)
+        asm.emit(Op.NEW, "Exception")
+        asm.emit(Op.ATHROW)
+        asm.bind(skip)
+        asm.emit(Op.NOP)
+
+    def _seg_call(self, seg) -> None:
+        target = int(seg.get("target", self.index + 1))
+        if not self.index < target < len(self.spec.methods):
+            # Dangling target after surgery: degrade to a no-op segment.
+            self._seg_iinc({"local": seg.get("dst", 0), "delta": 1})
+            return
+        callee = self.spec.methods[target]
+        args = list(seg.get("args", ()))
+        for k in range(callee.params):
+            self.isrc(args[k] if k < len(args) else ("const", k + 1))
+        self.asm.emit(Op.INVOKESTATIC, ("Main", f"m{target}"))
+        self.istore(seg["dst"])
+
+    def _seg_native(self, seg) -> None:
+        fn = seg.get("fn", "abs")
+        argc = _NATIVE_FNS.get(fn, 1)
+        if fn not in _NATIVE_FNS:
+            fn = "abs"
+        args = list(seg.get("args", ()))
+        for k in range(argc):
+            self.isrc(args[k] if k < len(args) else ("const", k))
+        self.asm.emit(Op.INVOKESTATIC, ("Sys", fn))
+        self.istore(seg["dst"])
+
+    def _seg_virtual(self, seg) -> None:
+        asm = self.asm
+        other = asm.new_label()
+        have = asm.new_label()
+        self.isrc(seg["sel"])
+        asm.emit(Op.ICONST, 1)
+        asm.emit(Op.IAND)
+        asm.branch(Op.IFEQ, other)
+        asm.emit(Op.NEW, "A")
+        asm.branch(Op.GOTO, have)
+        asm.bind(other)
+        asm.emit(Op.NEW, "B")
+        asm.bind(have)          # both paths arrive at depth +1
+        self.isrc(seg["arg"])
+        asm.emit(Op.INVOKEVIRTUAL, "f", 1)
+        self.istore(seg["dst"])
+
+    def _seg_array(self, seg) -> None:
+        asm = self.asm
+        size = int(seg.get("size", 8))
+        if size < 1 or size & (size - 1):
+            size = 8            # power of two so IAND masks indices
+        mask = size - 1
+        asm.emit(Op.ICONST, size)
+        asm.emit(Op.NEWARRAY, "int")
+        asm.emit(Op.ASTORE, self.aslot)
+        asm.emit(Op.ALOAD, self.aslot)
+        self.isrc(seg["idx"])
+        asm.emit(Op.ICONST, mask)
+        asm.emit(Op.IAND)
+        self.isrc(seg["val"])
+        asm.emit(Op.IASTORE)
+        asm.emit(Op.ALOAD, self.aslot)
+        self.isrc(seg.get("idx2", seg["idx"]))
+        asm.emit(Op.ICONST, mask)
+        asm.emit(Op.IAND)
+        asm.emit(Op.IALOAD)
+        asm.emit(Op.ALOAD, self.aslot)
+        asm.emit(Op.ARRAYLENGTH)
+        asm.emit(Op.IADD)
+        self.istore(seg["dst"])
+
+    def _seg_static(self, seg) -> None:
+        asm = self.asm
+        asm.emit(Op.GETSTATIC, ("Main", "g"))
+        self.isrc(seg["src"])
+        asm.emit(Op.IADD)
+        asm.emit(Op.DUP)
+        asm.emit(Op.PUTSTATIC, ("Main", "g"))
+        self.istore(seg["dst"])
+
+    def _seg_stackmix(self, seg) -> None:
+        vals = list(seg.get("vals", ())) or [("const", 1)]
+        for val in vals:
+            self.isrc(val)
+        depth = len(vals)
+        for name in seg.get("ops", ()):
+            if name == "DUP" and depth >= 1:
+                self.asm.emit(Op.DUP)
+                depth += 1
+            elif name == "DUP_X1" and depth >= 2:
+                self.asm.emit(Op.DUP_X1)
+                depth += 1
+            elif name == "SWAP" and depth >= 2:
+                self.asm.emit(Op.SWAP)
+            elif name == "POP" and depth >= 2:
+                self.asm.emit(Op.POP)
+                depth -= 1
+        while depth > 1:
+            self.asm.emit(Op.IADD)
+            depth -= 1
+        self.istore(seg["dst"])
+
+    def _seg_print(self, seg) -> None:
+        self.isrc(seg["what"])
+        self.asm.emit(Op.INVOKESTATIC, ("Sys", "print"))
+
+    def _seg_printf(self, seg) -> None:
+        self.fsrc(seg["what"])
+        self.asm.emit(Op.INVOKESTATIC, ("Sys", "printf"))
+
+    # ------------------------------------------------------------------
+    def build(self) -> MethodDef:
+        m = self.m
+        asm = self.asm
+        # Prologue: deterministic init of every scratch local.
+        for k in range(m.ints):
+            asm.emit(Op.ICONST, INIT_INTS[k % len(INIT_INTS)])
+            asm.emit(Op.ISTORE, m.params + k)
+        for k in range(m.floats):
+            asm.emit(Op.FCONST, INIT_FLOATS[k % len(INIT_FLOATS)])
+            asm.emit(Op.FSTORE, self.fbase + k)
+        for seg in m.segments:
+            self.emit_segment(seg)
+        # Epilogue: the result local, with float locals folded through
+        # F2I so float effects are observable in the return value.
+        asm.emit(Op.ILOAD, m.params)
+        for k in range(m.floats):
+            asm.emit(Op.FLOAD, self.fbase + k)
+            asm.emit(Op.F2I)
+            asm.emit(Op.IADD)
+        asm.emit(Op.IRETURN)
+        code = asm.finish()
+        return MethodDef(name=f"m{self.index}",
+                         param_types=["int"] * m.params,
+                         return_type="int", is_static=True,
+                         max_locals=self.max_locals, code=code,
+                         exceptions=asm.exception_table())
+
+
+def _build_entry(spec: ProgramSpec) -> MethodDef:
+    """``Main.main``: the fixed driver loop (locals: 0=i, 1=acc)."""
+    m0 = spec.methods[0]
+    asm = Assembler()
+    asm.emit(Op.ICONST, 0)
+    asm.emit(Op.ISTORE, 1)
+    asm.emit(Op.ICONST, 0)
+    asm.emit(Op.ISTORE, 0)
+    top = asm.new_label()
+    asm.bind(top)
+    region = handler = cont = None
+    if spec.entry_catches:
+        handler = asm.new_label()
+        cont = asm.new_label()
+        region = asm.begin_try(handler)
+    for k in range(m0.params):
+        if k == 0:
+            asm.emit(Op.ILOAD, 0)       # the rep counter varies per call
+        else:
+            asm.emit(Op.ICONST, 17 * k + 3)
+    asm.emit(Op.INVOKESTATIC, ("Main", "m0"))
+    asm.emit(Op.ILOAD, 1)
+    asm.emit(Op.IADD)
+    asm.emit(Op.ISTORE, 1)
+    if spec.entry_catches:
+        asm.end_try(region)
+        asm.branch(Op.GOTO, cont)
+        asm.bind(handler)
+        asm.emit(Op.POP)
+        asm.emit(Op.IINC, 1, 13)
+        asm.bind(cont)
+        asm.emit(Op.NOP)
+    asm.emit(Op.IINC, 0, 1)
+    asm.emit(Op.ILOAD, 0)
+    asm.emit(Op.ICONST, spec.reps)
+    asm.branch(Op.IF_ICMPLT, top)
+    asm.emit(Op.ILOAD, 1)
+    asm.emit(Op.INVOKESTATIC, ("Sys", "print"))
+    asm.emit(Op.ILOAD, 1)
+    asm.emit(Op.IRETURN)
+    return MethodDef(name="main", return_type="int", is_static=True,
+                     max_locals=2, code=asm.finish(),
+                     exceptions=asm.exception_table())
+
+
+def _support_classes() -> list[ClassDef]:
+    """A/B: a tiny hierarchy for virtual-dispatch segments, with a
+    mutable instance field so calls have heap effects."""
+    def body_a() -> list:
+        asm = Assembler()
+        asm.emit(Op.ALOAD, 0)
+        asm.emit(Op.DUP)
+        asm.emit(Op.GETFIELD, "w")
+        asm.emit(Op.ILOAD, 1)
+        asm.emit(Op.IADD)
+        asm.emit(Op.PUTFIELD, "w")
+        asm.emit(Op.ALOAD, 0)
+        asm.emit(Op.GETFIELD, "w")
+        asm.emit(Op.IRETURN)
+        return asm.finish()
+
+    def body_b() -> list:
+        asm = Assembler()
+        asm.emit(Op.ALOAD, 0)
+        asm.emit(Op.DUP)
+        asm.emit(Op.GETFIELD, "w")
+        asm.emit(Op.ILOAD, 1)
+        asm.emit(Op.ISUB)
+        asm.emit(Op.PUTFIELD, "w")
+        asm.emit(Op.ALOAD, 0)
+        asm.emit(Op.GETFIELD, "w")
+        asm.emit(Op.ICONST, 3)
+        asm.emit(Op.IMUL)
+        asm.emit(Op.IRETURN)
+        return asm.finish()
+
+    f_a = MethodDef(name="f", param_types=["int"], return_type="int",
+                    max_locals=2, code=body_a())
+    f_b = MethodDef(name="f", param_types=["int"], return_type="int",
+                    max_locals=2, code=body_b())
+    return [ClassDef(name="A", fields=[FieldDef("w", "int")],
+                     methods=[f_a]),
+            ClassDef(name="B", super_name="A", methods=[f_b])]
+
+
+def build_classdefs(spec: ProgramSpec) -> list[ClassDef]:
+    if not spec.methods:
+        raise ValueError("spec has no methods")
+    workers = [_MethodEmitter(spec, i, m).build()
+               for i, m in enumerate(spec.methods)]
+    main = ClassDef(name="Main",
+                    fields=[FieldDef("g", "int", is_static=True)],
+                    methods=[_build_entry(spec)] + workers)
+    return [main] + _support_classes()
+
+
+def build_program(spec: ProgramSpec) -> Program:
+    """Link and verify the spec's program (valid by construction —
+    verification here is the claim's enforcement, not a filter)."""
+    program = link(build_classdefs(spec))
+    verify_program(program)
+    return program
+
+
+def instruction_count(spec: ProgramSpec) -> int:
+    """Static instruction count over *worker* method bodies.
+
+    The minimization metric: the Main.main driver and the A/B support
+    classes have a fixed shape shared by every generated program, so
+    reproducer size is measured by what the generator actually chose.
+    """
+    return sum(len(_MethodEmitter(spec, i, m).build().code)
+               for i, m in enumerate(spec.methods))
+
+
+# ----------------------------------------------------------------------
+# Cost model: an upper bound on dynamically executed instructions, used
+# to keep generated programs inside a fuzz-friendly budget.
+def _segment_cost(seg: dict, method_costs: list[int], index: int) -> int:
+    kind = seg.get("kind")
+    if kind == "loop":
+        body = sum(_segment_cost(s, method_costs, index)
+                   for s in seg.get("body", ()))
+        return 2 + max(1, int(seg.get("count", 1))) * (body + 4)
+    if kind == "trycatch":
+        body = sum(_segment_cost(s, method_costs, index)
+                   for s in seg.get("body", ()))
+        return 10 + body
+    if kind == "call":
+        target = int(seg.get("target", -1))
+        callee = (method_costs[target]
+                  if index < target < len(method_costs) else 0)
+        return 6 + callee
+    if kind == "virtual":
+        return 20               # branchy NEW + B.f's 10-instruction body
+    if kind == "array":
+        return 18               # the emitter's exact per-execution length
+    if kind == "switch":
+        return 4 + 2
+    if kind == "stackmix":
+        # Each DUP can add a fold IADD, so ops count twice.
+        return 4 + 2 * (len(seg.get("vals", ()))
+                        + len(seg.get("ops", ())))
+    return 6
+
+
+def _method_cost(spec: ProgramSpec, index: int,
+                 method_costs: list[int]) -> int:
+    m = spec.methods[index]
+    fixed = 2 * m.ints + 2 * m.floats + 2 + 3 * m.floats
+    return fixed + sum(_segment_cost(seg, method_costs, index)
+                       for seg in m.segments)
+
+
+def spec_cost(spec: ProgramSpec) -> int:
+    """Upper-bound dynamic instruction count of one run."""
+    n = len(spec.methods)
+    costs = [0] * n
+    for i in reversed(range(n)):
+        costs[i] = _method_cost(spec, i, costs)
+    return spec.reps * (costs[0] + 16) if n else 16
+
+
+def _fit_budget(spec: ProgramSpec, budget: int) -> None:
+    """Deterministically trim the spec until spec_cost fits `budget`."""
+    while spec_cost(spec) > budget:
+        if spec.reps > 8:
+            spec.reps = max(8, spec.reps // 2)
+            continue
+        shrunk = False
+        for body in iter_bodies(spec):
+            for seg in body:
+                if seg.get("kind") == "loop" and int(seg.get("count", 1)) > 2:
+                    seg["count"] = max(2, int(seg["count"]) // 2)
+                    shrunk = True
+        if shrunk:
+            continue
+        trimmed = False
+        for m in reversed(spec.methods):
+            if len(m.segments) > 1:
+                m.segments.pop()
+                trimmed = True
+                break
+        if trimmed:
+            continue
+        if len(spec.methods) > 1:
+            replacement = drop_method(spec, len(spec.methods) - 1)
+            spec.methods = replacement.methods
+            continue
+        break                   # minimal already; accept the overshoot
+
+
+# ----------------------------------------------------------------------
+# Generation.
+def _gen_isrc(rng: random.Random, m: MethodSpec) -> list:
+    if rng.random() < 0.6:
+        return ["local", rng.randrange(m.params + m.ints)]
+    if rng.random() < 0.7:
+        return ["const", rng.choice(INT_EDGE_CONSTS)]
+    return ["const", rng.randint(-100, 100)]
+
+
+def _gen_fsrc(rng: random.Random, m: MethodSpec) -> list:
+    if m.floats and rng.random() < 0.5:
+        return ["flocal", rng.randrange(m.floats)]
+    if rng.random() < 0.7:
+        return ["fconst", _f_enc(rng.choice(FLOAT_CONSTS))]
+    return ["fconst", round(rng.uniform(-4.0, 4.0), 3)]
+
+
+def _gen_dst(rng: random.Random, m: MethodSpec, reserved: set) -> int:
+    slots = [s for s in range(m.params + m.ints) if s not in reserved]
+    if not slots:
+        slots = [m.params]
+    return rng.choice(slots)
+
+
+_SWITCH_LOWS = (-2, -1, 0, 1, 7, INT_MAX - 2, INT_MIN, INT_MIN + 1)
+
+
+def _gen_segment(rng: random.Random, spec_methods: list, index: int,
+                 depth: int, reserved: set) -> dict:
+    m = spec_methods[index]
+    kinds = ["iarith", "iarith", "iarith", "farith", "farith", "iinc",
+             "switch", "switch", "trycatch", "trycatch", "native",
+             "virtual", "array", "static", "stackmix", "stackmix"]
+    if depth < 2:
+        kinds += ["loop", "loop", "loop"]
+    if index + 1 < len(spec_methods):
+        kinds += ["call", "call"]
+    if depth == 0:
+        kinds += ["print", "printf", "throw"]
+    kind = rng.choice(kinds)
+
+    if kind == "iarith":
+        op = rng.choice(list(_IARITH_OPS))
+        return {"kind": "iarith", "op": op,
+                "a": _gen_isrc(rng, m), "b": _gen_isrc(rng, m),
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "farith":
+        op = rng.choice(["fadd", "fsub", "fmul", "fdiv", "fdiv", "fneg",
+                         "fcmpl", "fcmpg", "i2f", "f2i"])
+        return {"kind": "farith", "op": op,
+                "a": (_gen_isrc(rng, m) if op == "i2f"
+                      else _gen_fsrc(rng, m)),
+                "b": _gen_fsrc(rng, m),
+                "dst": (_gen_dst(rng, m, reserved)
+                        if op in ("fcmpl", "fcmpg", "f2i")
+                        else rng.randrange(max(1, m.floats)))}
+    if kind == "iinc":
+        return {"kind": "iinc", "local": _gen_dst(rng, m, reserved),
+                "delta": rng.choice((1, -1, 3, 17, 255, -12345))}
+    if kind == "loop":
+        counter = _gen_dst(rng, m, reserved)
+        inner = reserved | {counter}
+        body = [_gen_segment(rng, spec_methods, index, depth + 1, inner)
+                for _ in range(rng.randint(1, 3))]
+        return {"kind": "loop", "count": rng.randint(3, 30),
+                "counter": counter, "body": body}
+    if kind == "switch":
+        return {"kind": "switch", "on": _gen_isrc(rng, m),
+                "low": rng.choice(_SWITCH_LOWS),
+                "arms": [rng.randint(-9, 9)
+                         for _ in range(rng.randint(1, 5))],
+                "default": rng.randint(-9, 9),
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "trycatch":
+        body = [_gen_segment(rng, spec_methods, index, depth + 1, reserved)
+                for _ in range(rng.randint(1, 2))]
+        return {"kind": "trycatch", "cond": _gen_isrc(rng, m),
+                "mod": rng.choice((2, 3, 5, 7, 13)),
+                "dst": _gen_dst(rng, m, reserved),
+                "hdelta": rng.randint(-20, 60),
+                "catch": rng.choice((None, "Exception", "Exception",
+                                     "Throwable")),
+                "body": body}
+    if kind == "throw":
+        return {"kind": "throw", "cond": _gen_isrc(rng, m),
+                "mod": rng.choice((89, 97, 13))}
+    if kind == "call":
+        target = rng.randrange(index + 1, len(spec_methods))
+        callee = spec_methods[target]
+        return {"kind": "call", "target": target,
+                "args": [_gen_isrc(rng, m) for _ in range(callee.params)],
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "native":
+        fn = rng.choice(sorted(_NATIVE_FNS))
+        return {"kind": "native", "fn": fn,
+                "args": [_gen_isrc(rng, m)
+                         for _ in range(_NATIVE_FNS[fn])],
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "virtual":
+        return {"kind": "virtual", "sel": _gen_isrc(rng, m),
+                "arg": _gen_isrc(rng, m),
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "array":
+        return {"kind": "array", "size": 2 ** rng.randint(1, 5),
+                "idx": _gen_isrc(rng, m), "idx2": _gen_isrc(rng, m),
+                "val": _gen_isrc(rng, m),
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "static":
+        return {"kind": "static", "src": _gen_isrc(rng, m),
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "stackmix":
+        return {"kind": "stackmix",
+                "vals": [_gen_isrc(rng, m)
+                         for _ in range(rng.randint(2, 4))],
+                "ops": [rng.choice(_STACKMIX_OPS)
+                        for _ in range(rng.randint(2, 5))],
+                "dst": _gen_dst(rng, m, reserved)}
+    if kind == "print":
+        return {"kind": "print", "what": _gen_isrc(rng, m)}
+    return {"kind": "printf", "what": _gen_fsrc(rng, m)}
+
+
+def generate(seed: int, *, budget: int = 20_000,
+             max_methods: int = 4) -> ProgramSpec:
+    """The seeded generator: same seed, same spec, same program."""
+    rng = random.Random(seed)
+    n = 1 + min(rng.randrange(max_methods), rng.randrange(max_methods))
+    methods = [MethodSpec(params=rng.randint(1, 2) if i == 0
+                          else rng.randint(0, 2),
+                          ints=rng.randint(2, 3),
+                          floats=rng.randint(0, 2))
+               for i in range(n)]
+    for i in reversed(range(n)):
+        m = methods[i]
+        count = rng.randint(2, 6) if i == 0 else rng.randint(1, 4)
+        m.segments = [_gen_segment(rng, methods, i, 0, set())
+                      for _ in range(count)]
+        if i == 0 and not any(s.get("kind") == "loop"
+                              for s in m.segments):
+            # Method 0 must be hot: force at least one loop.
+            counter = 0 if m.params else m.params
+            body = [_gen_segment(rng, methods, i, 1, {counter})]
+            m.segments.insert(0, {"kind": "loop",
+                                  "count": rng.randint(8, 30),
+                                  "counter": counter, "body": body})
+    spec = ProgramSpec(seed=seed, reps=rng.randint(10, 60),
+                       entry_catches=rng.random() < 0.8,
+                       methods=methods)
+    _fit_budget(spec, budget)
+    return spec

@@ -1,0 +1,293 @@
+"""Greedy reproducer minimization + the JSON corpus format.
+
+A fuzzer finding is only useful if a human can read it.  The generator
+was designed for this: segments have net-zero stack effect and methods
+are independently droppable, so shrinking is plain spec surgery —
+propose a structurally smaller spec, rebuild, re-check the divergence,
+keep the candidate if the bug survives and the program got no bigger.
+
+Pass order (each runs to fixpoint before the next, and the whole
+sequence repeats until nothing helps):
+
+1. drop whole methods (re-pointing the call graph),
+2. drop segments, innermost bodies first,
+3. replace compound segments (loop/switch/trycatch/...) with a
+   minimal ``iinc``,
+4. reduce loop counts and driver reps,
+5. drop the driver's catch-all and trim unused scratch locals.
+
+The checker callback decides what "the bug survives" means — typically
+"`run_spec_differential` still reports a divergence on the same
+engines" — so the same machinery shrinks output mismatches, instruction
+count skews and invariant violations alike.
+
+Minimized specs are committed under ``tests/corpus/`` as small JSON
+documents (:func:`save_reproducer` / :func:`load_reproducer`) and
+replayed by ``tests/check/test_corpus.py`` as a regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .genprog import (ProgramSpec, clone_spec, drop_method,
+                      instruction_count, iter_bodies)
+
+__all__ = ["shrink", "save_reproducer", "load_reproducer",
+           "corpus_files", "CORPUS_SCHEMA"]
+
+CORPUS_SCHEMA = 1
+
+
+class _Budget:
+    """Caps the number of rebuild-and-check cycles a shrink may spend."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _accept(candidate: ProgramSpec, current: ProgramSpec,
+            still_diverges, budget: _Budget) -> bool:
+    """Does `candidate` keep the bug alive without growing the program?
+
+    Builder errors count as rejection: the generator is total over its
+    own output, but the checker may throw on pathological mutations and
+    the shrink must never abort a session over one bad candidate.
+    """
+    if not budget.take():
+        return False
+    try:
+        if instruction_count(candidate) > instruction_count(current):
+            return False
+        return bool(still_diverges(candidate))
+    except Exception:
+        return False
+
+
+# ----------------------------------------------------------------------
+# Individual passes.  Each returns the (possibly) improved spec.
+def _pass_drop_methods(spec, still_diverges, budget):
+    index = len(spec.methods) - 1
+    while index >= 0 and len(spec.methods) > 1:
+        candidate = drop_method(spec, index)
+        if candidate is not None and _accept(candidate, spec,
+                                             still_diverges, budget):
+            spec = candidate
+        index -= 1
+    return spec
+
+
+def _pass_drop_segments(spec, still_diverges, budget):
+    changed = True
+    while changed:
+        changed = False
+        # Address segments as (body-ordinal, position) against a fresh
+        # clone each time: dropping one shifts every later address.
+        bodies = list(iter_bodies(spec))
+        for b, body in enumerate(bodies):
+            for i in reversed(range(len(body))):
+                candidate = clone_spec(spec)
+                cand_bodies = list(iter_bodies(candidate))
+                if b >= len(cand_bodies) or i >= len(cand_bodies[b]):
+                    continue
+                del cand_bodies[b][i]
+                if _accept(candidate, spec, still_diverges, budget):
+                    spec = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return spec
+
+
+def _pass_simplify_segments(spec, still_diverges, budget):
+    for b, body in enumerate(list(iter_bodies(spec))):
+        for i in range(len(body)):
+            if body[i].get("kind") == "iinc":
+                continue
+            candidate = clone_spec(spec)
+            cand_bodies = list(iter_bodies(candidate))
+            if b >= len(cand_bodies) or i >= len(cand_bodies[b]):
+                continue
+            cand_bodies[b][i] = {"kind": "iinc", "local": 0, "delta": 1}
+            if _accept(candidate, spec, still_diverges, budget):
+                spec = candidate
+    return spec
+
+
+def _pass_reduce_counts(spec, still_diverges, budget):
+    changed = True
+    while changed:
+        changed = False
+        for b, body in enumerate(list(iter_bodies(spec))):
+            for i, seg in enumerate(body):
+                if seg.get("kind") != "loop":
+                    continue
+                count = int(seg.get("count", 1))
+                if count <= 2:
+                    continue
+                candidate = clone_spec(spec)
+                list(iter_bodies(candidate))[b][i]["count"] = max(
+                    2, count // 2)
+                if _accept(candidate, spec, still_diverges, budget):
+                    spec = candidate
+                    changed = True
+        while spec.reps > 2:
+            candidate = clone_spec(spec)
+            candidate.reps = max(2, spec.reps // 2)
+            if not _accept(candidate, spec, still_diverges, budget):
+                break
+            spec = candidate
+            changed = True
+    return spec
+
+
+def _max_referenced_slots(method) -> tuple[int, int]:
+    """Highest int/float slot a method's segments actually name, so
+    trimming locals never re-routes a reference through the emitter's
+    defensive clamp (which could alias a loop counter)."""
+    max_int = 0
+    max_float = 0
+
+    def visit(value):
+        nonlocal max_int, max_float
+        if isinstance(value, (list, tuple)) and len(value) == 2 \
+                and value[0] in ("local", "flocal"):
+            if value[0] == "local":
+                max_int = max(max_int, int(value[1]))
+            else:
+                max_float = max(max_float, int(value[1]))
+
+    pending = list(method.segments)
+    while pending:
+        seg = pending.pop()
+        for key, value in seg.items():
+            if key == "body":
+                pending.extend(value)
+            elif key in ("local", "counter", "dst"):
+                if seg.get("kind") == "farith" and key == "dst" \
+                        and seg.get("op") in ("fadd", "fsub", "fmul",
+                                              "fdiv", "fneg", "i2f"):
+                    max_float = max(max_float, int(value))
+                else:
+                    max_int = max(max_int, int(value))
+            elif isinstance(value, (list, tuple)):
+                if value and isinstance(value[0], str):
+                    visit(value)
+                else:
+                    for item in value:
+                        visit(item)
+    return max_int, max_float
+
+
+def _pass_trim_structure(spec, still_diverges, budget):
+    if spec.entry_catches:
+        candidate = clone_spec(spec)
+        candidate.entry_catches = False
+        if _accept(candidate, spec, still_diverges, budget):
+            spec = candidate
+    for m, method in enumerate(spec.methods):
+        max_int, max_float = _max_referenced_slots(method)
+        floor_ints = max(1, max_int + 1 - method.params)
+        while method.ints > floor_ints:
+            candidate = clone_spec(spec)
+            candidate.methods[m].ints = method.ints - 1
+            if not _accept(candidate, spec, still_diverges, budget):
+                break
+            spec = candidate
+            method = spec.methods[m]
+        floor_floats = max_float + 1 if max_float or _uses_floats(method) \
+            else 0
+        while method.floats > floor_floats:
+            candidate = clone_spec(spec)
+            candidate.methods[m].floats = method.floats - 1
+            if not _accept(candidate, spec, still_diverges, budget):
+                break
+            spec = candidate
+            method = spec.methods[m]
+    return spec
+
+
+def _uses_floats(method) -> bool:
+    pending = list(method.segments)
+    while pending:
+        seg = pending.pop()
+        if seg.get("kind") in ("farith", "printf"):
+            return True
+        pending.extend(seg.get("body", ()))
+    return False
+
+
+_PASSES = (_pass_drop_methods, _pass_drop_segments,
+           _pass_simplify_segments, _pass_reduce_counts,
+           _pass_trim_structure)
+
+
+def shrink(spec: ProgramSpec, still_diverges, *,
+           max_checks: int = 400) -> ProgramSpec:
+    """Greedy-minimize `spec` while `still_diverges(candidate)` holds.
+
+    `still_diverges` receives a candidate ProgramSpec and returns
+    truthy when the original bug still reproduces.  At most
+    `max_checks` candidate evaluations are spent.  The input spec is
+    never mutated; the returned spec is independent.
+    """
+    if not still_diverges(spec):
+        raise ValueError("the original spec does not diverge; "
+                         "nothing to shrink")
+    budget = _Budget(max_checks)
+    current = clone_spec(spec)
+    while True:
+        before = spec_to_size(current)
+        for pass_fn in _PASSES:
+            current = pass_fn(current, still_diverges, budget)
+        if spec_to_size(current) >= before or budget.spent >= max_checks:
+            return current
+
+
+def spec_to_size(spec: ProgramSpec) -> int:
+    return instruction_count(spec)
+
+
+# ----------------------------------------------------------------------
+# Corpus I/O.
+def save_reproducer(path, spec: ProgramSpec, *, note: str = "",
+                    divergences=()) -> None:
+    """Write a minimized reproducer as a committed-friendly JSON file."""
+    document = {
+        "schema": CORPUS_SCHEMA,
+        "note": note,
+        "seed": spec.seed,
+        "divergences": [str(d) for d in divergences],
+        "spec": spec.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_reproducer(path) -> tuple[ProgramSpec, dict]:
+    """Read a corpus file; returns (spec, whole document)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") != CORPUS_SCHEMA:
+        raise ValueError(f"{path}: unsupported corpus schema "
+                         f"{document.get('schema')!r}")
+    return ProgramSpec.from_dict(document["spec"]), document
+
+
+def corpus_files(directory) -> list[str]:
+    """Sorted paths of every ``*.json`` corpus entry in `directory`."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(os.path.join(directory, name)
+                  for name in os.listdir(directory)
+                  if name.endswith(".json"))

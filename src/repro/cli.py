@@ -11,6 +11,9 @@ Commands:
 - ``report``          — the full evaluation as one markdown document.
 - ``dump NAME``       — export a run's BCG/traces as JSON or Graphviz.
 - ``baselines NAME``  — compare selection schemes on a workload.
+- ``fuzz``            — differential fuzzing: generate seeded bytecode
+  programs, run every engine, shrink and report any divergence
+  (non-zero exit), so CI can run a bounded smoke.
 
 The trace-cache flags (``--threshold``, ``--delay``, ``--optimize``,
 ``--backend``, ``--compile-threshold``) and the observability flags
@@ -222,6 +225,74 @@ def cmd_baselines(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .check import (DIFF_PROFILES, generate, instruction_count,
+                        run_spec_differential, shrink, spec_to_json)
+    from .check.shrink import save_reproducer
+
+    profiles = tuple(args.profile) if args.profile else None
+    unknown = set(profiles or ()) - set(DIFF_PROFILES)
+    if unknown:
+        print(f"error: unknown profile(s) {sorted(unknown)}; choose "
+              f"from {sorted(DIFF_PROFILES)}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    for k in range(args.runs):
+        seed = args.seed + k
+        spec = generate(seed, budget=args.budget)
+        report = run_spec_differential(
+            spec, profiles, max_instructions=args.max_instructions,
+            check_invariants=not args.no_invariants)
+        if report.ok:
+            if args.verbose:
+                print(f"seed {seed}: ok "
+                      f"({instruction_count(spec)} instrs)")
+            continue
+
+        print(f"DIVERGENCE at seed {seed} "
+              f"(run {k + 1}/{args.runs}):")
+        print(report.describe())
+        if not args.no_shrink:
+            # Re-check only the engines that diverged — the shrink
+            # loop runs the differential hundreds of times.
+            engines = report.diverging_engines()
+            diverging_profiles = tuple(
+                e for e in engines if e in DIFF_PROFILES) or profiles
+
+            def still_diverges(candidate):
+                result = run_spec_differential(
+                    candidate, diverging_profiles,
+                    max_instructions=args.max_instructions,
+                    check_invariants=not args.no_invariants)
+                return any(e in result.diverging_engines()
+                           for e in engines)
+
+            spec = shrink(spec, still_diverges,
+                          max_checks=args.shrink_checks)
+            print(f"minimized to {instruction_count(spec)} worker "
+                  f"instruction(s):")
+        print(spec_to_json(spec))
+        if args.save:
+            import os
+            os.makedirs(args.save, exist_ok=True)
+            path = os.path.join(args.save, f"fuzz_seed{seed}.json")
+            save_reproducer(
+                path, spec,
+                note=f"found by repro fuzz --seed {args.seed} "
+                     f"--runs {args.runs}",
+                divergences=[d.describe()
+                             for d in report.divergences])
+            print(f"reproducer saved to {path}")
+        print(f"replay: repro fuzz --runs 1 --seed {seed}")
+        return 1
+
+    elapsed = time.perf_counter() - started
+    print(f"fuzz: {args.runs} run(s) from seed {args.seed}, "
+          f"no divergence ({elapsed:.1f}s, "
+          f"profiles={list(profiles or DIFF_PROFILES)})")
+    return 0
+
+
 def _trace_flags() -> argparse.ArgumentParser:
     """Parent parser: trace-cache tunables, defined exactly once."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -317,6 +388,32 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("name", choices=WORKLOAD_NAMES)
     baselines.add_argument("--size", choices=SIZES, default="small")
     baselines.set_defaults(func=cmd_baselines)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across every engine")
+    fuzz.add_argument("--runs", type=int, default=100,
+                      help="number of generated programs")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first seed; run k uses seed+k")
+    fuzz.add_argument("--profile", action="append", metavar="NAME",
+                      help="trace-cache profile(s) to test (repeatable; "
+                           "default: all)")
+    fuzz.add_argument("--budget", type=int, default=20_000,
+                      help="max dynamic instructions per generated "
+                           "program (cost-model bound)")
+    fuzz.add_argument("--max-instructions", type=int, default=5_000_000,
+                      help="per-engine step limit")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report the first divergence unminimized")
+    fuzz.add_argument("--no-invariants", action="store_true",
+                      help="skip whitebox invariant checking")
+    fuzz.add_argument("--shrink-checks", type=int, default=400,
+                      help="max candidate evaluations while shrinking")
+    fuzz.add_argument("--save", metavar="DIR",
+                      help="write the minimized reproducer JSON here")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="print a line per passing seed")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     return parser
 

@@ -14,8 +14,8 @@ from .errors import (StepLimitExceeded, UncaughtVMException, VMRuntimeError)
 from .heap import ArrayRef, ObjRef
 from .intrinsics import NativeMethod
 from .linker import Program, RtMethod
-from .values import (fcmp, java_f2i, java_idiv, java_irem, java_ishl,
-                     java_ishr, java_iushr, wrap_int)
+from .values import (fcmp, java_f2i, java_fdiv, java_idiv, java_irem,
+                     java_ishl, java_ishr, java_iushr, wrap_int)
 
 _BIN_INT = {
     Op.IADD: lambda a, b: wrap_int(a + b),
@@ -129,14 +129,7 @@ class SwitchInterpreter:
                 stack[-1] = _BIN_FLOAT[op](stack[-1], b)
             elif op is Op.FDIV:
                 b = stack.pop()
-                a = stack[-1]
-                if b == 0.0:
-                    if a == 0.0:
-                        stack[-1] = float("nan")
-                    else:
-                        stack[-1] = float("inf") if a > 0 else float("-inf")
-                else:
-                    stack[-1] = a / b
+                stack[-1] = java_fdiv(stack[-1], b)
             elif op is Op.FNEG:
                 stack[-1] = -stack[-1]
             elif op is Op.FCMPL:

@@ -181,6 +181,20 @@ class Program:
             for fdef in cls.static_fields.values():
                 cls.statics[fdef.name] = default_value(fdef.type_name)
 
+    def statics_snapshot(self) -> dict[str, dict[str, object]]:
+        """The program's mutable state as {class: {field: value}}.
+
+        Statics are the only program-owned state that survives a run
+        (heap objects die with the machine), so this is the seam
+        differential harnesses use to compare the *effects* of two
+        executions, not just their return values.  Classes without
+        static fields are omitted; iteration order is name-sorted so
+        two snapshots compare structurally.
+        """
+        return {name: dict(sorted(cls.statics.items()))
+                for name, cls in sorted(self.classes.items())
+                if cls.statics}
+
 
 def link(class_defs: list[ClassDef], entry: str = "Main.main") -> Program:
     """Link `class_defs` (plus builtins) into an executable Program."""

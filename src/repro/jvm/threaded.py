@@ -18,8 +18,8 @@ from .frame import Frame
 from .heap import ArrayRef, ObjRef
 from .intrinsics import NativeMethod
 from .linker import Program, RtMethod
-from .values import (fcmp, java_f2i, java_idiv, java_irem, java_ishl,
-                     java_ishr, java_iushr, wrap_int)
+from .values import (fcmp, java_f2i, java_fdiv, java_idiv, java_irem,
+                     java_ishl, java_ishr, java_iushr, wrap_int)
 
 # Cached opcode members: `is` comparisons against these are the hot path.
 _NOP = Op.NOP
@@ -270,16 +270,7 @@ def execute_block(machine: Machine, block: BasicBlock) -> BasicBlock | None:
             stack[-1] = stack[-1] * b
         elif op is _FDIV:
             b = pop()
-            a = stack[-1]
-            if b == 0.0:
-                # Java float division by zero yields infinity, except
-                # that a zero or NaN dividend yields NaN.
-                if a == 0.0 or a != a:
-                    stack[-1] = float("nan")
-                else:
-                    stack[-1] = float("inf") if a > 0 else float("-inf")
-            else:
-                stack[-1] = a / b
+            stack[-1] = java_fdiv(stack[-1], b)
         elif op is _FNEG:
             stack[-1] = -stack[-1]
         elif op is _FCMPL:

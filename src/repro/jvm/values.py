@@ -7,6 +7,8 @@ wrap-around semantics so that workloads behave like their Java namesakes.
 
 from __future__ import annotations
 
+import math
+
 INT_MIN = -(1 << 31)
 INT_MAX = (1 << 31) - 1
 _INT_MASK = (1 << 32) - 1
@@ -55,11 +57,14 @@ def java_iushr(a: int, b: int) -> int:
 
 def java_fdiv(a: float, b: float) -> float:
     """Java float division: ``x / 0.0`` is NaN when x is zero *or NaN*,
-    signed infinity otherwise; nonzero divisors divide normally."""
+    signed infinity otherwise; nonzero divisors divide normally.
+    The infinity's sign is the XOR of the operand signs, so the sign of
+    a zero divisor matters: ``1.0 / -0.0 == -inf``."""
     if b == 0.0:
         if a == 0.0 or a != a:
             return float("nan")
-        return float("inf") if a > 0 else float("-inf")
+        negative = (a < 0) != (math.copysign(1.0, b) < 0)
+        return float("-inf") if negative else float("inf")
     return a / b
 
 

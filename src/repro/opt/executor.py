@@ -21,8 +21,9 @@ from ..jvm.errors import StepLimitExceeded, VMRuntimeError
 from ..jvm.frame import Frame
 from ..jvm.heap import ArrayRef, ObjRef
 from ..jvm.threaded import _throw, execute_block
-from ..jvm.values import (fcmp, java_f2i, java_idiv, java_irem,
-                          java_ishl, java_ishr, java_iushr, wrap_int)
+from ..jvm.values import (fcmp, java_f2i, java_fdiv, java_idiv,
+                          java_irem, java_ishl, java_ishr, java_iushr,
+                          wrap_int)
 from .ir import (CompiledTrace, K_CALL, K_GUARD_COND, K_GUARD_SWITCH,
                  K_NATIVE, K_RET, K_SIMPLE, K_THROW, K_VCALL)
 
@@ -186,16 +187,7 @@ def run_compiled(machine, compiled: CompiledTrace):
                 stack[-1] = stack[-1] * b
             elif op is Op.FDIV:
                 b = stack.pop()
-                a = stack[-1]
-                if b == 0.0:
-                    # Zero or NaN dividend yields NaN, not infinity.
-                    if a == 0.0 or a != a:
-                        stack[-1] = float("nan")
-                    else:
-                        stack[-1] = (float("inf") if a > 0
-                                     else float("-inf"))
-                else:
-                    stack[-1] = a / b
+                stack[-1] = java_fdiv(stack[-1], b)
             elif op is Op.FNEG:
                 stack[-1] = -stack[-1]
             elif op is Op.FCMPL:

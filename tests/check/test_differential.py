@@ -1,0 +1,170 @@
+"""The N-way differential runner: agreement, divergence, outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import (DIFF_PROFILES, assert_equivalent, generate,
+                         run_differential, run_spec_differential)
+from repro.check.differential import _normalize
+from repro.jvm import Assembler, ClassDef, MethodDef, Op, link, verify_program
+from repro.jvm.heap import ObjRef
+from repro.lang import compile_source
+
+from tests.conftest import assemble_main
+
+
+def _program(build, **kwargs):
+    return assemble_main(build, **kwargs)
+
+
+class TestAgreement:
+    def test_clean_program_agrees_everywhere(self):
+        report = run_spec_differential(generate(0))
+        assert report.ok, report.describe()
+        # switch + threaded + all five profiles ran.
+        assert set(report.results) == \
+            {"switch", "threaded"} | set(DIFF_PROFILES)
+
+    def test_profile_subset(self):
+        report = run_spec_differential(generate(1), profiles=("py",))
+        assert report.ok, report.describe()
+        assert set(report.results) == {"switch", "threaded", "py"}
+
+    def test_assert_equivalent_passes_and_returns_report(self):
+        program = compile_source("""
+            class Main {
+                static int main() {
+                    int total = 0;
+                    for (int i = 0; i < 500; i = i + 1) {
+                        total = total + i;
+                    }
+                    return total;
+                }
+            }
+        """)
+        report = assert_equivalent(program)
+        assert report.results["switch"].value == 124750
+
+    def test_baseline_engines(self):
+        report = run_spec_differential(
+            generate(2), profiles=("plain",),
+            baselines=("dynamo", "replay"))
+        assert report.ok, report.describe()
+        assert "baseline:dynamo" in report.results
+        assert "baseline:replay" in report.results
+
+
+class TestOutcomes:
+    def test_uncaught_exception_compares_equal(self):
+        def build(asm):
+            asm.emit(Op.NEW, "Exception")
+            asm.emit(Op.ATHROW)
+        report = run_differential(_program(build))
+        assert report.ok, report.describe()
+        assert report.results["switch"].outcome == "uncaught:Exception"
+
+    def test_step_limit_compares_by_outcome_only(self):
+        def build(asm):
+            top = asm.new_label()
+            asm.bind(top)
+            asm.emit(Op.ICONST, 1)
+            asm.emit(Op.POP)
+            asm.branch(Op.GOTO, top)
+        report = run_differential(_program(build),
+                                  max_instructions=10_000)
+        assert report.ok, report.describe()
+        assert report.results["switch"].outcome == "limit"
+
+    def test_vm_error_compares_equal(self):
+        def build(asm):
+            asm.emit(Op.ICONST, 4)
+            asm.emit(Op.NEWARRAY, "int")
+            asm.emit(Op.ICONST, 9)      # out of bounds
+            asm.emit(Op.IALOAD)
+            asm.emit(Op.IRETURN)
+        report = run_differential(_program(build))
+        assert report.ok, report.describe()
+        assert report.results["switch"].outcome == "error"
+
+    def test_statics_snapshot_in_comparison(self):
+        source = """
+            class Main {
+                static int counter;
+                static int main() {
+                    for (int i = 0; i < 100; i = i + 1) {
+                        Main.counter = Main.counter + i;
+                    }
+                    return Main.counter;
+                }
+            }
+        """
+        report = run_differential(compile_source(source),
+                                  profiles=("py",))
+        assert report.ok
+        statics = dict(report.results["switch"].statics)
+        assert statics["Main"] == (("counter", 4950),)
+
+
+class TestDivergenceDetection:
+    def test_detects_value_divergence(self, monkeypatch):
+        # Break FADD in the *switch* interpreter only.
+        import repro.jvm.interpreter as interp_mod
+        broken = dict(interp_mod._BIN_FLOAT)
+        broken[Op.FADD] = lambda a, b: a + b + 1.0
+        monkeypatch.setattr(interp_mod, "_BIN_FLOAT", broken)
+
+        def build(asm):
+            asm.emit(Op.FCONST, 1.0)
+            asm.emit(Op.FCONST, 2.0)
+            asm.emit(Op.FADD)
+            asm.emit(Op.F2I)
+            asm.emit(Op.IRETURN)
+        report = run_differential(_program(build), profiles=())
+        assert not report.ok
+        fields = {d.field for d in report.divergences}
+        assert "value" in fields
+        assert report.diverging_engines() == ["threaded"]
+
+    def test_detects_codegen_guard_fault(self, monkeypatch):
+        # The ISSUE's acceptance fault: flip a compiled guard.
+        import repro.opt.codegen as codegen
+        flipped = dict(codegen._COND_EXPRS)
+        arity, _ = flipped[Op.IF_ICMPLT]
+        flipped[Op.IF_ICMPLT] = (arity, "{a} >= {b}")
+        monkeypatch.setattr(codegen, "_COND_EXPRS", flipped)
+
+        report = run_spec_differential(generate(0), profiles=("py",))
+        assert not report.ok
+        assert "py" in report.diverging_engines()
+
+    def test_assert_equivalent_raises(self, monkeypatch):
+        import repro.jvm.interpreter as interp_mod
+        broken = dict(interp_mod._BIN_INT)
+        broken[Op.IMUL] = lambda a, b: 0
+        monkeypatch.setattr(interp_mod, "_BIN_INT", broken)
+
+        def build(asm):
+            asm.emit(Op.ICONST, 6)
+            asm.emit(Op.ICONST, 7)
+            asm.emit(Op.IMUL)
+            asm.emit(Op.IRETURN)
+        with pytest.raises(AssertionError, match="diverge"):
+            assert_equivalent(_program(build), profiles=())
+
+
+class TestNormalization:
+    def test_floats_by_repr(self):
+        assert _normalize(float("nan")) == "nan"
+        assert _normalize(-0.0) == "-0.0"
+        assert _normalize(-0.0) != _normalize(0.0)
+
+    def test_objref_by_shape(self):
+        program = link([ClassDef(name="Main", methods=[MethodDef(
+            name="main", return_type="int", is_static=True,
+            code=(lambda a: (a.emit(Op.ICONST, 0), a.emit(Op.IRETURN),
+                             a.finish())[-1])(Assembler()))])])
+        verify_program(program)
+        ref = ObjRef(program.classes["Exception"])
+        norm = _normalize(ref)
+        assert norm[0] == "obj" and norm[1] == "Exception"

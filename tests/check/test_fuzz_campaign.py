@@ -1,0 +1,28 @@
+"""The long-running fuzz campaign entry point (pytest -m slow).
+
+CI's bounded smoke is ``repro fuzz --runs 200 --seed 0`` in the
+workflow; this marker-gated campaign is the developer-facing deep run
+(`pytest tests/check/test_fuzz_campaign.py -m slow`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import generate, run_spec_differential
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("block", range(8))
+def test_campaign_block(block):
+    """250 seeds per block, 2000 total, all profiles + baselines."""
+    failures = []
+    for k in range(250):
+        seed = block * 250 + k
+        baselines = ("dynamo", "replay") if seed % 10 == 0 else ()
+        report = run_spec_differential(generate(seed),
+                                       baselines=baselines)
+        if not report.ok:
+            failures.append(f"seed {seed}:\n{report.describe()}")
+    assert not failures, "\n\n".join(failures)

@@ -1,0 +1,89 @@
+"""The ``repro fuzz`` subcommand: smoke, knobs, fault injection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.genprog import spec_from_json
+from repro.check.shrink import load_reproducer
+from repro.cli import main
+from repro.jvm.bytecode import Op
+
+
+class TestSmoke:
+    def test_bounded_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", "--runs", "5", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        assert "5 run(s)" in out
+
+    def test_verbose_lists_seeds(self, capsys):
+        assert main(["fuzz", "--runs", "3", "--seed", "7",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        for seed in (7, 8, 9):
+            assert f"seed {seed}: ok" in out
+
+    def test_profile_subset_runs(self, capsys):
+        assert main(["fuzz", "--runs", "2", "--seed", "0",
+                     "--profile", "py"]) == 0
+        assert "profiles=['py']" in capsys.readouterr().out
+
+    def test_unknown_profile_rejected(self, capsys):
+        assert main(["fuzz", "--runs", "1", "--profile", "bogus"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+
+class TestFaultInjection:
+    """The acceptance-criteria drill: flip a compiled-guard comparison
+    in opt/codegen.py and the fuzzer must produce a minimized,
+    replayable reproducer."""
+
+    @pytest.fixture
+    def flipped_guard(self, monkeypatch):
+        import repro.opt.codegen as codegen
+        flipped = dict(codegen._COND_EXPRS)
+        arity, _ = flipped[Op.IF_ICMPLT]
+        flipped[Op.IF_ICMPLT] = (arity, "{a} >= {b}")
+        monkeypatch.setattr(codegen, "_COND_EXPRS", flipped)
+
+    def test_reports_minimized_reproducer(self, flipped_guard, capsys,
+                                          tmp_path):
+        code = main(["fuzz", "--runs", "20", "--seed", "0",
+                     "--profile", "py", "--save", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE at seed" in out
+        assert "minimized to" in out
+        assert "replay: repro fuzz --runs 1 --seed" in out
+
+        # The acceptance bound: a guard flip shrinks to <= 12 worker
+        # instructions.
+        size = int(out.split("minimized to ")[1].split()[0])
+        assert size <= 12
+
+        # The printed spec is valid JSON and still diverges under the
+        # same fault.
+        text = out[out.index("{"):out.rindex("}") + 1]
+        spec = spec_from_json(text)
+        from repro.check import instruction_count, run_spec_differential
+        assert instruction_count(spec) == size
+        assert not run_spec_differential(spec, profiles=("py",)).ok
+
+        # And the saved corpus entry round-trips.
+        saved = list(tmp_path.glob("fuzz_seed*.json"))
+        assert len(saved) == 1
+        loaded, document = load_reproducer(saved[0])
+        assert document["divergences"]
+        assert not run_spec_differential(loaded, profiles=("py",)).ok
+
+    def test_no_shrink_reports_raw_spec(self, flipped_guard, capsys):
+        code = main(["fuzz", "--runs", "20", "--seed", "0",
+                     "--profile", "py", "--no-shrink"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE at seed" in out
+        assert "minimized to" not in out
+        json.loads(out[out.index("{"):out.rindex("}") + 1])

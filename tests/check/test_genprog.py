@@ -1,0 +1,121 @@
+"""The generator's own contract: determinism, validity, budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.genprog import (MethodSpec, ProgramSpec, build_program,
+                                 clone_spec, drop_method, generate,
+                                 instruction_count, iter_bodies,
+                                 spec_cost, spec_from_json, spec_to_json)
+from repro.jvm import SwitchInterpreter
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        for seed in (0, 7, 123, 99991):
+            assert spec_to_json(generate(seed)) == \
+                spec_to_json(generate(seed))
+
+    def test_different_seeds_differ(self):
+        texts = {spec_to_json(generate(seed)) for seed in range(20)}
+        assert len(texts) > 15      # near-certain distinctness
+
+    def test_json_round_trip(self):
+        spec = generate(42)
+        again = spec_from_json(spec_to_json(spec))
+        assert spec_to_json(again) == spec_to_json(spec)
+        assert instruction_count(again) == instruction_count(spec)
+
+    def test_float_specials_survive_json(self):
+        spec = ProgramSpec(methods=[MethodSpec(
+            params=1, ints=1, floats=1,
+            segments=[{"kind": "farith", "op": "fdiv",
+                       "a": ["fconst", "nan"], "b": ["fconst", "-inf"],
+                       "dst": 0}])])
+        again = spec_from_json(spec_to_json(spec))
+        seg = again.methods[0].segments[0]
+        assert seg["a"] == ["fconst", "nan"]
+        assert seg["b"] == ["fconst", "-inf"]
+        # And the program still builds and runs.
+        SwitchInterpreter(build_program(again)).run()
+
+
+class TestValidity:
+    """Verifier-valid by construction, over many seeds."""
+
+    @pytest.mark.parametrize("seed", range(60))
+    def test_generated_programs_verify_and_run(self, seed):
+        spec = generate(seed)
+        program = build_program(spec)     # link + verify (raises on bad)
+        interp = SwitchInterpreter(program, max_instructions=5_000_000)
+        interp.run()                      # either returns or raises VM-
+        assert interp.result is not None  # level; entry returns an int
+
+    def test_every_segment_kind_is_exercised(self):
+        seen = set()
+        for seed in range(80):
+            for body in iter_bodies(generate(seed)):
+                for seg in body:
+                    seen.add(seg["kind"])
+        # The grammar's staple kinds must all appear across seeds.
+        for kind in ("iarith", "farith", "loop", "switch", "trycatch",
+                     "call", "virtual", "array", "static", "stackmix",
+                     "native", "iinc"):
+            assert kind in seen, f"generator never emitted {kind!r}"
+
+
+class TestBudget:
+    def test_cost_model_bounds_execution(self):
+        for seed in range(25):
+            spec = generate(seed, budget=20_000)
+            bound = spec_cost(spec)
+            interp = SwitchInterpreter(build_program(spec),
+                                       max_instructions=10_000_000)
+            interp.run()
+            assert interp.instr_count <= bound
+
+    def test_smaller_budget_smaller_programs(self):
+        for seed in range(10):
+            small = spec_cost(generate(seed, budget=2_000))
+            assert small <= 2_000 or small <= spec_cost(
+                generate(seed, budget=50_000))
+
+
+class TestSurgery:
+    def test_drop_method_repoints_calls(self):
+        spec = ProgramSpec(methods=[
+            MethodSpec(params=1, ints=1, segments=[
+                {"kind": "call", "target": 1, "args": [["local", 0]],
+                 "dst": 0},
+                {"kind": "call", "target": 2, "args": [], "dst": 0}]),
+            MethodSpec(params=1, ints=1, segments=[{"kind": "iinc"}]),
+            MethodSpec(params=0, ints=1, segments=[{"kind": "iinc"}]),
+        ])
+        out = drop_method(spec, 1)
+        assert len(out.methods) == 2
+        calls = [seg for seg in out.methods[0].segments
+                 if seg["kind"] == "call"]
+        assert [c["target"] for c in calls] == [1]
+        build_program(out)      # still valid
+
+    def test_drop_last_method_refused(self):
+        spec = ProgramSpec(methods=[MethodSpec(segments=[])])
+        assert drop_method(spec, 0) is None
+
+    def test_clone_is_independent(self):
+        spec = generate(3)
+        twin = clone_spec(spec)
+        next(iter_bodies(twin)).append({"kind": "iinc"})
+        assert spec_to_json(spec) != spec_to_json(twin)
+
+    def test_mutated_specs_still_build(self):
+        # The emitter's defensive clamping: arbitrary slot butchery
+        # must still produce verifier-valid programs.
+        spec = generate(11)
+        for body in iter_bodies(spec):
+            for seg in body:
+                for key in ("dst", "local", "counter"):
+                    if key in seg:
+                        seg[key] = 997
+        build_program(spec)

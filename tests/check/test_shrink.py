@@ -1,0 +1,100 @@
+"""Shrinking and the corpus format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check import generate, instruction_count, shrink
+from repro.check.genprog import (MethodSpec, ProgramSpec, build_program,
+                                 spec_to_json)
+from repro.check.shrink import (CORPUS_SCHEMA, corpus_files,
+                                load_reproducer, save_reproducer)
+
+
+class TestShrink:
+    def test_requires_a_diverging_input(self):
+        with pytest.raises(ValueError, match="does not diverge"):
+            shrink(generate(0), lambda spec: False)
+
+    def test_shrinks_toward_predicate_core(self):
+        # The "bug" reproduces whenever any trycatch segment survives;
+        # everything else is noise the shrinker must strip.
+        def has_trycatch(spec):
+            from repro.check.genprog import iter_bodies
+            return any(seg.get("kind") == "trycatch"
+                       for body in iter_bodies(spec) for seg in body)
+
+        seed = next(s for s in range(50) if has_trycatch(generate(s)))
+        spec = generate(seed)
+        small = shrink(spec, has_trycatch)
+        assert has_trycatch(small)
+        assert instruction_count(small) < instruction_count(spec)
+        assert len(small.methods) == 1
+        # Nothing but the reproducing segment (and maybe its body).
+        assert sum(len(m.segments) for m in small.methods) == 1
+
+    def test_never_grows(self):
+        spec = generate(5)
+        size = instruction_count(spec)
+        small = shrink(spec, lambda s: True, max_checks=150)
+        assert instruction_count(small) <= size
+
+    def test_result_still_builds(self):
+        spec = generate(8)
+        small = shrink(spec, lambda s: True, max_checks=100)
+        build_program(small)
+
+    def test_respects_check_budget(self):
+        calls = []
+
+        def checker(spec):
+            calls.append(1)
+            return True
+
+        shrink(generate(4), checker, max_checks=25)
+        # +1: the initial does-it-diverge probe is outside the budget.
+        assert len(calls) <= 26
+
+    def test_input_not_mutated(self):
+        spec = generate(6)
+        before = spec_to_json(spec)
+        shrink(spec, lambda s: True, max_checks=60)
+        assert spec_to_json(spec) == before
+
+
+class TestCorpusIO:
+    def test_round_trip(self, tmp_path):
+        spec = generate(9)
+        path = tmp_path / "repro.json"
+        save_reproducer(path, spec, note="a test entry",
+                        divergences=["[py] value: 1 != 2"])
+        loaded, document = load_reproducer(path)
+        assert spec_to_json(loaded) == spec_to_json(spec)
+        assert document["schema"] == CORPUS_SCHEMA
+        assert document["note"] == "a test entry"
+        assert document["divergences"] == ["[py] value: 1 != 2"]
+        assert document["seed"] == 9
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "spec": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_reproducer(path)
+
+    def test_corpus_files_sorted_json_only(self, tmp_path):
+        for name in ("b.json", "a.json", "notes.txt"):
+            (tmp_path / name).write_text("{}")
+        files = corpus_files(tmp_path)
+        assert [f.rsplit("/", 1)[-1] for f in files] == \
+            ["a.json", "b.json"]
+        assert corpus_files(tmp_path / "missing") == []
+
+    def test_minimal_spec_document_is_small(self, tmp_path):
+        spec = ProgramSpec(seed=1, reps=5, entry_catches=False,
+                           methods=[MethodSpec(params=1, ints=1,
+                                               floats=0, segments=[])])
+        path = tmp_path / "tiny.json"
+        save_reproducer(path, spec)
+        assert path.stat().st_size < 800

@@ -86,6 +86,39 @@ class TestFloats:
             "float a = 1.0; float z = 0.0; float inf = a / z; "
             "if (inf > 1000000.0) { return 1; } return 0;")) == 1
 
+    @pytest.mark.parametrize("a,b,expected", [
+        # Regression (found by repro fuzz, corpus fdiv_nan_zero.json):
+        # the switch interpreter's inline FDIV turned NaN/0.0 into -inf
+        # instead of NaN; F2I makes each special observable as an int.
+        (float("nan"), 0.0, 0),            # NaN -> f2i -> 0
+        (0.0, 0.0, 0),                     # 0/0 is NaN
+        (1.0, 0.0, 2147483647),            # +inf saturates
+        (1.0, -0.0, -2147483648),          # sign of zero matters
+        (-2.5, 0.0, -2147483648),
+        (6.0, 1.5, 4),
+    ])
+    def test_fdiv_specials_both_interpreters(self, a, b, expected):
+        def build(asm):
+            asm.emit(Op.FCONST, a)
+            asm.emit(Op.FCONST, b)
+            asm.emit(Op.FDIV)
+            asm.emit(Op.F2I)
+        assert eval_int_expr(build) == expected
+
+    def test_fdiv_nan_stays_nan_on_switch(self):
+        # Directly on the switch interpreter: NaN/0.0 must compare
+        # unordered (FCMPL pushes -1), not collapse to an infinity.
+        def build(asm):
+            asm.emit(Op.FCONST, float("nan"))
+            asm.emit(Op.FCONST, 0.0)
+            asm.emit(Op.FDIV)
+            asm.emit(Op.FCONST, float("-inf"))
+            asm.emit(Op.FCMPL)
+            asm.emit(Op.IRETURN)
+        program = assemble_main(build)
+        interp = SwitchInterpreter(program).run()
+        assert interp.result == -1
+
     def test_i2f_f2i_roundtrip(self):
         def build(asm):
             asm.emit(Op.ICONST, 41)

@@ -162,6 +162,13 @@ class TestJavaFdiv:
         assert java_fdiv(2.5, 0.0) == float("inf")
         assert java_fdiv(-2.5, 0.0) == float("-inf")
 
+    def test_negative_zero_divisor_flips_sign(self):
+        # Regression: the infinity's sign is the XOR of the operand
+        # signs, so Java gives 1.0 / -0.0 == -inf.
+        assert java_fdiv(1.0, -0.0) == float("-inf")
+        assert java_fdiv(-1.0, -0.0) == float("inf")
+        assert math.isnan(java_fdiv(-0.0, -0.0))
+
     @given(st.floats(allow_nan=False, allow_infinity=False),
            st.floats(allow_nan=False, allow_infinity=False))
     def test_matches_python_for_nonzero_divisors(self, a, b):

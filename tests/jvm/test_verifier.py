@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.jvm import (Assembler, ClassDef, MethodDef, Op, VerifyError,
-                       link, verify_program)
+from repro.jvm import (Assembler, AssemblerError, ClassDef,
+                       ExceptionEntry, MethodDef, Op, VerifyError, link,
+                       verify_program)
 from repro.jvm.bytecode import Instruction
 
 
@@ -157,6 +158,69 @@ class TestCalls:
                      Instruction(Op.INVOKESTATIC, ("Sys", "abs")),
                      Instruction(Op.POP),
                      Instruction(Op.RETURN)])
+
+
+class TestNegativePrograms:
+    """Malformed shapes the fuzz generator must never emit — pinned
+    here so the verifier keeps rejecting them."""
+
+    def test_fall_off_end_rejected(self):
+        # The linker's block splitter catches this shape first.
+        with pytest.raises(VerifyError, match="fall off the end"):
+            verify_code([Instruction(Op.ICONST, 1),
+                         Instruction(Op.POP)])
+
+    def test_deep_underflow_in_branchy_code_rejected(self):
+        asm = Assembler()
+        skip = asm.new_label()
+        asm.emit(Op.ICONST, 1)
+        asm.branch(Op.IFEQ, skip)
+        asm.emit(Op.ICONST, 2)
+        asm.emit(Op.POP)
+        asm.bind(skip)
+        asm.emit(Op.IADD)       # depth 0 on every path in
+        asm.emit(Op.RETURN)
+        with pytest.raises(VerifyError, match="pops"):
+            verify_code(asm.finish())
+
+    def test_switch_arm_target_out_of_range_rejected(self):
+        with pytest.raises(VerifyError, match="out of range"):
+            verify_code([Instruction(Op.ICONST, 0),
+                         Instruction(Op.TABLESWITCH, (0, 2), (99,)),
+                         Instruction(Op.RETURN)])
+
+    def test_switch_default_target_out_of_range_rejected(self):
+        with pytest.raises(VerifyError, match="out of range"):
+            verify_code([Instruction(Op.ICONST, 0),
+                         Instruction(Op.TABLESWITCH, (0, -1), (2,)),
+                         Instruction(Op.RETURN)])
+
+    def test_bad_exception_range_rejected(self):
+        with pytest.raises(VerifyError, match="bad exception range"):
+            verify_code([Instruction(Op.NOP),
+                         Instruction(Op.RETURN)],
+                        exceptions=[ExceptionEntry(start=0, end=7,
+                                                   handler=1)])
+
+    def test_inverted_exception_range_rejected(self):
+        with pytest.raises(VerifyError, match="bad exception range"):
+            verify_code([Instruction(Op.NOP),
+                         Instruction(Op.NOP),
+                         Instruction(Op.RETURN)],
+                        exceptions=[ExceptionEntry(start=2, end=1,
+                                                   handler=2)])
+
+    def test_unclosed_try_region_rejected_by_assembler(self):
+        asm = Assembler()
+        handler = asm.new_label()
+        asm.begin_try(handler)  # never end_try'd
+        asm.emit(Op.RETURN)
+        asm.bind(handler)
+        asm.emit(Op.POP)
+        asm.emit(Op.RETURN)
+        asm.finish()
+        with pytest.raises(AssemblerError, match="unterminated"):
+            asm.exception_table()
 
 
 class TestHandlers:

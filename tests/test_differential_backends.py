@@ -1,10 +1,12 @@
-"""Three-way differential suite: threaded vs IR executor vs codegen.
+"""Differential suite for compiler-visible programs.
 
-Every check runs the same program under (a) the plain threaded
-interpreter, (b) trace dispatch with the IR executor, and (c) trace
-dispatch with the template-compiled Python backend, and requires all
-three to agree on result, output, and executed-instruction count —
-the strongest equivalence the backends promise.
+Every check feeds a mini-Java program through
+:func:`repro.check.assert_equivalent`, which runs the switch
+interpreter (reference), the threaded interpreter, and the trace
+controller under all :data:`~repro.check.differential.DIFF_PROFILES` —
+including the ``optimize_traces=False`` profiles (``plain``/``chop``)
+and both compiled backends (``ir``/``py``) — and requires agreement on
+outcome, value, output, instruction count, and the statics snapshot.
 """
 
 from __future__ import annotations
@@ -13,46 +15,40 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TraceCacheConfig, run_traced
-from repro.jvm import ThreadedInterpreter
+from repro.check import assert_equivalent
+from repro.check.differential import DIFF_PROFILES, run_differential
 from repro.lang import compile_source
 from repro.workloads import WORKLOAD_NAMES, load_workload
 from tests.conftest import int_main
 from tests.test_integration import _branchy_program
 
-AGGRESSIVE = dict(start_state_delay=4, decay_period=16)
 
-
-def _config(backend: str) -> TraceCacheConfig:
-    return TraceCacheConfig(optimize_traces=True,
-                            compile_backend=backend,
-                            compile_threshold=1, **AGGRESSIVE)
-
-
-def assert_three_way(program, context=""):
-    """Run all three modes; assert exact agreement; return the py run."""
-    ref = ThreadedInterpreter(program).run()
-    ir = run_traced(program, _config("ir"))
-    py = run_traced(program, _config("py"))
-    for label, run in (("ir", ir), ("py", py)):
-        assert run.value == ref.result, (label, context)
-        assert run.output == ref.output, (label, context)
-        assert run.stats.instr_total == ref.instr_count, (label, context)
-    return py
+class TestProfileCoverage:
+    def test_profiles_span_the_backend_matrix(self):
+        """The default profile set must keep exercising unoptimized
+        trace dispatch alongside both compile backends."""
+        unoptimized = [n for n, c in DIFF_PROFILES.items()
+                       if not c.optimize_traces]
+        backends = {c.compile_backend for c in DIFF_PROFILES.values()
+                    if c.optimize_traces}
+        assert len(unoptimized) >= 2
+        assert backends == {"ir", "py"}
 
 
 class TestWorkloads:
     @pytest.mark.parametrize("name", WORKLOAD_NAMES)
-    def test_all_backends_agree(self, name):
-        py = assert_three_way(load_workload(name, "tiny"), name)
-        # Threshold 1 means every flattened trace was fed to codegen.
+    def test_all_engines_agree(self, name):
+        report = assert_equivalent(load_workload(name, "tiny"))
+        # compile_threshold=1 means every flattened trace was fed to
+        # codegen in the py profile.
+        py = report.results["py"]
         assert py.stats.codegen_traces_compiled > 0, name
         assert py.stats.codegen_uncompilable == 0, name
 
 
 class TestControlFlowShapes:
     def test_calls_and_returns(self):
-        assert_three_way(compile_source("""
+        assert_equivalent(compile_source("""
             class Main {
                 static int add3(int a, int b, int c) {
                     return a + b + c;
@@ -68,7 +64,7 @@ class TestControlFlowShapes:
         """))
 
     def test_virtual_calls_with_guard_failures(self):
-        assert_three_way(compile_source("""
+        assert_equivalent(compile_source("""
             class A { int f(int x) { return x + 1; } }
             class B extends A { int f(int x) { return x * 2; } }
             class Main {
@@ -86,24 +82,8 @@ class TestControlFlowShapes:
             }
         """))
 
-    def test_exceptions_inside_traces(self):
-        assert_three_way(compile_source("""
-            class Main {
-                static int main() {
-                    int total = 0;
-                    for (int i = 0; i < 4000; i = i + 1) {
-                        try {
-                            if (i % 89 == 0) { throw new Exception(); }
-                            total = total + 1;
-                        } catch (Exception e) { total = total + 50; }
-                    }
-                    return total;
-                }
-            }
-        """))
-
     def test_natives_in_hot_loop(self):
-        assert_three_way(compile_source(int_main(
+        assert_equivalent(compile_source(int_main(
             "int s = 0;"
             "for (int i = 0; i < 3000; i = i + 1) {"
             "  s = (s + Sys.max(i, s % 97) + Sys.abs(s - i)) & 65535;"
@@ -114,7 +94,7 @@ class TestControlFlowShapes:
     def test_fdiv_nan_semantics(self):
         # Regression for the NaN/0.0 bug, driven through hot traces so
         # both backends execute the generated/IR FDIV path.
-        assert_three_way(compile_source("""
+        assert_equivalent(compile_source("""
             class Main {
                 static int main() {
                     float nan = 0.0 / 0.0;
@@ -131,6 +111,61 @@ class TestControlFlowShapes:
         """))
 
 
+class TestExceptionCarryingPrograms:
+    def test_exceptions_caught_inside_traces(self):
+        assert_equivalent(compile_source("""
+            class Main {
+                static int main() {
+                    int total = 0;
+                    for (int i = 0; i < 4000; i = i + 1) {
+                        try {
+                            if (i % 89 == 0) { throw new Exception(); }
+                            total = total + 1;
+                        } catch (Exception e) { total = total + 50; }
+                    }
+                    return total;
+                }
+            }
+        """))
+
+    def test_exceptions_unwinding_through_calls(self):
+        assert_equivalent(compile_source("""
+            class Main {
+                static int risky(int i) {
+                    if (i % 113 == 0) { throw new Exception(); }
+                    return i * 3;
+                }
+                static int main() {
+                    int total = 0;
+                    for (int i = 1; i < 4000; i = i + 1) {
+                        try {
+                            total = (total + risky(i)) & 65535;
+                        } catch (Exception e) { total = total + 7; }
+                    }
+                    return total;
+                }
+            }
+        """))
+
+    def test_uncaught_exception_after_hot_loop(self):
+        """All engines must agree on the uncaught outcome (and its
+        class), plus the statics mutated before the throw."""
+        report = run_differential(compile_source("""
+            class Main {
+                static int g;
+                static int main() {
+                    for (int i = 0; i < 3000; i = i + 1) {
+                        g = (g + i) & 65535;
+                    }
+                    throw new Exception();
+                }
+            }
+        """))
+        assert report.ok, report.describe()
+        assert report.results["switch"].outcome == "uncaught:Exception"
+        assert report.results["switch"].statics
+
+
 class TestGeneratedPrograms:
     @given(st.tuples(st.integers(1, 50), st.integers(1, 50),
                      st.integers(1, 50)),
@@ -138,6 +173,7 @@ class TestGeneratedPrograms:
            st.integers(min_value=2, max_value=7))
     @settings(max_examples=15, deadline=None)
     def test_branchy_programs(self, seeds, loops, mod):
-        assert_three_way(
-            compile_source(_branchy_program(seeds, loops, mod)),
-            f"seeds={seeds} loops={loops} mod={mod}")
+        report = run_differential(
+            compile_source(_branchy_program(seeds, loops, mod)))
+        assert report.ok, (f"seeds={seeds} loops={loops} mod={mod}\n"
+                           + report.describe())
