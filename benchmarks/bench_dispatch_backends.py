@@ -1,96 +1,79 @@
 """Wall-clock comparison of the two optimized-trace executors.
 
-Runs the three hottest (most trace-dominated) workloads under trace
-dispatch with the IR-interpreting backend (``compile_backend="ir"``)
-and the template-compiling backend (``"py"``), best of three runs
-each, asserting exact result/instruction agreement along the way.
-
-Results land in ``BENCH_dispatch_backends.json`` at the repo root so
-CI and later sessions can diff the speedups.  At the default ``small``
-size the py backend must clear 1.5x on every measured workload; the
-``tiny`` smoke size skips the speedup floor (codegen barely amortizes
+Thin pytest shim over the ``repro.perf`` registry's ``dispatch``
+group: the measurement loop (warmup, min-of-k repetitions, per-phase
+timers, fingerprinting) lives in :mod:`repro.perf.runner`; this file
+just runs the group, persists the schema-versioned report, and asserts
+the PR-1 contract — exact instruction agreement between backends and
+the template-compiled backend clearing its speedup floor.  The
+``tiny`` smoke tier skips the speedup floor (codegen barely amortizes
 on runs that short).
+
+The committed ``BENCH_dispatch_backends.json`` at the repo root
+documents the ``small`` tier; runs at any other tier save their report
+under ``benchmarks/results/`` (gitignored) so a smoke run cannot
+silently replace the committed baseline with tiny-tier numbers.
 """
 
 from __future__ import annotations
 
-import json
-import platform
-import time
+import statistics
+from datetime import datetime, timezone
 from pathlib import Path
 
-from repro.core import TraceCacheConfig, TraceController
 from repro.metrics.report import Table
-from repro.workloads import load_workload
+from repro.perf import (RunnerOptions, report_from_results, run_cases,
+                        select)
 
-RESULT_PATH = Path(__file__).parent.parent / "BENCH_dispatch_backends.json"
-HOT_WORKLOADS = ("compressx", "raytracex", "scimarkx")
+REPO_ROOT = Path(__file__).parent.parent
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_TIER = "small"
 SPEEDUP_FLOOR = 1.5
-ROUNDS = 3
+OPTIONS = RunnerOptions(warmup=1, repetitions=3, inner=3)
 
 
-def best_of(program, backend: str):
-    """Fastest of ROUNDS fresh runs; returns (seconds, RunResult)."""
-    best_s, best_r = float("inf"), None
-    for _ in range(ROUNDS):
-        controller = TraceController(
-            program,
-            TraceCacheConfig(optimize_traces=True,
-                             compile_backend=backend))
-        started = time.perf_counter()
-        result = controller.run()
-        elapsed = time.perf_counter() - started
-        if elapsed < best_s:
-            best_s, best_r = elapsed, result
-    return best_s, best_r
+def test_dispatch_backends(benchmark, tier, record_table):
+    cases = select(["dispatch"])
+    results = benchmark.pedantic(
+        lambda: run_cases(cases, tier, OPTIONS),
+        rounds=1, iterations=1)
+    report = report_from_results(
+        "dispatch_backends", tier, results, options=OPTIONS,
+        created=datetime.now(timezone.utc)
+        .isoformat(timespec="seconds"))
+    if tier == BASELINE_TIER:
+        report.save(REPO_ROOT / "BENCH_dispatch_backends.json")
+    else:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        report.save(RESULTS_DIR
+                    / f"BENCH_dispatch_backends.{tier}.json")
 
-
-def measure(size: str) -> dict:
-    rows = {}
-    for name in HOT_WORKLOADS:
-        program = load_workload(name, size)
-        ir_s, ir = best_of(program, "ir")
-        py_s, py = best_of(program, "py")
-        assert py.value == ir.value, name
-        assert py.output == ir.output, name
-        assert py.stats.instr_total == ir.stats.instr_total, name
-        rows[name] = {
-            "ir_seconds": round(ir_s, 4),
-            "py_seconds": round(py_s, 4),
-            "speedup": round(ir_s / py_s, 2),
-            "instructions": ir.stats.instr_total,
-            "traces_compiled": py.stats.codegen_traces_compiled,
-            "code_cache_hits": py.stats.codegen_cache_hits,
-            "source_bytes": py.stats.codegen_source_bytes,
-            "compile_seconds": round(py.stats.codegen_compile_seconds, 4),
-            "side_exits": py.stats.codegen_side_exits,
-        }
-    return {
-        "size": size,
-        "rounds": ROUNDS,
-        "python": platform.python_version(),
-        "workloads": rows,
-    }
-
-
-def test_dispatch_backends(benchmark, size, record_table):
-    payload = benchmark.pedantic(lambda: measure(size),
-                                 rounds=1, iterations=1)
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    by_id = {result.case_id: result for result in results}
+    workloads = sorted({result.case.workload for result in results})
 
     table = Table(
-        f"Trace-dispatch backends, ir vs py ({size})",
+        f"Trace-dispatch backends, ir vs py ({tier})",
         ["workload", "ir (s)", "py (s)", "speedup", "traces",
          "shared shapes", "side exits"],
         formats=["", ".3f", ".3f", ".2f", "", "", ""])
-    for name, row in payload["workloads"].items():
-        table.add_row(name, row["ir_seconds"], row["py_seconds"],
-                      row["speedup"], row["traces_compiled"],
-                      row["code_cache_hits"], row["side_exits"])
-    record_table("dispatch_backends", table)
+    for name in workloads:
+        ir = by_id[f"dispatch.{name}.ir"]
+        py = by_id[f"dispatch.{name}.py"]
 
-    for name, row in payload["workloads"].items():
-        assert row["traces_compiled"] > 0, name
-        if size != "tiny":
-            assert row["speedup"] >= SPEEDUP_FLOOR, \
-                f"{name}: {row['speedup']}x < {SPEEDUP_FLOOR}x"
+        # The two backends must execute the same program the same way.
+        assert ir.meta["result"] == py.meta["result"], name
+        assert ir.samples["instructions"] == \
+            py.samples["instructions"], name
+        assert py.meta["traces_compiled"] > 0, name
+
+        ir_s = statistics.median(ir.samples["seconds"])
+        py_s = statistics.median(py.samples["seconds"])
+        speedup = ir_s / py_s
+        table.add_row(name, ir_s, py_s, speedup,
+                      py.meta["traces_compiled"],
+                      py.meta["code_cache_hits"],
+                      py.meta["side_exits"])
+        if tier != "tiny":
+            assert speedup >= SPEEDUP_FLOOR, \
+                f"{name}: {speedup:.2f}x < {SPEEDUP_FLOOR}x"
+    record_table("dispatch_backends", table)

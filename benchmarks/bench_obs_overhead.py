@@ -1,95 +1,67 @@
 """Observability overhead: disabled must be free, enabled must be cheap.
 
-Runs the most trace-dominated workload three ways, best of three runs
-each:
+Thin pytest shim over the ``repro.perf`` registry's ``obs`` group,
+which runs the most trace-dominated workload three ways:
 
 - ``off``      — no Observability at all (the default embedding);
 - ``unwatched``— a wired bus with no subscribers (every emit takes the
   suppressed fast path);
-- ``full``     — recorder + JSONL stream + Chrome trace + periodic
-  snapshots, i.e. the whole stack a debugging session would attach.
+- ``full``     — recorder + periodic snapshots, the stack a debugging
+  session attaches.
 
-The acceptance bars: a subscriber-free bus stays within noise of
-fully-off (the instrumentation is ``is None`` tests and suppressed
-emits on cold branches; measured ~1.0x, asserted < 1.25x to absorb
-shared-runner jitter), and even the full stack stays under 1.5x —
-events are O(signals), not O(dispatches).  The ``tiny`` smoke size
-checks wiring only; timing ratios on sub-100ms runs are noise.
+Acceptance bars (asserted at non-tiny tiers; the ``tiny`` smoke tier
+checks wiring only, timing ratios on sub-100ms runs are noise): a
+subscriber-free bus stays within noise of fully-off, and the full
+stack stays cheap — events are O(signals), not O(dispatches).
 """
 
 from __future__ import annotations
 
-import time
+import statistics
 
-from repro import VM, Observability, TraceCacheConfig
 from repro.metrics.report import Table
-from repro.workloads import load_workload
+from repro.perf import RunnerOptions, run_cases, select
 
-WORKLOAD = "compressx"
-ROUNDS = 3
 UNWATCHED_CEILING = 1.25
 FULL_CEILING = 1.5
+OPTIONS = RunnerOptions(warmup=1, repetitions=3, inner=3)
 
 
-def _config() -> TraceCacheConfig:
-    return TraceCacheConfig(optimize_traces=True, compile_backend="py")
+def test_obs_overhead(benchmark, tier, record_table):
+    cases = select(["obs"])
+    results = benchmark.pedantic(
+        lambda: run_cases(cases, tier, OPTIONS),
+        rounds=1, iterations=1)
+    by_variant = {result.case.variant: result for result in results}
+    off = by_variant["off"]
+    unwatched = by_variant["unwatched"]
+    full = by_variant["full"]
 
-
-def best_of(program, obs_factory):
-    best_s, best_r, best_o = float("inf"), None, None
-    for _ in range(ROUNDS):
-        obs = obs_factory()
-        vm = VM(program, config=_config(), obs=obs)
-        started = time.perf_counter()
-        result = vm.run()
-        elapsed = time.perf_counter() - started
-        vm.close()
-        if elapsed < best_s:
-            best_s, best_r, best_o = elapsed, result, obs
-    return best_s, best_r, best_o
-
-
-def test_obs_overhead(benchmark, size, record_table, tmp_path):
-    program = load_workload(WORKLOAD, size)
-
-    def full_obs():
-        return Observability(
-            events_path=str(tmp_path / "events.jsonl"),
-            chrome_trace_path=str(tmp_path / "trace.json"),
-            snapshot_every=10_000)
-
-    def measure():
-        off_s, off_r, _ = best_of(program, lambda: None)
-        un_s, un_r, un_o = best_of(program, lambda: Observability(
-            history=0))
-        full_s, full_r, full_o = best_of(program, full_obs)
-        return (off_s, off_r), (un_s, un_r, un_o), (full_s, full_r,
-                                                    full_o)
-
-    (off_s, off_r), (un_s, un_r, un_o), (full_s, full_r, full_o) = \
-        benchmark.pedantic(measure, rounds=1, iterations=1)
-
-    assert un_r.value == off_r.value == full_r.value
-    assert un_r.stats.instr_total == off_r.stats.instr_total \
-        == full_r.stats.instr_total
-
+    # Same execution whichever observability mode is attached.
+    assert off.meta["instructions"] == \
+        unwatched.meta["instructions"] == full.meta["instructions"]
     # The unwatched bus suppressed everything; the full stack recorded.
-    assert un_o.bus.emitted == 0 and un_o.bus.suppressed > 0
-    assert full_o.bus.emitted > 0
-    assert (tmp_path / "trace.json").exists()
+    assert unwatched.meta["events_emitted"] == 0
+    assert unwatched.meta["events_suppressed"] > 0
+    assert full.meta["events_emitted"] > 0
+    assert full.meta["snapshots"] > 0
+
+    off_s = statistics.median(off.samples["seconds"])
+    un_s = statistics.median(unwatched.samples["seconds"])
+    full_s = statistics.median(full.samples["seconds"])
 
     table = Table(
-        f"Observability overhead on {WORKLOAD} ({size})",
+        f"Observability overhead on compressx ({tier})",
         ["configuration", "seconds", "vs off", "events"],
         formats=["", ".3f", ".2f", ""])
     table.add_row("off (default)", off_s, 1.0, 0)
     table.add_row("bus, unwatched", un_s, un_s / off_s,
-                  un_o.bus.suppressed)
+                  unwatched.meta["events_suppressed"])
     table.add_row("full stack", full_s, full_s / off_s,
-                  full_o.bus.emitted)
+                  full.meta["events_emitted"])
     record_table("obs_overhead", table)
 
-    if size != "tiny":
+    if tier != "tiny":
         assert un_s / off_s < UNWATCHED_CEILING, \
             f"unwatched bus {un_s / off_s:.2f}x >= {UNWATCHED_CEILING}x"
         assert full_s / off_s < FULL_CEILING, \

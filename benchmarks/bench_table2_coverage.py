@@ -10,7 +10,7 @@ from __future__ import annotations
 from repro.harness import (PAPER_TABLE2, THRESHOLDS, paper_table, table2)
 
 
-def test_regenerate_table2(benchmark, matrix, record_table):
+def test_regenerate_table2(benchmark, tier, matrix, record_table):
     table = benchmark.pedantic(
         lambda: table2(matrix, THRESHOLDS), rounds=1, iterations=1)
     record_table("table2_coverage", table,
@@ -19,8 +19,6 @@ def test_regenerate_table2(benchmark, matrix, record_table):
 
     rows = table.row_map()
     averages = {label: row[-1] for label, row in rows.items()}
-    # Headline: high coverage at the paper's chosen threshold.
-    assert averages["97%"] > 0.75
     # 100% threshold must not beat the 97% threshold.
     assert averages["100%"] <= averages["97%"] + 0.02
 
@@ -28,6 +26,10 @@ def test_regenerate_table2(benchmark, matrix, record_table):
     by_bench = dict(zip(table.headers[1:], row97[1:]))
     best = max(by_bench, key=by_bench.get)
     assert by_bench["scimarkx"] >= by_bench[best] - 0.05
-    for name, coverage in by_bench.items():
-        if name != "average":
-            assert coverage > 0.5, name
+    if tier != "tiny":
+        # Absolute coverage bars need enough run length for the
+        # steady state to dominate warm-up discovery.
+        assert averages["97%"] > 0.75
+        for name, coverage in by_bench.items():
+            if name != "average":
+                assert coverage > 0.5, name

@@ -1,45 +1,47 @@
 """Table VII: predicted overhead of the trace-dispatching model.
 
-As in the paper, the measured per-dispatch profiling cost (Table VI) is
-multiplied by the number of dispatches the trace model actually makes.
-Shape assertions: trace dispatch eliminates most dispatches, so the
-modeled overhead fraction is far below the per-block profiling
+Thin pytest shim over the ``repro.perf`` registry's ``table7`` group.
+As in the paper, the measured per-dispatch profiling cost (Table VI)
+is multiplied by the number of dispatches the trace model actually
+makes.  Shape assertion: trace dispatch eliminates most dispatches, so
+the modeled overhead fraction lands far below the per-block profiling
 fraction — the paper's bottom line (28.6% -> 1.7-6.8%).
+
+The fully rendered table stays available through ``repro table 7``.
 """
 
 from __future__ import annotations
 
-from repro.harness import table7
-from repro.harness.tables import PAPER_TABLE7
+import statistics
+
 from repro.metrics.report import Table
+from repro.perf import RunnerOptions, run_cases, select
+
+OPTIONS = RunnerOptions(warmup=0, repetitions=3)
 
 
-def _paper_reference() -> Table:
-    table = Table("Paper Table VII (reference)",
-                  ["benchmark", "trace dispatches (M)",
-                   "overhead per 1e6 disp (s)", "expected overhead (s)",
-                   "% overhead"],
-                  formats=["", ".0f", ".3f", ".2f", ".1%"])
-    for name, (disp, per_m, expected, pct) in PAPER_TABLE7.items():
-        table.add_row(name, disp, per_m, expected, pct)
-    return table
+def test_regenerate_table7(benchmark, tier, record_table):
+    cases = select(["table7"])
+    results = benchmark.pedantic(
+        lambda: run_cases(cases, tier, OPTIONS),
+        rounds=1, iterations=1)
 
-
-def test_regenerate_table7(benchmark, matrix, size, record_table):
-    table = benchmark.pedantic(
-        lambda: table7(matrix, size, repeats=3), rounds=1, iterations=1)
-    record_table("table7_trace_overhead", table, _paper_reference())
-
-    for row in table.rows:
-        name = row[0]
-        percent = row[4]
-        assert percent >= 0.0, name
-
-    # The key reduction claim: compare the trace-model overhead against
-    # the per-block profiled overhead for the same workloads.
-    from repro.harness import measure_profiler_overhead
-    for row in table.rows:
-        name, _disp, _per_m, _expected, percent = row
-        sample = measure_profiler_overhead(name, size, repeats=2)
-        if sample.relative_overhead > 0.02:
-            assert percent < sample.relative_overhead, name
+    table = Table(
+        f"Table VII (trace model, registry-backed, {tier})",
+        ["workload", "trace dispatches (M)", "modeled overhead",
+         "profiled overhead"],
+        formats=["", ".3f", ".1%", ".1%"])
+    for result in results:
+        name = result.case.workload
+        fraction = statistics.median(
+            result.samples["overhead_fraction"])
+        profiled = result.meta["profiled_relative_overhead"]
+        table.add_row(name,
+                      result.meta["trace_model_dispatches"] / 1e6,
+                      fraction, profiled)
+        assert fraction >= 0.0, name
+        # The key reduction claim: trace-model overhead undercuts the
+        # per-block profiled overhead whenever the latter is visible.
+        if profiled > 0.02:
+            assert fraction < profiled, name
+    record_table("table7_trace_overhead", table)

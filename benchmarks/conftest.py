@@ -1,30 +1,46 @@
 """Shared fixtures for the paper-table benchmark suite.
 
-Benchmarks run at the ``small`` size preset by default; set
-``REPRO_BENCH_SIZE=paper`` for the larger runs (several times slower).
-Every regenerated table is printed to stdout and saved under
-``benchmarks/results/``.
+Benchmark sizing is owned by the perf subsystem's size tiers
+(:mod:`repro.perf.registry`): ``REPRO_BENCH_SIZE`` accepts ``tiny`` /
+``small`` / ``full`` (with ``paper`` kept as a legacy alias for
+``full``) and defaults to ``small``.  The ``tier`` fixture exposes the
+canonical tier for the registry-backed shims; ``size`` keeps exposing
+the workload-preset name the table harness consumes.
+
+Rendered tables are printed to stdout and archived as schema-versioned
+JSON under ``benchmarks/results/`` via :func:`repro.perf.save_tables`
+(the old free-form ``results/*.txt`` files drifted from the code that
+wrote them and are gone; the JSON archives are generated artifacts,
+not committed).
 """
 
 from __future__ import annotations
 
-import os
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
 
 from repro.harness import ExperimentMatrix
+from repro.perf import save_tables, size_from_env, workload_size
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def bench_size() -> str:
-    return os.environ.get("REPRO_BENCH_SIZE", "small")
+def bench_tier() -> str:
+    return size_from_env()
 
 
 @pytest.fixture(scope="session")
-def size() -> str:
-    return bench_size()
+def tier() -> str:
+    """Canonical perf size tier (tiny | small | full)."""
+    return bench_tier()
+
+
+@pytest.fixture(scope="session")
+def size(tier) -> str:
+    """Workload-preset name for the harness (full maps to paper)."""
+    return workload_size(tier)
 
 
 @pytest.fixture(scope="session")
@@ -35,11 +51,11 @@ def matrix(size) -> ExperimentMatrix:
 
 @pytest.fixture(scope="session")
 def record_table():
-    """Print a rendered table and persist it under benchmarks/results."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-
+    """Print rendered tables and archive them as versioned JSON."""
     def record(name: str, *tables) -> None:
-        text = "\n\n".join(t.render() for t in tables)
-        print("\n" + text)
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + "\n\n".join(t.render() for t in tables))
+        save_tables(
+            RESULTS_DIR / f"{name}.json", name, tables,
+            created=datetime.now(timezone.utc)
+            .isoformat(timespec="seconds"))
     return record

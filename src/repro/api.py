@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 
 from .core import RunResult, TraceCacheConfig, TraceController
 from .core.events import EventLog
@@ -113,6 +114,21 @@ class VM:
         """Execute the program entry to completion; returns RunResult."""
         self.result = self.controller.run()
         return self.result
+
+    def run_timed(self) -> "tuple[float, RunResult]":
+        """:meth:`run` bracketed by one monotonic clock read pair.
+
+        Returns ``(elapsed_seconds, result)``.  This is the timing
+        primitive the benchmark runner (:mod:`repro.perf.runner`) and
+        the benchmark shims share, so every harness measures the same
+        span: controller entry to controller exit, excluding program
+        compilation and VM construction.
+        """
+        started = time.perf_counter()
+        result = self.run()
+        elapsed = time.perf_counter() - started
+        result.stats.runtime_seconds = elapsed
+        return elapsed, result
 
     def _last(self) -> RunResult:
         if self.result is None:

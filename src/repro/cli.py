@@ -14,6 +14,12 @@ Commands:
 - ``fuzz``            — differential fuzzing: generate seeded bytecode
   programs, run every engine, shrink and report any divergence
   (non-zero exit), so CI can run a bounded smoke.
+- ``bench``           — the continuous-benchmarking harness
+  (``repro.perf``): ``bench list`` shows the registry, ``bench run``
+  measures and writes a schema-versioned ``BENCH_*.json`` report,
+  ``bench compare`` diffs two reports, and ``bench gate`` re-runs a
+  committed baseline's cases and exits non-zero when any tracked
+  metric regresses beyond its noise-aware threshold.
 
 The trace-cache flags (``--threshold``, ``--delay``, ``--optimize``,
 ``--backend``, ``--compile-threshold``) and the observability flags
@@ -34,8 +40,8 @@ import time
 from .api import VM, compile_program
 from .core import TraceCacheConfig
 from .harness import (ExperimentMatrix, figures_dispatch_models,
-                      run_baseline, run_experiment, table1, table2,
-                      table3, table4, table5, table6, table7)
+                      run_baseline, table1, table2, table3, table4,
+                      table5, table6, table7)
 from .jvm import (SwitchInterpreter, ThreadedInterpreter,
                   disassemble_program, program_summary)
 from .lang import CompileError
@@ -293,6 +299,134 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def _bench_options(args):
+    from .perf import RunnerOptions
+    return RunnerOptions(warmup=args.warmup, repetitions=args.reps,
+                         seed=args.seed, inner=args.inner)
+
+
+def _bench_now() -> str:
+    from datetime import datetime, timezone
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _bench_progress(case_id: str, index: int, total: int) -> None:
+    print(f"[{index + 1}/{total}] {case_id}", file=sys.stderr)
+
+
+def _bench_report_from_run(args, name: str, tier: str, cases):
+    from .perf import report_from_results, run_cases
+    results = run_cases(cases, tier, _bench_options(args),
+                        progress=_bench_progress)
+    return report_from_results(name, tier, results,
+                               options=_bench_options(args),
+                               created=_bench_now())
+
+
+def _print_run_summary(report) -> None:
+    from .metrics.report import Table
+    table = Table(
+        f"bench run: {report.name} ({report.tier})",
+        ["case", "metric", "median", "min", "max", "n"],
+        formats=["", "", ".4f", ".4f", ".4f", ""])
+    from .perf import summarize
+    for case_id in sorted(report.cases):
+        record = report.cases[case_id]
+        for metric_name in sorted(record.metrics):
+            metric_record = record.metrics[metric_name]
+            if not metric_record.metric.tracked:
+                continue
+            summary = summarize(metric_record.samples)
+            table.add_row(case_id, metric_name, summary.median,
+                          summary.minimum, summary.maximum, summary.n)
+    print(table.render())
+
+
+def cmd_bench_list(args) -> int:
+    from .perf import all_cases
+    for case in all_cases():
+        tracked = ", ".join(m.name for m in case.metrics if m.tracked)
+        print(f"{case.id:32} workload={case.workload or '-':12} "
+              f"profile={case.profile:6} tracked=[{tracked}]")
+    return 0
+
+
+def cmd_bench_run(args) -> int:
+    from .perf import BenchReport, canonical_tier, select
+    tier = canonical_tier(args.size)
+    cases = select(args.select or None)
+    name = args.name
+    if name is None and args.out:
+        stem = args.out.rsplit("/", 1)[-1]
+        if stem.startswith("BENCH_") and stem.endswith(".json"):
+            name = stem[len("BENCH_"):-len(".json")]
+    report = _bench_report_from_run(args, name or "run", tier, cases)
+    assert isinstance(report, BenchReport)
+    if args.out:
+        report.save(args.out)
+        print(f"report -> {args.out}", file=sys.stderr)
+    _print_run_summary(report)
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    from .perf import (BenchReport, compare_reports, to_markdown,
+                       to_text)
+    baseline = BenchReport.load(args.baseline)
+    current = BenchReport.load(args.current)
+    comparison = compare_reports(baseline, current, alpha=args.alpha,
+                                 min_time_delta=args.min_delta)
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(to_markdown(comparison))
+        print(f"markdown report -> {args.markdown}", file=sys.stderr)
+    print(to_text(comparison))
+    return 0 if comparison.ok else 1
+
+
+def cmd_bench_gate(args) -> int:
+    from .perf import (BenchReport, compare_reports, select,
+                       to_markdown, to_text)
+    baseline = BenchReport.load(args.baseline)
+    tier = args.size or baseline.tier
+    if args.select:
+        cases = select(args.select)
+        gated_ids = {case.id for case in cases}
+    else:
+        cases = baseline.registry_cases()
+        gated_ids = None
+        if not cases:
+            print(f"error: no case in {args.baseline} still exists "
+                  f"in the registry", file=sys.stderr)
+            return 2
+    current = _bench_report_from_run(args, "current", tier, cases)
+    if gated_ids is not None:
+        baseline.cases = {case_id: record for case_id, record
+                          in baseline.cases.items()
+                          if case_id in gated_ids}
+    comparison = compare_reports(baseline, current, alpha=args.alpha,
+                                 min_time_delta=args.min_delta)
+    if args.out:
+        current.save(args.out)
+        print(f"current report -> {args.out}", file=sys.stderr)
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(to_markdown(comparison))
+        print(f"markdown report -> {args.markdown}", file=sys.stderr)
+    print(to_text(comparison))
+    return 0 if comparison.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from .perf import StoreError
+    try:
+        return args.bench_func(args)
+    except (KeyError, StoreError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
 def _trace_flags() -> argparse.ArgumentParser:
     """Parent parser: trace-cache tunables, defined exactly once."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -388,6 +522,88 @@ def build_parser() -> argparse.ArgumentParser:
     baselines.add_argument("name", choices=WORKLOAD_NAMES)
     baselines.add_argument("--size", choices=SIZES, default="small")
     baselines.set_defaults(func=cmd_baselines)
+
+    bench = sub.add_parser(
+        "bench",
+        help="continuous benchmarking: run, compare, and gate")
+    bench.set_defaults(func=cmd_bench)
+    bench_sub = bench.add_subparsers(dest="bench_command",
+                                     required=True)
+
+    def _bench_rep_flags(parser) -> None:
+        parser.add_argument("--reps", type=int, default=5,
+                            help="measured repetitions per case "
+                                 "(registry may override per case)")
+        parser.add_argument("--warmup", type=int, default=1,
+                            help="discarded warmup repetitions")
+        parser.add_argument("--inner", type=int, default=3,
+                            help="min-of-k inner measurements per "
+                                 "repetition for time metrics")
+        parser.add_argument("--seed", type=int, default=0,
+                            help="base seed for deterministic "
+                                 "per-repetition reseeding")
+
+    def _bench_compare_flags(parser) -> None:
+        parser.add_argument("--alpha", type=float, default=0.05,
+                            help="Mann-Whitney significance level")
+        parser.add_argument("--min-delta", type=float, default=None,
+                            help="raise the relative-shift tolerance "
+                                 "floor for time metrics (e.g. 0.20 "
+                                 "on shared/cross-machine runners)")
+        parser.add_argument("--markdown", metavar="FILE",
+                            help="also write a markdown report")
+
+    bench_list = bench_sub.add_parser(
+        "list", help="show every registered benchmark case")
+    bench_list.set_defaults(bench_func=cmd_bench_list)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="measure cases and write a BENCH_*.json report")
+    bench_run.add_argument("--size", default="small",
+                           choices=("tiny", "small", "full", "paper"),
+                           help="size tier (paper = legacy alias "
+                                "for full)")
+    bench_run.add_argument("--select", action="append",
+                           metavar="PATTERN",
+                           help="group name or case-id glob "
+                                "(repeatable; default: everything)")
+    bench_run.add_argument("--out", metavar="FILE",
+                           help="write the schema-versioned report "
+                                "here")
+    bench_run.add_argument("--name",
+                           help="report name (default: derived from "
+                                "--out, else 'run')")
+    _bench_rep_flags(bench_run)
+    bench_run.set_defaults(bench_func=cmd_bench_run)
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="diff two reports; non-zero exit on regression")
+    bench_compare.add_argument("baseline")
+    bench_compare.add_argument("current")
+    _bench_compare_flags(bench_compare)
+    bench_compare.set_defaults(bench_func=cmd_bench_compare)
+
+    bench_gate = bench_sub.add_parser(
+        "gate",
+        help="re-run a baseline's cases and fail on regression")
+    bench_gate.add_argument("--baseline", required=True,
+                            metavar="FILE",
+                            help="committed BENCH_*.json to gate "
+                                 "against")
+    bench_gate.add_argument("--size", default=None,
+                            choices=("tiny", "small", "full",
+                                     "paper"),
+                            help="size tier (default: the "
+                                 "baseline's)")
+    bench_gate.add_argument("--select", action="append",
+                            metavar="PATTERN",
+                            help="gate only matching cases")
+    bench_gate.add_argument("--out", metavar="FILE",
+                            help="save the fresh measurement report")
+    _bench_rep_flags(bench_gate)
+    _bench_compare_flags(bench_gate)
+    bench_gate.set_defaults(bench_func=cmd_bench_gate)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across every engine")

@@ -14,7 +14,7 @@ from __future__ import annotations
 from ..metrics.report import Table
 from ..workloads import WORKLOAD_NAMES
 from .experiment import (ExperimentMatrix, measure_profiler_overhead,
-                         run_dispatch_models, run_experiment)
+                         run_dispatch_models)
 
 THRESHOLDS = (1.0, 0.99, 0.98, 0.97, 0.95)
 DELAYS = (1, 64, 4096)

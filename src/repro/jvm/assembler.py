@@ -19,7 +19,7 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .bytecode import (CONDITIONAL_BRANCH_OPS, Instruction, Op)
 from .classfile import ExceptionEntry

@@ -14,7 +14,7 @@ inlining model, blocks end at:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .bytecode import (
     BLOCK_TERMINATOR_OPS, CONDITIONAL_BRANCH_OPS, INVOKE_OPS, Op,

@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from .basicblock import BasicBlock
 from .bytecode import Op
-from .errors import (StepLimitExceeded, UncaughtVMException, VMRuntimeError,
-                     VMThrow)
+from .errors import (StepLimitExceeded, UncaughtVMException,
+                     VMRuntimeError)
 from .frame import Frame
 from .heap import ArrayRef, ObjRef
 from .intrinsics import NativeMethod

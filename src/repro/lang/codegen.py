@@ -14,7 +14,7 @@ from ..jvm.bytecode import Op
 from ..jvm.values import wrap_int
 from ..jvm.classfile import ClassDef, FieldDef, MethodDef
 from . import ast
-from .ast import element_type, is_array
+from .ast import element_type
 from .diagnostics import CompileError
 from .sema import World
 

@@ -20,7 +20,7 @@ reference type; subclasses widen to superclasses.
 from __future__ import annotations
 
 from . import ast
-from .ast import element_type, is_array, is_reference
+from .ast import element_type, is_array
 from .diagnostics import SemanticError
 
 # Native method signatures for class Sys: name -> (param types, return).

@@ -73,6 +73,21 @@ class PhaseTimers:
     def seconds(self, phase: str) -> float:
         return self.totals.get(phase, 0.0)
 
+    def samples(self, phase: str) -> list[float]:
+        """Raw span durations recorded for `phase`, oldest first.
+
+        This is the per-span sample stream the perf subsystem's
+        statistics run on (the ring bounds it to the most recent
+        ``capacity`` spans across all phases; ``spans_dropped`` says
+        whether anything aged out).
+        """
+        return [duration for name, _started, duration in self.spans
+                if name == phase]
+
+    def phases(self) -> list[str]:
+        """Phases with at least one recorded span, sorted."""
+        return sorted(self.totals)
+
     def dispatch_seconds(self) -> float:
         """Run time not attributed to construction or codegen."""
         other = self.seconds("construct") + self.seconds("codegen")

@@ -1,0 +1,61 @@
+"""Continuous benchmarking: registry, runner, stats, store, gate.
+
+``repro.perf`` is the measurement layer every perf-sensitive PR is
+judged by.  The pieces, in dependency order:
+
+- :mod:`repro.perf.registry` — the declarative benchmark matrix
+  (workload × config profile × size tier) and metric metadata.
+- :mod:`repro.perf.runner` — warmup/repetition policy, deterministic
+  seeding, per-phase numbers via the obs timers, and the machine
+  fingerprint stored with every run.
+- :mod:`repro.perf.stats` — bootstrap confidence intervals and the
+  Mann-Whitney U test over raw samples; bare means are never compared.
+- :mod:`repro.perf.store` — schema-versioned ``BENCH_*.json``
+  baselines and rendered-table archives.
+- :mod:`repro.perf.compare` — the baseline-vs-current comparator,
+  markdown/terminal reports, and the gate verdict behind
+  ``repro bench gate``.
+
+Quickstart::
+
+    from repro.perf import (RunnerOptions, compare_reports,
+                            report_from_results, run_cases, select)
+
+    cases = select(["dispatch"])
+    results = run_cases(cases, "tiny", RunnerOptions(repetitions=5))
+    current = report_from_results("pr", "tiny", results)
+    verdict = compare_reports(baseline, current)
+    assert verdict.ok, verdict.summary_line()
+"""
+
+from __future__ import annotations
+
+from .compare import (Comparison, MetricComparison, compare_reports,
+                      to_markdown, to_text)
+from .registry import (CONFIG_PROFILES, SIZE_TIERS, BenchCase, Metric,
+                       all_cases, canonical_tier, case_by_id, groups,
+                       profile_config, select, size_from_env,
+                       workload_size)
+from .runner import (CaseResult, RunnerOptions, handicap_from_env,
+                     machine_fingerprint, run_case, run_cases)
+from .stats import (ComparisonStats, Summary, bootstrap_ci,
+                    bootstrap_delta_ci, compare_samples,
+                    mann_whitney_u, summarize)
+from .store import (STORE_SCHEMA, BaselineStore, BenchReport,
+                    StoreError, load_tables, report_from_results,
+                    save_tables)
+
+__all__ = [
+    "CONFIG_PROFILES", "SIZE_TIERS", "BenchCase", "Metric",
+    "all_cases", "canonical_tier", "case_by_id", "groups",
+    "profile_config", "select", "size_from_env", "workload_size",
+    "CaseResult", "RunnerOptions", "handicap_from_env",
+    "machine_fingerprint", "run_case", "run_cases",
+    "ComparisonStats", "Summary", "bootstrap_ci",
+    "bootstrap_delta_ci", "compare_samples", "mann_whitney_u",
+    "summarize",
+    "STORE_SCHEMA", "BaselineStore", "BenchReport", "StoreError",
+    "load_tables", "report_from_results", "save_tables",
+    "Comparison", "MetricComparison", "compare_reports",
+    "to_markdown", "to_text",
+]

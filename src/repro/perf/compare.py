@@ -1,0 +1,241 @@
+"""Baseline-vs-current comparison and the regression gate's verdict.
+
+:func:`compare_reports` walks every case id present in both reports,
+re-tests each **tracked** metric's raw samples with the noise-aware
+machinery in :mod:`repro.perf.stats`, and returns a
+:class:`Comparison` whose :attr:`~Comparison.ok` is what ``repro
+bench gate`` turns into an exit code.  Cross-fingerprint comparisons
+(different machine or interpreter) are allowed — CI compares a
+committed baseline against a fresh runner — but are flagged in the
+report, and callers typically widen ``min_time_delta`` for them.
+
+:func:`to_markdown` renders the result as a PR-body-ready report;
+:func:`to_text` as a terminal table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .registry import Metric
+from .runner import fingerprints_comparable
+from .stats import DEFAULT_ALPHA, ComparisonStats, compare_samples
+from .store import BenchReport
+
+__all__ = ["MetricComparison", "Comparison", "compare_reports",
+           "to_markdown", "to_text"]
+
+
+@dataclass(slots=True)
+class MetricComparison:
+    """One tracked metric's verdict in one case."""
+
+    case_id: str
+    metric: Metric
+    stats: ComparisonStats
+
+    @property
+    def verdict(self) -> str:
+        return self.stats.verdict
+
+
+@dataclass(slots=True)
+class Comparison:
+    """Everything the gate and the report renderers need."""
+
+    baseline_name: str
+    current_name: str
+    tier: str
+    entries: list[MetricComparison] = field(default_factory=list)
+    missing_in_current: list[str] = field(default_factory=list)
+    missing_in_baseline: list[str] = field(default_factory=list)
+    cross_machine: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def by_verdict(self, verdict: str) -> list[MetricComparison]:
+        return [e for e in self.entries if e.verdict == verdict]
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return self.by_verdict("regression")
+
+    @property
+    def improvements(self) -> list[MetricComparison]:
+        return self.by_verdict("improvement")
+
+    @property
+    def indeterminate(self) -> list[MetricComparison]:
+        return self.by_verdict("indeterminate")
+
+    @property
+    def ok(self) -> bool:
+        """Gate verdict: no tracked metric regressed."""
+        return not self.regressions
+
+    def summary_line(self) -> str:
+        counts = {
+            "regression": len(self.regressions),
+            "improvement": len(self.improvements),
+            "unchanged": len(self.by_verdict("unchanged")),
+            "indeterminate": len(self.indeterminate),
+        }
+        body = ", ".join(f"{n} {name}" for name, n in counts.items()
+                         if n) or "nothing compared"
+        state = "FAIL" if not self.ok else "ok"
+        return f"bench gate: {state} ({body})"
+
+
+def compare_reports(baseline: BenchReport, current: BenchReport,
+                    alpha: float = DEFAULT_ALPHA,
+                    min_time_delta: float | None = None) -> Comparison:
+    """Compare two reports' shared cases, tracked metrics only.
+
+    `min_time_delta` raises the tolerance floor for time-kind metrics
+    (useful when gating across machines or on shared runners).
+    """
+    comparison = Comparison(
+        baseline_name=baseline.name, current_name=current.name,
+        tier=current.tier,
+        cross_machine=not fingerprints_comparable(
+            baseline.fingerprint, current.fingerprint))
+    if baseline.tier != current.tier:
+        comparison.notes.append(
+            f"tier mismatch: baseline={baseline.tier} "
+            f"current={current.tier} — deltas are not meaningful")
+    if comparison.cross_machine:
+        comparison.notes.append(
+            "fingerprints differ (machine or interpreter); "
+            "wall-clock deltas are weak evidence")
+    handicapped = sorted(
+        case_id for case_id, record in current.cases.items()
+        if record.handicap)
+    if handicapped:
+        comparison.notes.append(
+            f"current run had fault-injection handicaps on: "
+            f"{', '.join(handicapped)}")
+
+    comparison.missing_in_current = sorted(
+        set(baseline.cases) - set(current.cases))
+    comparison.missing_in_baseline = sorted(
+        set(current.cases) - set(baseline.cases))
+
+    for case_id in sorted(set(baseline.cases) & set(current.cases)):
+        base_case = baseline.cases[case_id]
+        cur_case = current.cases[case_id]
+        for name, cur_record in cur_case.metrics.items():
+            metric = cur_record.metric
+            if not metric.tracked:
+                continue
+            base_record = base_case.metrics.get(name)
+            if base_record is None:
+                continue
+            tolerance = metric.effective_tolerance
+            if metric.kind == "time" and min_time_delta is not None:
+                tolerance = max(tolerance, min_time_delta)
+            stats = compare_samples(
+                base_record.samples, cur_record.samples,
+                direction=metric.direction, tolerance=tolerance,
+                alpha=alpha)
+            comparison.entries.append(
+                MetricComparison(case_id, metric, stats))
+    return comparison
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+
+_VERDICT_MARKS = {"regression": "✗ regression",
+                  "improvement": "✓ improvement",
+                  "unchanged": "· unchanged",
+                  "indeterminate": "? indeterminate"}
+
+
+def _fmt(value: float, metric: Metric) -> str:
+    if metric.kind == "count":
+        return f"{value:,.0f}"
+    if metric.kind == "ratio":
+        return f"{value:.3f}"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def _rows(comparison: Comparison) -> list[tuple]:
+    order = {"regression": 0, "indeterminate": 1, "improvement": 2,
+             "unchanged": 3}
+    entries = sorted(comparison.entries,
+                     key=lambda e: (order[e.verdict], e.case_id))
+    rows = []
+    for entry in entries:
+        stats = entry.stats
+        metric = entry.metric
+        rows.append((
+            entry.case_id, metric.name,
+            f"{_fmt(stats.base.median, metric)} "
+            f"[{_fmt(stats.base.ci_low, metric)}, "
+            f"{_fmt(stats.base.ci_high, metric)}]",
+            f"{_fmt(stats.current.median, metric)} "
+            f"[{_fmt(stats.current.ci_low, metric)}, "
+            f"{_fmt(stats.current.ci_high, metric)}]",
+            f"{stats.rel_delta:+.1%}",
+            f"{stats.p_value:.3f}",
+            _VERDICT_MARKS[entry.verdict],
+        ))
+    return rows
+
+
+def to_markdown(comparison: Comparison) -> str:
+    """A PR-body-ready markdown report."""
+    lines = [
+        f"### Benchmark gate: `{comparison.baseline_name}` → "
+        f"`{comparison.current_name}` ({comparison.tier})",
+        "",
+        f"**{comparison.summary_line()}**",
+        "",
+    ]
+    for note in comparison.notes:
+        lines.append(f"> ⚠ {note}")
+    if comparison.notes:
+        lines.append("")
+    if comparison.entries:
+        lines.append("| case | metric | baseline median [95% CI] | "
+                     "current median [95% CI] | Δ | p | verdict |")
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in _rows(comparison):
+            lines.append("| " + " | ".join(row) + " |")
+    else:
+        lines.append("_No shared tracked metrics to compare._")
+    if comparison.missing_in_current:
+        lines.append("")
+        lines.append("Missing from current run: "
+                     + ", ".join(f"`{c}`"
+                                 for c in comparison.missing_in_current))
+    if comparison.missing_in_baseline:
+        lines.append("")
+        lines.append("New since baseline (not gated): "
+                     + ", ".join(
+                         f"`{c}`"
+                         for c in comparison.missing_in_baseline))
+    return "\n".join(lines) + "\n"
+
+
+def to_text(comparison: Comparison) -> str:
+    """Terminal rendering via the repo's ASCII Table."""
+    from ..metrics.report import Table
+    table = Table(
+        f"Benchmark comparison: {comparison.baseline_name} -> "
+        f"{comparison.current_name} ({comparison.tier})",
+        ["case", "metric", "baseline", "current", "delta", "p",
+         "verdict"])
+    for row in _rows(comparison):
+        table.add_row(*row)
+    for note in comparison.notes:
+        table.notes.append(note)
+    parts = [table.render(), comparison.summary_line()]
+    if comparison.missing_in_current:
+        parts.append("missing from current run: "
+                     + ", ".join(comparison.missing_in_current))
+    if comparison.missing_in_baseline:
+        parts.append("new since baseline (not gated): "
+                     + ", ".join(comparison.missing_in_baseline))
+    return "\n".join(parts)

@@ -1,0 +1,371 @@
+"""Declarative benchmark registry: workload × profile × size tiers.
+
+The registry replaces the measurement loops that used to live inside
+each ad-hoc ``benchmarks/bench_*.py`` script.  A benchmark is a
+:class:`BenchCase`: an id like ``dispatch.compressx.py``, the workload
+and config profile it runs, the :class:`Metric` set it reports, and a
+measure function that produces **one repetition** of raw samples.
+Warmup, repetition, seeding, fault injection and fingerprinting are
+the runner's job (:mod:`repro.perf.runner`); statistics are
+:mod:`repro.perf.stats`; persistence is :mod:`repro.perf.store`.
+
+Size tiers are ``tiny`` (CI smoke), ``small`` (default dev runs) and
+``full`` (paper scale).  Tiers are the perf subsystem's vocabulary;
+:func:`workload_size` maps them onto the workload registry's presets
+(``full`` → ``paper``), and :func:`size_from_env` accepts the legacy
+``REPRO_BENCH_SIZE=paper`` spelling so existing scripts keep working.
+
+Groups registered here:
+
+- ``dispatch.<workload>.<ir|py>`` — wall-clock and per-phase seconds
+  of the optimized-trace executors on the three hottest workloads
+  (the PR-1 speedup this repo must not silently lose).
+- ``obs.<workload>.<off|unwatched|full>`` — observability overhead
+  modes (the PR-2 "disabled must be free" bar).
+- ``table1.<workload>`` — average executed trace length and coverage
+  at the paper's default threshold (trace *quality*, deterministic).
+- ``table7.<workload>`` — modeled trace-dispatch overhead fraction
+  (the paper's bottom-line claim).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SIZE_TIERS", "CONFIG_PROFILES", "Metric", "BenchCase",
+    "canonical_tier", "workload_size", "size_from_env",
+    "profile_config", "all_cases", "groups", "select", "case_by_id",
+]
+
+SIZE_TIERS = ("tiny", "small", "full")
+
+_TIER_TO_WORKLOAD_SIZE = {"tiny": "tiny", "small": "small",
+                          "full": "paper"}
+_TIER_ALIASES = {"paper": "full"}
+
+#: The hottest, most trace-dominated workloads — where backend and
+#: observability regressions actually show up.
+HOT_WORKLOADS = ("compressx", "raytracex", "scimarkx")
+
+#: TraceCacheConfig keyword profiles the matrix multiplies over.
+CONFIG_PROFILES: dict[str, dict] = {
+    "plain": {},
+    "ir": {"optimize_traces": True, "compile_backend": "ir"},
+    "py": {"optimize_traces": True, "compile_backend": "py"},
+}
+
+#: Default relative-median-shift tolerance per metric kind.  Time is
+#: runner-noise-bound; counts and ratios are near-deterministic.
+DEFAULT_TOLERANCES = {"time": 0.05, "count": 0.005, "ratio": 0.02}
+
+
+def canonical_tier(name: str) -> str:
+    """Normalize a tier name; accepts the legacy ``paper`` alias."""
+    tier = _TIER_ALIASES.get(name, name)
+    if tier not in SIZE_TIERS:
+        raise KeyError(f"unknown size tier {name!r}; "
+                       f"choose from {SIZE_TIERS}")
+    return tier
+
+
+def workload_size(tier: str) -> str:
+    """Map a perf size tier onto the workload registry's preset."""
+    return _TIER_TO_WORKLOAD_SIZE[canonical_tier(tier)]
+
+
+def size_from_env(default: str = "small") -> str:
+    """The canonical tier named by ``REPRO_BENCH_SIZE`` (or default)."""
+    return canonical_tier(os.environ.get("REPRO_BENCH_SIZE", default))
+
+
+def profile_config(profile: str):
+    """A fresh TraceCacheConfig for a named profile."""
+    from ..core import TraceCacheConfig
+    try:
+        overrides = CONFIG_PROFILES[profile]
+    except KeyError:
+        raise KeyError(f"unknown config profile {profile!r}; "
+                       f"choose from {sorted(CONFIG_PROFILES)}") \
+            from None
+    return TraceCacheConfig(**overrides)
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One reported quantity of a benchmark case.
+
+    ``direction`` names the *good* direction.  ``tracked`` metrics are
+    compared by the regression gate; untracked ones are context.  A
+    ``tolerance`` of None resolves to the kind's default.
+    """
+
+    name: str
+    unit: str = "s"
+    direction: str = "lower"
+    kind: str = "time"                  # time | count | ratio
+    tracked: bool = True
+    tolerance: float | None = None
+
+    def __post_init__(self):
+        if self.direction not in ("lower", "higher"):
+            raise ValueError(f"bad direction {self.direction!r}")
+        if self.kind not in DEFAULT_TOLERANCES:
+            raise ValueError(f"bad kind {self.kind!r}")
+
+    @property
+    def effective_tolerance(self) -> float:
+        if self.tolerance is not None:
+            return self.tolerance
+        return DEFAULT_TOLERANCES[self.kind]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "unit": self.unit,
+                "direction": self.direction, "kind": self.kind,
+                "tracked": self.tracked,
+                "tolerance": self.effective_tolerance}
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One cell of the benchmark matrix.
+
+    ``measure(case, size)`` performs a single repetition and returns
+    ``(samples, meta)``: samples maps every metric name to one float,
+    meta carries non-statistical context counters (recorded once).
+    """
+
+    id: str
+    group: str
+    workload: str | None
+    profile: str
+    metrics: tuple[Metric, ...]
+    measure: object = field(repr=False, compare=False, default=None)
+    variant: str = ""
+    default_reps: int | None = None      # None: runner option decides
+    default_inner: int | None = None     # None: runner option decides
+
+    def metric(self, name: str) -> Metric:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise KeyError(f"{self.id} has no metric {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Measure functions.  Imports happen inside so that `import
+# repro.perf.registry` stays cheap for CLI --help and test collection.
+
+def _measure_dispatch(case: BenchCase, size: str):
+    from ..api import VM
+    from ..obs import Observability
+    from ..workloads import load_workload
+
+    program = load_workload(case.workload, size)
+    obs = Observability(history=0)       # unwatched bus: timers only
+    vm = VM(program, config=profile_config(case.profile), obs=obs)
+    elapsed, result = vm.run_timed()
+    stats = result.stats
+    timers = obs.timers
+    samples = {
+        "seconds": elapsed,
+        "construct_seconds": timers.seconds("construct"),
+        "codegen_seconds": timers.seconds("codegen"),
+        "instructions": float(stats.instr_total),
+    }
+    meta = {
+        "traces_compiled": stats.codegen_traces_compiled,
+        "code_cache_hits": stats.codegen_cache_hits,
+        "code_cache_misses": stats.codegen_cache_misses,
+        "source_bytes": stats.codegen_source_bytes,
+        "side_exits": stats.codegen_side_exits,
+        "traces_constructed": stats.traces_constructed,
+        "construct_spans": len(timers.samples("construct")),
+        "codegen_spans": len(timers.samples("codegen")),
+        "result": repr(result.value),
+    }
+    return samples, meta
+
+
+def _measure_obs(case: BenchCase, size: str):
+    from ..api import VM
+    from ..obs import Observability
+    from ..workloads import load_workload
+
+    program = load_workload(case.workload, size)
+    if case.variant == "off":
+        obs = None
+    elif case.variant == "unwatched":
+        obs = Observability(history=0)
+    else:                                # full stack, file-less
+        obs = Observability(snapshot_every=10_000)
+    vm = VM(program, config=profile_config(case.profile), obs=obs)
+    elapsed, result = vm.run_timed()
+    samples = {"seconds": elapsed}
+    meta = {"instructions": result.stats.instr_total}
+    if obs is not None:
+        meta.update(events_emitted=obs.bus.emitted,
+                    events_suppressed=obs.bus.suppressed,
+                    snapshots=obs.snapshots_taken)
+        vm.close()
+    return samples, meta
+
+
+def _measure_table1(case: BenchCase, size: str):
+    from ..harness import run_experiment
+
+    run = run_experiment(case.workload, size)
+    stats = run.stats
+    samples = {
+        "avg_trace_length": stats.average_trace_length,
+        "coverage": stats.coverage,
+        "completion_rate": stats.completion_rate,
+    }
+    meta = {
+        "traces_in_cache": stats.traces_in_cache,
+        "signals": stats.signals,
+        "instructions": stats.instr_total,
+    }
+    return samples, meta
+
+
+def _measure_table7(case: BenchCase, size: str):
+    from ..harness import measure_profiler_overhead, run_experiment
+
+    sample = measure_profiler_overhead(case.workload, size, repeats=1)
+    run = run_experiment(case.workload, size)
+    dispatches = run.stats.total_dispatches
+    expected = ((dispatches / 1e6)
+                * sample.overhead_per_million_dispatches)
+    fraction = (expected / sample.base_seconds
+                if sample.base_seconds else 0.0)
+    samples = {"overhead_fraction": fraction}
+    meta = {
+        "trace_model_dispatches": dispatches,
+        "base_seconds": sample.base_seconds,
+        "overhead_per_million_dispatches":
+            sample.overhead_per_million_dispatches,
+        "profiled_relative_overhead": sample.relative_overhead,
+    }
+    return samples, meta
+
+
+# ----------------------------------------------------------------------
+# Registry construction.
+
+_DISPATCH_METRICS = (
+    Metric("seconds"),
+    Metric("construct_seconds", tracked=False),
+    Metric("codegen_seconds", tracked=False),
+    Metric("instructions", unit="instr", kind="count"),
+)
+
+_OBS_METRICS = (Metric("seconds"),)
+
+_TABLE1_METRICS = (
+    Metric("avg_trace_length", unit="blocks", direction="higher",
+           kind="ratio"),
+    Metric("coverage", unit="fraction", direction="higher",
+           kind="ratio"),
+    Metric("completion_rate", unit="fraction", direction="higher",
+           kind="ratio", tracked=False),
+)
+
+_TABLE7_METRICS = (
+    # Timing-derived ratio: generous tolerance, it divides two noisy
+    # wall-clock measurements.
+    Metric("overhead_fraction", unit="fraction", kind="ratio",
+           tolerance=0.5),
+)
+
+
+def _build_registry() -> dict[str, BenchCase]:
+    from ..workloads import WORKLOAD_NAMES
+
+    cases: dict[str, BenchCase] = {}
+
+    def add(case: BenchCase) -> None:
+        cases[case.id] = case
+
+    for workload in HOT_WORKLOADS:
+        for profile in ("ir", "py"):
+            add(BenchCase(
+                id=f"dispatch.{workload}.{profile}",
+                group="dispatch", workload=workload, profile=profile,
+                metrics=_DISPATCH_METRICS,
+                measure=_measure_dispatch))
+    for variant in ("off", "unwatched", "full"):
+        add(BenchCase(
+            id=f"obs.compressx.{variant}",
+            group="obs", workload="compressx", profile="py",
+            metrics=_OBS_METRICS, measure=_measure_obs,
+            variant=variant))
+    for workload in WORKLOAD_NAMES:
+        add(BenchCase(
+            id=f"table1.{workload}",
+            group="table1", workload=workload, profile="plain",
+            metrics=_TABLE1_METRICS, measure=_measure_table1,
+            default_reps=2, default_inner=1))
+    for workload in HOT_WORKLOADS:
+        add(BenchCase(
+            id=f"table7.{workload}",
+            group="table7", workload=workload, profile="plain",
+            metrics=_TABLE7_METRICS, measure=_measure_table7,
+            default_reps=3, default_inner=1))
+    return cases
+
+
+_REGISTRY: dict[str, BenchCase] | None = None
+
+
+def _registry() -> dict[str, BenchCase]:
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = _build_registry()
+    return _REGISTRY
+
+
+def all_cases() -> tuple[BenchCase, ...]:
+    return tuple(_registry().values())
+
+
+def groups() -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for case in _registry().values():
+        seen.setdefault(case.group)
+    return tuple(seen)
+
+
+def case_by_id(case_id: str) -> BenchCase:
+    try:
+        return _registry()[case_id]
+    except KeyError:
+        raise KeyError(f"unknown benchmark case {case_id!r}") from None
+
+
+def select(patterns=None) -> tuple[BenchCase, ...]:
+    """Cases whose id matches any glob pattern (or group name).
+
+    ``select()`` / ``select(["*"])`` returns everything; a bare group
+    name like ``dispatch`` matches its whole group; otherwise patterns
+    are ``fnmatch`` globs over case ids (``dispatch.compressx.*``).
+    Unknown patterns raise instead of silently matching nothing, so a
+    typo in CI cannot turn the gate into a no-op.
+    """
+    cases = list(_registry().values())
+    if not patterns:
+        return tuple(cases)
+    chosen: dict[str, BenchCase] = {}
+    for pattern in patterns:
+        matched = [case for case in cases
+                   if case.group == pattern
+                   or fnmatch.fnmatchcase(case.id, pattern)]
+        if not matched:
+            raise KeyError(
+                f"pattern {pattern!r} matches no benchmark case; "
+                f"known groups: {', '.join(groups())}")
+        for case in matched:
+            chosen[case.id] = case
+    return tuple(chosen.values())

@@ -1,0 +1,196 @@
+"""Benchmark runner: warmup, repetition, seeding, fingerprinting.
+
+The runner turns a :class:`~repro.perf.registry.BenchCase` into raw
+sample arrays.  Policy (documented in DESIGN.md §11):
+
+- **Warmup** repetitions run the full measurement and are discarded —
+  they pay import costs, prime the workload-program cache and the
+  CPython specializing interpreter, and (for compiled profiles) let
+  codegen amortize exactly once.
+- **Repetitions** each build a *fresh* VM/controller so no trace
+  cache or code cache leaks between samples; per-phase numbers come
+  from a per-repetition :class:`~repro.obs.PhaseTimers` via the
+  measure function.
+- **Seeding**: ``random`` is reseeded deterministically per
+  repetition, so any stochastic workload generation is identical
+  between a baseline run and the run being gated.
+- **Fingerprinting**: every report records the interpreter and
+  machine it was produced on; the comparator warns when a gate
+  crosses fingerprints (cross-machine wall-clock deltas are weak
+  evidence).
+
+``REPRO_PERF_HANDICAP`` (``<pattern>=<fraction>[,...]``, pattern a
+profile name or case-id glob) inflates matching cases' time metrics —
+a deterministic fault-injection hook the gate's own tests use to prove
+a 10% slowdown fails CI.  It has no place in real measurement runs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import os
+import platform
+import random
+import sys
+from dataclasses import dataclass, field
+
+from .registry import BenchCase, canonical_tier, workload_size
+
+__all__ = [
+    "RunnerOptions", "CaseResult", "machine_fingerprint",
+    "handicap_from_env", "run_case", "run_cases",
+]
+
+HANDICAP_ENV = "REPRO_PERF_HANDICAP"
+
+
+@dataclass(slots=True)
+class RunnerOptions:
+    """Repetition policy for one benchmark run.
+
+    `inner` is the min-of-k rule: each recorded repetition is the
+    minimum of `inner` back-to-back measurements for time-kind
+    metrics.  The minimum of a small inner batch is the standard
+    de-jittering estimator (cf. ``timeit``): scheduler preemption and
+    frequency ramps only ever *add* time, so the min tracks the code's
+    actual cost while the repetitions still give the statistics
+    independent samples.  Cases can pin their own inner count (the
+    deterministic table cases use 1 — re-measuring a deterministic
+    quantity is waste).
+    """
+
+    warmup: int = 1
+    repetitions: int = 5
+    seed: int = 0
+    inner: int = 3
+
+    def __post_init__(self):
+        if self.warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if self.inner < 1:
+            raise ValueError("inner must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {"warmup": self.warmup,
+                "repetitions": self.repetitions, "seed": self.seed,
+                "inner": self.inner}
+
+
+@dataclass(slots=True)
+class CaseResult:
+    """Raw samples and context from running one case at one tier."""
+
+    case: BenchCase
+    tier: str
+    samples: dict[str, list[float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    handicap: float = 0.0
+
+    @property
+    def case_id(self) -> str:
+        return self.case.id
+
+
+def machine_fingerprint() -> dict:
+    """Where these numbers came from; stored with every report."""
+    node = platform.node() or "unknown"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "executable_hash": hashlib.sha256(
+            sys.executable.encode()).hexdigest()[:12],
+        "system": platform.system(),
+        "release": platform.release(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "node_hash": hashlib.sha256(node.encode()).hexdigest()[:12],
+    }
+
+
+def fingerprints_comparable(a: dict, b: dict) -> bool:
+    """True when wall-clock comparisons between a and b are meaningful
+    (same interpreter and machine class)."""
+    keys = ("python", "implementation", "system", "machine",
+            "node_hash")
+    return all(a.get(k) == b.get(k) for k in keys)
+
+
+def parse_handicap(spec: str) -> dict[str, float]:
+    """Parse ``pattern=fraction[,pattern=fraction...]``."""
+    table: dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        pattern, _, value = part.partition("=")
+        if not _:
+            raise ValueError(
+                f"bad handicap entry {part!r}; want pattern=fraction")
+        table[pattern.strip()] = float(value)
+    return table
+
+
+def handicap_from_env() -> dict[str, float]:
+    spec = os.environ.get(HANDICAP_ENV, "")
+    return parse_handicap(spec) if spec else {}
+
+
+def _case_handicap(case: BenchCase, table: dict[str, float]) -> float:
+    for pattern, fraction in table.items():
+        if pattern == case.profile or pattern == case.group \
+                or fnmatch.fnmatchcase(case.id, pattern):
+            return fraction
+    return 0.0
+
+
+def run_case(case: BenchCase, tier: str,
+             options: RunnerOptions | None = None,
+             handicap: dict[str, float] | None = None) -> CaseResult:
+    """Warmup + repetitions of one case; returns raw samples."""
+    tier = canonical_tier(tier)
+    options = options or RunnerOptions()
+    size = workload_size(tier)
+    handicap = handicap_from_env() if handicap is None else handicap
+    fraction = _case_handicap(case, handicap)
+
+    repetitions = case.default_reps or options.repetitions
+    inner = case.default_inner or options.inner
+    result = CaseResult(case=case, tier=tier, handicap=fraction)
+    for warm in range(options.warmup):
+        random.seed(options.seed * 1_000_003 + warm)
+        case.measure(case, size)
+    for rep in range(repetitions):
+        random.seed(options.seed * 1_000_003 + 7919 + rep)
+        samples, meta = case.measure(case, size)
+        for _ in range(inner - 1):
+            again, _meta = case.measure(case, size)
+            for metric in case.metrics:
+                name = metric.name
+                if metric.kind == "time" and name in samples \
+                        and name in again:
+                    samples[name] = min(samples[name], again[name])
+        if fraction:
+            for metric in case.metrics:
+                if metric.kind == "time" and metric.name in samples:
+                    samples[metric.name] *= (1.0 + fraction)
+        for name, value in samples.items():
+            result.samples.setdefault(name, []).append(float(value))
+        result.meta = meta
+    return result
+
+
+def run_cases(cases, tier: str, options: RunnerOptions | None = None,
+              progress=None) -> list[CaseResult]:
+    """Run several cases; `progress(case_id, index, total)` if given."""
+    options = options or RunnerOptions()
+    handicap = handicap_from_env()
+    results = []
+    cases = list(cases)
+    for index, case in enumerate(cases):
+        if progress is not None:
+            progress(case.id, index, len(cases))
+        results.append(run_case(case, tier, options, handicap))
+    return results

@@ -1,0 +1,302 @@
+"""Statistics core for the benchmark harness: never compare bare means.
+
+Wall-clock samples from a shared CI runner are small-n, noisy, and
+skewed (GC pauses, frequency scaling, neighbouring jobs), so the
+comparator works from **raw samples** with two complementary tools:
+
+- :func:`bootstrap_ci` — a percentile bootstrap confidence interval
+  for a robust location statistic (the median by default).  It makes
+  no normality assumption and is honest about small n: five samples
+  give a wide interval, and the gate treats overlapping intervals as
+  "cannot tell", not "fine".
+- :func:`mann_whitney_u` — the two-sided Mann-Whitney U (Wilcoxon
+  rank-sum) test with tie correction and a normal approximation with
+  continuity correction.  Rank-based, so a single outlier sample
+  cannot fake or mask a shift the way it can with a t-test on means.
+
+:func:`compare_samples` combines them into one noise-aware verdict: a
+metric counts as a *regression* only when the shift is in the bad
+direction, its magnitude clears the metric's tolerance, the rank test
+is significant, and the bootstrap intervals are disjoint.  Anything
+less decisive is "unchanged" or "indeterminate" — a gate that cries
+wolf on runner jitter gets disabled within a week.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Summary", "ComparisonStats", "bootstrap_ci",
+    "bootstrap_delta_ci", "mann_whitney_u", "summarize",
+    "compare_samples",
+]
+
+DEFAULT_CONFIDENCE = 0.95
+DEFAULT_BOOTSTRAP = 1000
+DEFAULT_ALPHA = 0.05
+
+#: Verdicts compare_samples can return.
+VERDICTS = ("regression", "improvement", "unchanged", "indeterminate")
+
+
+@dataclass(slots=True)
+class Summary:
+    """Descriptive statistics plus a bootstrap CI for the median."""
+
+    n: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n, "mean": self.mean, "median": self.median,
+            "min": self.minimum, "max": self.maximum,
+            "stdev": self.stdev,
+            "ci_low": self.ci_low, "ci_high": self.ci_high,
+        }
+
+
+@dataclass(slots=True)
+class ComparisonStats:
+    """One metric's baseline-vs-current decision and its evidence."""
+
+    verdict: str                   # one of VERDICTS
+    rel_delta: float               # signed (current-base)/base
+    p_value: float                 # two-sided Mann-Whitney
+    base: Summary
+    current: Summary
+    tolerance: float               # the rel-delta bar that applied
+    alpha: float
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def significant(self) -> bool:
+        return self.p_value <= self.alpha
+
+    def to_dict(self) -> dict:
+        return {
+            "verdict": self.verdict, "rel_delta": self.rel_delta,
+            "p_value": self.p_value, "tolerance": self.tolerance,
+            "alpha": self.alpha, "reasons": list(self.reasons),
+            "base": self.base.to_dict(),
+            "current": self.current.to_dict(),
+        }
+
+
+def bootstrap_ci(samples, stat=statistics.median,
+                 n_boot: int = DEFAULT_BOOTSTRAP,
+                 confidence: float = DEFAULT_CONFIDENCE,
+                 seed: int = 0) -> tuple[float, float]:
+    """Percentile-bootstrap CI of `stat` over `samples`.
+
+    Deterministic for a given seed so stored reports are reproducible.
+    With a single sample the interval collapses to that point.
+    """
+    values = list(samples)
+    if not values:
+        raise ValueError("bootstrap_ci needs at least one sample")
+    if len(values) == 1:
+        return values[0], values[0]
+    rng = random.Random(seed)
+    n = len(values)
+    replicates = sorted(
+        stat([values[rng.randrange(n)] for _ in range(n)])
+        for _ in range(n_boot))
+    tail = (1.0 - confidence) / 2.0
+    low = replicates[max(0, min(n_boot - 1, int(tail * n_boot)))]
+    high = replicates[max(0, min(n_boot - 1,
+                                 int((1.0 - tail) * n_boot) - 1))]
+    return low, high
+
+
+def bootstrap_delta_ci(base, current,
+                       n_boot: int = DEFAULT_BOOTSTRAP,
+                       confidence: float = DEFAULT_CONFIDENCE,
+                       seed: int = 0) -> tuple[float, float]:
+    """Bootstrap CI of the *relative median difference* between two
+    sample groups: ``(median(current) - median(base)) / median(base)``.
+
+    Comparing this interval against zero is strictly sharper than
+    asking whether the groups' individual CIs overlap (which rejects
+    real shifts that two mildly-wide intervals would hide).
+    """
+    xs, ys = list(base), list(current)
+    if not xs or not ys:
+        raise ValueError("bootstrap_delta_ci needs non-empty samples")
+    rng = random.Random(seed)
+    n1, n2 = len(xs), len(ys)
+    deltas = []
+    for _ in range(n_boot):
+        mb = statistics.median([xs[rng.randrange(n1)]
+                                for _ in range(n1)])
+        mc = statistics.median([ys[rng.randrange(n2)]
+                                for _ in range(n2)])
+        deltas.append((mc - mb) / mb if mb else 0.0)
+    deltas.sort()
+    tail = (1.0 - confidence) / 2.0
+    low = deltas[max(0, min(n_boot - 1, int(tail * n_boot)))]
+    high = deltas[max(0, min(n_boot - 1,
+                             int((1.0 - tail) * n_boot) - 1))]
+    return low, high
+
+
+def _rank(pooled: list[float]) -> tuple[list[float], list[int]]:
+    """Midranks of a pooled sample plus tie-group sizes."""
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    tie_sizes: list[int] = []
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and \
+                pooled[order[j + 1]] == pooled[order[i]]:
+            j += 1
+        midrank = (i + j) / 2.0 + 1.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        tie_sizes.append(j - i + 1)
+        i = j + 1
+    return ranks, tie_sizes
+
+
+def mann_whitney_u(a, b) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U, p_value)``.
+
+    Uses midranks with the standard tie-corrected variance and a
+    normal approximation with continuity correction — adequate for the
+    n >= 3 per group the runner produces, and dependency-free.  When
+    every pooled value is identical the test is degenerate and the
+    p-value is 1.0.
+    """
+    xs, ys = list(a), list(b)
+    n1, n2 = len(xs), len(ys)
+    if n1 == 0 or n2 == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    pooled = xs + ys
+    ranks, tie_sizes = _rank(pooled)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+    n = n1 + n2
+    mean_u = n1 * n2 / 2.0
+    tie_term = sum(t ** 3 - t for t in tie_sizes)
+    var_u = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
+    if var_u <= 0.0:
+        return u, 1.0           # all pooled values tied: no evidence
+    z = (abs(u - mean_u) - 0.5) / math.sqrt(var_u)
+    z = max(z, 0.0)
+    p = 2.0 * (1.0 - _norm_cdf(z))
+    return u, max(0.0, min(1.0, p))
+
+
+def _norm_cdf(z: float) -> float:
+    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+
+
+def summarize(samples, seed: int = 0,
+              n_boot: int = DEFAULT_BOOTSTRAP) -> Summary:
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("summarize needs at least one sample")
+    low, high = bootstrap_ci(values, seed=seed, n_boot=n_boot)
+    return Summary(
+        n=len(values),
+        mean=statistics.fmean(values),
+        median=statistics.median(values),
+        minimum=min(values),
+        maximum=max(values),
+        stdev=statistics.stdev(values) if len(values) > 1 else 0.0,
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+def compare_samples(base, current, direction: str = "lower",
+                    tolerance: float = 0.05,
+                    alpha: float = DEFAULT_ALPHA,
+                    min_samples: int = 3) -> ComparisonStats:
+    """Noise-aware verdict for one metric's baseline-vs-current samples.
+
+    `direction` is the *good* direction ("lower" for times, "higher"
+    for coverage/lengths).  `tolerance` is the relative median shift
+    below which a change is never actionable.
+    """
+    if direction not in ("lower", "higher"):
+        raise ValueError(f"direction must be lower|higher, "
+                         f"got {direction!r}")
+    base_summary = summarize(base)
+    cur_summary = summarize(current)
+    if base_summary.median == 0.0:
+        rel = 0.0 if cur_summary.median == 0.0 else math.inf
+    else:
+        rel = ((cur_summary.median - base_summary.median)
+               / abs(base_summary.median))
+    worse = rel > 0 if direction == "lower" else rel < 0
+    magnitude = abs(rel)
+
+    reasons: list[str] = []
+    base_const = base_summary.minimum == base_summary.maximum
+    cur_const = cur_summary.minimum == cur_summary.maximum
+    if base_const and cur_const:
+        # Deterministic metrics (instruction counts, trace shapes):
+        # every sample agrees, so any shift is real and rank-test
+        # power at small n is irrelevant.  Decide on tolerance alone.
+        shifted = cur_summary.median != base_summary.median
+        p = 0.0 if shifted else 1.0
+        if not shifted or magnitude < tolerance:
+            verdict = "unchanged"
+            reasons.append("constant samples within tolerance")
+        else:
+            verdict = "regression" if worse else "improvement"
+            reasons.append(
+                f"deterministic shift {rel:+.1%} (constant samples)")
+        return ComparisonStats(verdict, rel, p, base_summary,
+                               cur_summary, tolerance, alpha, reasons)
+    if base_summary.n < min_samples or cur_summary.n < min_samples:
+        # Too few repetitions for the rank test to ever reach alpha —
+        # fall back to the tolerance alone but flag the weak footing.
+        verdict = "indeterminate" if magnitude >= tolerance \
+            else "unchanged"
+        reasons.append(
+            f"only {base_summary.n}v{cur_summary.n} samples "
+            f"(need {min_samples})")
+        return ComparisonStats(verdict, rel, 1.0, base_summary,
+                               cur_summary, tolerance, alpha, reasons)
+
+    _u, p = mann_whitney_u(base, current)
+    delta_low, delta_high = bootstrap_delta_ci(base, current)
+    shift_certain = delta_low > 0.0 if rel > 0 else delta_high < 0.0
+
+    if magnitude < tolerance:
+        verdict = "unchanged"
+        reasons.append(
+            f"median shift {magnitude:.1%} within "
+            f"tolerance {tolerance:.1%}")
+    elif p > alpha:
+        verdict = "unchanged"
+        reasons.append(
+            f"shift {magnitude:.1%} but Mann-Whitney p={p:.3f} "
+            f"> alpha={alpha}")
+    elif not shift_certain:
+        verdict = "indeterminate"
+        reasons.append(
+            f"significant shift {magnitude:.1%} (p={p:.3f}) but the "
+            f"bootstrap delta CI [{delta_low:+.1%}, {delta_high:+.1%}]"
+            f" straddles zero — likely runner noise")
+    else:
+        verdict = "regression" if worse else "improvement"
+        reasons.append(
+            f"median shift {rel:+.1%}, p={p:.3f}, delta CI "
+            f"[{delta_low:+.1%}, {delta_high:+.1%}]")
+    return ComparisonStats(verdict, rel, p, base_summary, cur_summary,
+                           tolerance, alpha, reasons)

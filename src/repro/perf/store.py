@@ -1,0 +1,273 @@
+"""Baseline store: schema-versioned ``BENCH_*.json`` read/write.
+
+One :class:`BenchReport` is one benchmark run: which cases ran at
+which tier, the raw per-metric samples (never just aggregates — the
+comparator re-tests distributions), per-case context counters, the
+runner options, and the machine fingerprint.  Reports serialize to a
+versioned JSON document; :class:`BaselineStore` maps report names to
+``BENCH_<name>.json`` files at the repo root so baselines are
+reviewable, diffable artifacts.
+
+``STORE_SCHEMA`` is 2: schema 1 retroactively names the ad-hoc,
+unversioned ``BENCH_dispatch_backends.json`` layout that predates this
+subsystem.  Loading rejects unknown schemas loudly — a gate comparing
+against a half-understood baseline is worse than no gate.
+
+:func:`save_tables` / :func:`load_tables` archive rendered report
+tables (the ``benchmarks/`` suite's human-readable output) in the same
+versioned envelope, replacing the drifting ``results/*.txt`` files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import BenchCase, Metric, case_by_id
+from .runner import CaseResult, RunnerOptions
+from .stats import summarize
+
+__all__ = [
+    "STORE_SCHEMA", "StoreError", "BenchReport", "BaselineStore",
+    "report_from_results", "save_tables", "load_tables",
+]
+
+STORE_SCHEMA = 2
+REPORT_KIND = "bench-report"
+TABLES_KIND = "table-archive"
+
+
+class StoreError(ValueError):
+    """A baseline file is missing, malformed, or wrong-schema."""
+
+
+@dataclass(slots=True)
+class MetricRecord:
+    """One metric's stored samples plus its registry metadata."""
+
+    metric: Metric
+    samples: list[float]
+
+    def to_dict(self) -> dict:
+        doc = self.metric.to_dict()
+        doc["samples"] = list(self.samples)
+        doc["summary"] = summarize(self.samples).to_dict()
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricRecord":
+        metric = Metric(
+            name=doc["name"], unit=doc.get("unit", ""),
+            direction=doc.get("direction", "lower"),
+            kind=doc.get("kind", "time"),
+            tracked=bool(doc.get("tracked", True)),
+            tolerance=doc.get("tolerance"))
+        return cls(metric=metric,
+                   samples=[float(v) for v in doc["samples"]])
+
+
+@dataclass(slots=True)
+class CaseRecord:
+    """One case's stored results."""
+
+    case_id: str
+    group: str
+    workload: str | None
+    profile: str
+    variant: str
+    metrics: dict[str, MetricRecord]
+    meta: dict = field(default_factory=dict)
+    handicap: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "group": self.group, "workload": self.workload,
+            "profile": self.profile, "variant": self.variant,
+            "handicap": self.handicap,
+            "metrics": {name: record.to_dict()
+                        for name, record in self.metrics.items()},
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, case_id: str, doc: dict) -> "CaseRecord":
+        return cls(
+            case_id=case_id, group=doc.get("group", ""),
+            workload=doc.get("workload"),
+            profile=doc.get("profile", ""),
+            variant=doc.get("variant", ""),
+            handicap=float(doc.get("handicap", 0.0)),
+            metrics={name: MetricRecord.from_dict(mdoc)
+                     for name, mdoc in doc["metrics"].items()},
+            meta=dict(doc.get("meta", {})))
+
+    @classmethod
+    def from_result(cls, result: CaseResult) -> "CaseRecord":
+        case = result.case
+        metrics = {}
+        for metric in case.metrics:
+            values = result.samples.get(metric.name)
+            if values:
+                metrics[metric.name] = MetricRecord(metric,
+                                                    list(values))
+        return cls(case_id=case.id, group=case.group,
+                   workload=case.workload, profile=case.profile,
+                   variant=case.variant, metrics=metrics,
+                   meta=dict(result.meta), handicap=result.handicap)
+
+
+@dataclass(slots=True)
+class BenchReport:
+    """A full benchmark run, ready to persist or compare."""
+
+    name: str
+    tier: str
+    options: dict
+    fingerprint: dict
+    cases: dict[str, CaseRecord]
+    created: str | None = None
+    schema: int = STORE_SCHEMA
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "kind": REPORT_KIND,
+            "name": self.name,
+            "tier": self.tier,
+            "created": self.created,
+            "options": dict(self.options),
+            "fingerprint": dict(self.fingerprint),
+            "cases": {case_id: record.to_dict()
+                      for case_id, record in self.cases.items()},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2,
+                          sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, doc: dict, source: str = "<dict>") -> \
+            "BenchReport":
+        schema = doc.get("schema")
+        if schema != STORE_SCHEMA:
+            raise StoreError(
+                f"{source}: schema {schema!r} is not the supported "
+                f"store schema {STORE_SCHEMA} (pre-perf BENCH files "
+                f"must be regenerated with `repro bench run`)")
+        if doc.get("kind") not in (None, REPORT_KIND):
+            raise StoreError(f"{source}: kind {doc.get('kind')!r} "
+                             f"is not a {REPORT_KIND}")
+        try:
+            cases = {case_id: CaseRecord.from_dict(case_id, cdoc)
+                     for case_id, cdoc in doc["cases"].items()}
+            return cls(name=doc["name"], tier=doc["tier"],
+                       options=dict(doc.get("options", {})),
+                       fingerprint=dict(doc.get("fingerprint", {})),
+                       cases=cases, created=doc.get("created"),
+                       schema=schema)
+        except KeyError as missing:
+            raise StoreError(
+                f"{source}: missing field {missing}") from None
+
+    @classmethod
+    def load(cls, path) -> "BenchReport":
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise StoreError(f"no baseline at {path}") from None
+        except json.JSONDecodeError as error:
+            raise StoreError(f"{path}: not JSON ({error})") from None
+        return cls.from_dict(doc, source=str(path))
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    # ------------------------------------------------------------------
+    def registry_cases(self) -> list[BenchCase]:
+        """The live registry cases this report covered (for re-runs).
+
+        Cases that have since left the registry are skipped — the
+        comparator only judges ids present on both sides.
+        """
+        cases = []
+        for case_id in self.cases:
+            try:
+                cases.append(case_by_id(case_id))
+            except KeyError:
+                continue
+        return cases
+
+
+def report_from_results(name: str, tier: str, results,
+                        options: RunnerOptions | None = None,
+                        fingerprint: dict | None = None,
+                        created: str | None = None) -> BenchReport:
+    """Bundle runner output into a persistable report."""
+    from .runner import machine_fingerprint
+    options = options or RunnerOptions()
+    return BenchReport(
+        name=name, tier=tier, options=options.to_dict(),
+        fingerprint=fingerprint if fingerprint is not None
+        else machine_fingerprint(),
+        cases={result.case_id: CaseRecord.from_result(result)
+               for result in results},
+        created=created)
+
+
+class BaselineStore:
+    """``BENCH_<name>.json`` files under one root directory."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, name: str) -> Path:
+        return self.root / f"BENCH_{name}.json"
+
+    def save(self, report: BenchReport) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        return report.save(self.path_for(report.name))
+
+    def load(self, name: str) -> BenchReport:
+        return BenchReport.load(self.path_for(name))
+
+    def names(self) -> list[str]:
+        return sorted(path.stem[len("BENCH_"):]
+                      for path in self.root.glob("BENCH_*.json"))
+
+
+# ----------------------------------------------------------------------
+# Rendered-table archives (benchmarks/results/*.json).
+
+def save_tables(path, name: str, tables,
+                created: str | None = None) -> Path:
+    """Archive rendered Tables as one schema-versioned JSON file."""
+    doc = {
+        "schema": STORE_SCHEMA,
+        "kind": TABLES_KIND,
+        "name": name,
+        "created": created,
+        "tables": [{
+            "title": table.title,
+            "headers": list(table.headers),
+            "rows": [list(row) for row in table.rows],
+            "notes": list(table.notes),
+        } for table in tables],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def load_tables(path) -> dict:
+    path = Path(path)
+    doc = json.loads(path.read_text())
+    if doc.get("schema") != STORE_SCHEMA or \
+            doc.get("kind") != TABLES_KIND:
+        raise StoreError(f"{path}: not a schema-{STORE_SCHEMA} "
+                         f"table archive")
+    return doc

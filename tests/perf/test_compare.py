@@ -1,0 +1,142 @@
+"""Comparator and report rendering on synthetic reports."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.perf import (BenchReport, CaseResult, RunnerOptions,
+                        case_by_id, compare_reports,
+                        machine_fingerprint, report_from_results,
+                        to_markdown, to_text)
+
+CASE_ID = "dispatch.compressx.py"
+
+
+def synthetic_report(name, seconds_center, *, spread=0.01, n=8,
+                     instructions=50_000.0, fingerprint=None,
+                     tier="tiny", handicap=0.0, seed=0):
+    rng = random.Random(seed)
+    case = case_by_id(CASE_ID)
+    result = CaseResult(case=case, tier=tier, handicap=handicap)
+    result.samples["seconds"] = [
+        seconds_center * (1.0 + rng.uniform(-spread, spread))
+        for _ in range(n)]
+    result.samples["instructions"] = [instructions] * n
+    result.meta = {"traces_compiled": 3}
+    return report_from_results(
+        name, tier, [result], options=RunnerOptions(),
+        fingerprint=fingerprint or machine_fingerprint(),
+        created="2026-08-06T00:00:00+00:00")
+
+
+class TestCompareReports:
+    def test_identical_runs_pass(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.0, seed=2)
+        comparison = compare_reports(base, current)
+        assert comparison.ok
+        assert not comparison.regressions
+        assert "ok" in comparison.summary_line()
+
+    def test_time_regression_fails_gate(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.15, seed=2)   # +15%
+        comparison = compare_reports(base, current)
+        assert not comparison.ok
+        verdicts = {(e.case_id, e.metric.name): e.verdict
+                    for e in comparison.entries}
+        assert verdicts[(CASE_ID, "seconds")] == "regression"
+        assert verdicts[(CASE_ID, "instructions")] == "unchanged"
+        assert "FAIL" in comparison.summary_line()
+
+    def test_count_regression_fails_gate(self):
+        # Deterministic instruction-count drift: tiny tolerance.
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.0, seed=2,
+                                   instructions=51_000.0)   # +2%
+        comparison = compare_reports(base, current)
+        assert not comparison.ok
+        verdicts = {e.metric.name: e.verdict
+                    for e in comparison.entries}
+        assert verdicts["instructions"] == "regression"
+
+    def test_min_time_delta_widens_only_time(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.15, seed=2,
+                                   instructions=51_000.0)
+        comparison = compare_reports(base, current,
+                                     min_time_delta=0.30)
+        verdicts = {e.metric.name: e.verdict
+                    for e in comparison.entries}
+        assert verdicts["seconds"] == "unchanged"        # +15% < 30%
+        assert verdicts["instructions"] == "regression"  # still tight
+        assert not comparison.ok
+
+    def test_untracked_metrics_are_not_gated(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.0, seed=2)
+        names = {e.metric.name for e in compare_reports(
+            base, current).entries}
+        assert "construct_seconds" not in names
+
+    def test_cross_machine_flagged(self):
+        other = dict(machine_fingerprint(), machine="riscv64")
+        base = synthetic_report("base", 1.0, seed=1,
+                                fingerprint=other)
+        current = synthetic_report("cur", 1.0, seed=2)
+        comparison = compare_reports(base, current)
+        assert comparison.cross_machine
+        assert any("fingerprints differ" in note
+                   for note in comparison.notes)
+
+    def test_tier_mismatch_noted(self):
+        base = synthetic_report("base", 1.0, seed=1, tier="small")
+        current = synthetic_report("cur", 1.0, seed=2, tier="tiny")
+        comparison = compare_reports(base, current)
+        assert any("tier mismatch" in note
+                   for note in comparison.notes)
+
+    def test_handicapped_current_noted(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.1, seed=2, handicap=0.1)
+        comparison = compare_reports(base, current)
+        assert any("fault-injection" in note
+                   for note in comparison.notes)
+
+    def test_missing_cases_listed_not_gated(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.0, seed=2)
+        base.cases["table1.javacx"] = base.cases[CASE_ID]
+        comparison = compare_reports(base, current)
+        assert comparison.missing_in_current == ["table1.javacx"]
+        assert comparison.ok
+
+
+class TestRendering:
+    @pytest.fixture
+    def regressed(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.2, seed=2)
+        return compare_reports(base, current)
+
+    def test_markdown_report(self, regressed):
+        text = to_markdown(regressed)
+        assert text.startswith("### Benchmark gate: `base` → `cur`")
+        assert "| case | metric |" in text
+        assert CASE_ID in text
+        assert "regression" in text
+        assert "FAIL" in text
+
+    def test_markdown_empty_comparison(self):
+        base = synthetic_report("base", 1.0, seed=1)
+        current = synthetic_report("cur", 1.0, seed=2)
+        base.cases.clear()
+        text = to_markdown(compare_reports(base, current))
+        assert "No shared tracked metrics" in text
+
+    def test_text_report(self, regressed):
+        text = to_text(regressed)
+        assert CASE_ID in text
+        assert "bench gate: FAIL" in text

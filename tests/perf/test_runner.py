@@ -1,0 +1,158 @@
+"""Runner policy on a synthetic case: warmup, inner min, handicap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.perf import RunnerOptions, run_case, run_cases
+from repro.perf.registry import BenchCase, Metric
+from repro.perf.runner import (HANDICAP_ENV, handicap_from_env,
+                               parse_handicap)
+
+METRICS = (Metric("seconds"),
+           Metric("instructions", unit="instr", kind="count"))
+
+
+class Probe:
+    """Scripted measure function that records every invocation."""
+
+    def __init__(self, times=None):
+        self.calls = 0
+        self.seeds = []
+        self.times = list(times or [])
+
+    def __call__(self, case, size):
+        self.calls += 1
+        self.seeds.append(random.random())
+        elapsed = self.times.pop(0) if self.times else 1.0
+        return ({"seconds": elapsed, "instructions": 1000.0},
+                {"size": size})
+
+
+def probe_case(probe, **overrides):
+    fields = dict(id="synthetic.probe.case", group="synthetic",
+                  workload=None, profile="plain", metrics=METRICS,
+                  measure=probe)
+    fields.update(overrides)
+    return BenchCase(**fields)
+
+
+class TestOptions:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunnerOptions(warmup=-1)
+        with pytest.raises(ValueError):
+            RunnerOptions(repetitions=0)
+        with pytest.raises(ValueError):
+            RunnerOptions(inner=0)
+
+    def test_to_dict(self):
+        doc = RunnerOptions(warmup=2, repetitions=7, seed=3,
+                            inner=4).to_dict()
+        assert doc == {"warmup": 2, "repetitions": 7, "seed": 3,
+                       "inner": 4}
+
+
+class TestRunCase:
+    def test_call_count_is_warmup_plus_reps_times_inner(self):
+        probe = Probe()
+        options = RunnerOptions(warmup=2, repetitions=3, inner=4)
+        result = run_case(probe_case(probe), "tiny", options,
+                          handicap={})
+        assert probe.calls == 2 + 3 * 4
+        assert len(result.samples["seconds"]) == 3
+
+    def test_inner_takes_min_of_time_metrics_only(self):
+        # Rep 1 sees 5.0 then 3.0; rep 2 sees 4.0 then 6.0.
+        probe = Probe(times=[5.0, 3.0, 4.0, 6.0])
+        options = RunnerOptions(warmup=0, repetitions=2, inner=2)
+        result = run_case(probe_case(probe), "tiny", options,
+                          handicap={})
+        assert result.samples["seconds"] == [3.0, 4.0]
+        # Count metrics come from the first inner measurement as-is.
+        assert result.samples["instructions"] == [1000.0, 1000.0]
+
+    def test_case_defaults_override_options(self):
+        probe = Probe()
+        case = probe_case(probe, default_reps=2, default_inner=1)
+        run_case(case, "tiny",
+                 RunnerOptions(warmup=0, repetitions=9, inner=5),
+                 handicap={})
+        assert probe.calls == 2
+
+    def test_seeding_is_deterministic_per_repetition(self):
+        first, second = Probe(), Probe()
+        options = RunnerOptions(warmup=1, repetitions=3, inner=1,
+                                seed=42)
+        run_case(probe_case(first), "tiny", options, handicap={})
+        run_case(probe_case(second), "tiny", options, handicap={})
+        assert first.seeds == second.seeds
+
+    def test_tier_resolves_to_workload_size(self):
+        probe = Probe()
+        result = run_case(probe_case(probe), "full",
+                          RunnerOptions(warmup=0, repetitions=1,
+                                        inner=1), handicap={})
+        assert result.tier == "full"
+        assert result.meta["size"] == "paper"
+
+    def test_handicap_scales_time_metrics_only(self):
+        probe = Probe(times=[2.0])
+        result = run_case(probe_case(probe), "tiny",
+                          RunnerOptions(warmup=0, repetitions=1,
+                                        inner=1),
+                          handicap={"synthetic": 0.10})
+        assert result.handicap == 0.10
+        assert result.samples["seconds"] == [pytest.approx(2.2)]
+        assert result.samples["instructions"] == [1000.0]
+
+    @pytest.mark.parametrize("pattern", [
+        "plain",                    # profile
+        "synthetic",                # group
+        "synthetic.probe.*",        # id glob
+    ])
+    def test_handicap_pattern_forms(self, pattern):
+        probe = Probe()
+        result = run_case(probe_case(probe), "tiny",
+                          RunnerOptions(warmup=0, repetitions=1,
+                                        inner=1),
+                          handicap={pattern: 0.5})
+        assert result.handicap == 0.5
+
+    def test_unmatched_handicap_ignored(self):
+        probe = Probe()
+        result = run_case(probe_case(probe), "tiny",
+                          RunnerOptions(warmup=0, repetitions=1,
+                                        inner=1),
+                          handicap={"dispatch": 0.5})
+        assert result.handicap == 0.0
+
+
+class TestRunCases:
+    def test_progress_callback_and_order(self):
+        probes = [Probe(), Probe()]
+        cases = [probe_case(probes[0], id="synthetic.a"),
+                 probe_case(probes[1], id="synthetic.b")]
+        seen = []
+        run_cases(cases, "tiny",
+                  RunnerOptions(warmup=0, repetitions=1, inner=1),
+                  progress=lambda cid, i, n: seen.append((cid, i, n)))
+        assert seen == [("synthetic.a", 0, 2), ("synthetic.b", 1, 2)]
+
+
+class TestHandicapParsing:
+    def test_parse(self):
+        assert parse_handicap("py=0.1, dispatch.*=0.2") \
+            == {"py": 0.1, "dispatch.*": 0.2}
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError):
+            parse_handicap("py")
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.delenv(HANDICAP_ENV, raising=False)
+        assert handicap_from_env() == {}
+        monkeypatch.setenv(HANDICAP_ENV, "py=0.10")
+        assert handicap_from_env() == {"py": 0.10}

@@ -1,0 +1,159 @@
+"""Statistics core on synthetic samples with known answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.perf import (bootstrap_ci, bootstrap_delta_ci,
+                        compare_samples, mann_whitney_u, summarize)
+from repro.perf.stats import VERDICTS
+
+
+def jittered(rng, center, spread, n):
+    return [center * (1.0 + rng.uniform(-spread, spread))
+            for _ in range(n)]
+
+
+class TestBootstrap:
+    def test_single_sample_collapses(self):
+        assert bootstrap_ci([4.2]) == (4.2, 4.2)
+
+    def test_interval_brackets_the_median(self):
+        rng = random.Random(1)
+        samples = jittered(rng, 10.0, 0.05, 30)
+        low, high = bootstrap_ci(samples)
+        assert low <= sorted(samples)[len(samples) // 2] <= high
+        assert 9.0 < low < high < 11.0
+
+    def test_deterministic_for_seed(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(samples, seed=7) \
+            == bootstrap_ci(samples, seed=7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_delta_ci_sees_a_real_shift(self):
+        rng = random.Random(2)
+        base = jittered(rng, 10.0, 0.02, 10)
+        current = jittered(rng, 11.0, 0.02, 10)   # +10%
+        low, high = bootstrap_delta_ci(base, current)
+        assert low > 0.0                           # excludes zero
+        assert 0.05 < low < high < 0.16
+
+    def test_delta_ci_straddles_zero_on_noise(self):
+        rng = random.Random(3)
+        base = jittered(rng, 10.0, 0.05, 10)
+        current = jittered(rng, 10.0, 0.05, 10)
+        low, high = bootstrap_delta_ci(base, current)
+        assert low < 0.0 < high
+
+
+class TestMannWhitney:
+    def test_clear_separation_is_significant(self):
+        a = [1.0, 1.1, 1.2, 1.05, 1.15, 1.08]
+        b = [2.0, 2.1, 2.2, 2.05, 2.15, 2.08]
+        _u, p = mann_whitney_u(a, b)
+        assert p < 0.01
+
+    def test_identical_groups_not_significant(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        _u, p = mann_whitney_u(a, list(a))
+        assert p > 0.5
+
+    def test_all_tied_degenerate(self):
+        _u, p = mann_whitney_u([3.0] * 5, [3.0] * 5)
+        assert p == 1.0
+
+    def test_symmetric(self):
+        a = [1.0, 1.2, 0.9, 1.1]
+        b = [1.5, 1.6, 1.4, 1.7]
+        _, p_ab = mann_whitney_u(a, b)
+        _, p_ba = mann_whitney_u(b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.n == 3
+        assert summary.median == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.ci_low <= summary.median <= summary.ci_high
+        round_trip = summary.to_dict()
+        assert round_trip["median"] == 2.0
+
+
+class TestCompareSamples:
+    def test_known_regression_detected(self):
+        rng = random.Random(4)
+        base = jittered(rng, 10.0, 0.01, 8)
+        current = jittered(rng, 11.0, 0.01, 8)    # +10%, tight noise
+        stats = compare_samples(base, current, direction="lower",
+                                tolerance=0.05)
+        assert stats.verdict == "regression"
+        assert stats.rel_delta == pytest.approx(0.10, abs=0.03)
+        assert stats.significant
+
+    def test_improvement_direction_aware(self):
+        rng = random.Random(5)
+        base = jittered(rng, 10.0, 0.01, 8)
+        current = jittered(rng, 9.0, 0.01, 8)     # -10%: faster
+        stats = compare_samples(base, current, direction="lower")
+        assert stats.verdict == "improvement"
+        # The same shift on a higher-is-better metric is a regression.
+        stats = compare_samples(base, current, direction="higher")
+        assert stats.verdict == "regression"
+
+    def test_pure_noise_is_unchanged(self):
+        rng = random.Random(6)
+        base = jittered(rng, 10.0, 0.02, 8)
+        current = jittered(rng, 10.0, 0.02, 8)
+        stats = compare_samples(base, current)
+        assert stats.verdict == "unchanged"
+
+    def test_shift_below_tolerance_is_unchanged(self):
+        rng = random.Random(7)
+        base = jittered(rng, 10.0, 0.005, 8)
+        current = jittered(rng, 10.2, 0.005, 8)   # +2% < 5% tolerance
+        stats = compare_samples(base, current, tolerance=0.05)
+        assert stats.verdict == "unchanged"
+
+    def test_constant_samples_decide_without_rank_test(self):
+        # Deterministic counters: 3v3 is plenty when variance is zero.
+        stats = compare_samples([100.0] * 3, [110.0] * 3,
+                                direction="lower", tolerance=0.005)
+        assert stats.verdict == "regression"
+        assert stats.p_value == 0.0
+        stats = compare_samples([100.0] * 3, [100.0] * 3)
+        assert stats.verdict == "unchanged"
+        assert stats.p_value == 1.0
+
+    def test_too_few_noisy_samples_indeterminate(self):
+        stats = compare_samples([10.0, 10.5], [12.0, 12.4],
+                                min_samples=3)
+        assert stats.verdict == "indeterminate"
+        assert "samples" in stats.reasons[0]
+
+    def test_zero_baseline_handled(self):
+        stats = compare_samples([0.0, 0.0, 0.0], [0.0, 0.0, 0.0])
+        assert stats.verdict == "unchanged"
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            compare_samples([1.0], [1.0], direction="up")
+
+    def test_verdict_vocabulary(self):
+        rng = random.Random(8)
+        stats = compare_samples(jittered(rng, 10, 0.02, 6),
+                                jittered(rng, 10, 0.02, 6))
+        assert stats.verdict in VERDICTS
+        assert stats.to_dict()["verdict"] == stats.verdict

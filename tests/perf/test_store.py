@@ -1,0 +1,158 @@
+"""Store round-trips: schema versioning, fingerprints, archives."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.metrics.report import Table
+from repro.perf import (STORE_SCHEMA, BaselineStore, BenchReport,
+                        CaseResult, RunnerOptions, StoreError,
+                        case_by_id, load_tables, machine_fingerprint,
+                        report_from_results, save_tables)
+from repro.perf.runner import fingerprints_comparable
+
+
+def fake_result(case_id="dispatch.compressx.py"):
+    case = case_by_id(case_id)
+    result = CaseResult(case=case, tier="tiny")
+    for metric in case.metrics:
+        result.samples[metric.name] = [1.0, 1.1, 0.9]
+    result.meta = {"traces_compiled": 4, "result": "IntValue(42)"}
+    return result
+
+
+@pytest.fixture
+def report():
+    return report_from_results(
+        "unit", "tiny", [fake_result()],
+        options=RunnerOptions(warmup=0, repetitions=3),
+        created="2026-08-06T00:00:00+00:00")
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip(self, report, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        report.save(path)
+        loaded = BenchReport.load(path)
+        assert loaded.name == "unit"
+        assert loaded.tier == "tiny"
+        assert loaded.schema == STORE_SCHEMA
+        assert loaded.created == report.created
+        record = loaded.cases["dispatch.compressx.py"]
+        assert record.metrics["seconds"].samples == [1.0, 1.1, 0.9]
+        assert record.metrics["seconds"].metric.kind == "time"
+        assert record.meta["traces_compiled"] == 4
+
+    def test_document_shape(self, report):
+        doc = json.loads(report.to_json())
+        assert doc["schema"] == STORE_SCHEMA
+        assert doc["kind"] == "bench-report"
+        assert doc["options"]["repetitions"] == 3
+        assert "python" in doc["fingerprint"]
+        metric_doc = doc["cases"]["dispatch.compressx.py"][
+            "metrics"]["seconds"]
+        assert metric_doc["samples"] == [1.0, 1.1, 0.9]
+        # Summaries ride along for human diffing, samples stay the
+        # source of truth for the comparator.
+        assert metric_doc["summary"]["n"] == 3
+
+    def test_untracked_metrics_round_trip_untracked(self, report,
+                                                    tmp_path):
+        path = report.save(tmp_path / "BENCH_unit.json")
+        loaded = BenchReport.load(path)
+        record = loaded.cases["dispatch.compressx.py"]
+        assert not record.metrics["construct_seconds"].metric.tracked
+
+    def test_registry_cases_resolves_live_ids(self, report):
+        cases = report.registry_cases()
+        assert [case.id for case in cases] == ["dispatch.compressx.py"]
+
+    def test_registry_cases_skips_dead_ids(self, report, tmp_path):
+        doc = json.loads(report.to_json())
+        doc["cases"]["retired.case.id"] = \
+            doc["cases"]["dispatch.compressx.py"]
+        loaded = BenchReport.from_dict(doc)
+        assert [case.id for case in loaded.registry_cases()] \
+            == ["dispatch.compressx.py"]
+
+
+class TestSchemaGuards:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="no baseline"):
+            BenchReport.load(tmp_path / "BENCH_missing.json")
+
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        path.write_text("not json {")
+        with pytest.raises(StoreError, match="not JSON"):
+            BenchReport.load(path)
+
+    def test_legacy_schema_rejected_with_pointer(self, tmp_path):
+        # The pre-perf BENCH_dispatch_backends.json layout had no
+        # schema field at all; the error must say how to regenerate.
+        path = tmp_path / "BENCH_legacy.json"
+        path.write_text(json.dumps({"benchmark": "dispatch",
+                                    "ir": 1.0, "py": 2.0}))
+        with pytest.raises(StoreError, match="bench run"):
+            BenchReport.load(path)
+
+    def test_future_schema_rejected(self, tmp_path, report):
+        doc = json.loads(report.to_json())
+        doc["schema"] = STORE_SCHEMA + 1
+        path = tmp_path / "BENCH_future.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(StoreError, match="schema"):
+            BenchReport.load(path)
+
+    def test_wrong_kind_rejected(self, report):
+        doc = json.loads(report.to_json())
+        doc["kind"] = "table-archive"
+        with pytest.raises(StoreError, match="kind"):
+            BenchReport.from_dict(doc)
+
+
+class TestBaselineStore:
+    def test_save_load_names(self, tmp_path, report):
+        store = BaselineStore(tmp_path)
+        path = store.save(report)
+        assert path.name == "BENCH_unit.json"
+        assert store.load("unit").name == "unit"
+        assert store.names() == ["unit"]
+
+
+class TestFingerprint:
+    def test_fingerprint_fields(self):
+        fp = machine_fingerprint()
+        for key in ("python", "implementation", "system", "machine",
+                    "cpu_count", "node_hash"):
+            assert key in fp
+
+    def test_self_comparable(self):
+        fp = machine_fingerprint()
+        assert fingerprints_comparable(fp, dict(fp))
+
+    def test_other_machine_not_comparable(self):
+        fp = machine_fingerprint()
+        other = dict(fp, machine="riscv64")
+        assert not fingerprints_comparable(fp, other)
+
+
+class TestTableArchive:
+    def test_round_trip(self, tmp_path):
+        table = Table("T", ["a", "b"], formats=["", ".1f"])
+        table.add_row("x", 1.25)
+        table.notes.append("note")
+        path = save_tables(tmp_path / "archive.json", "unit", [table],
+                           created="2026-08-06T00:00:00+00:00")
+        doc = load_tables(path)
+        assert doc["kind"] == "table-archive"
+        assert doc["tables"][0]["title"] == "T"
+        assert doc["tables"][0]["rows"] == [["x", 1.25]]
+        assert doc["tables"][0]["notes"] == ["note"]
+
+    def test_wrong_kind_rejected(self, tmp_path, report):
+        path = report.save(tmp_path / "BENCH_unit.json")
+        with pytest.raises(StoreError):
+            load_tables(path)
