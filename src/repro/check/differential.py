@@ -66,6 +66,16 @@ DIFF_PROFILES: dict[str, TraceCacheConfig] = {
                                 optimize_traces=True,
                                 compile_backend="py",
                                 compile_threshold=1),
+    # Linking-aggressive: every observed exit edge links immediately,
+    # loops superblock at the first opportunity, and short chopped
+    # traces maximize exit->entry transfer density.
+    "py-link": TraceCacheConfig(threshold=0.70, start_state_delay=2,
+                                decay_period=8, max_trace_blocks=8,
+                                optimize_traces=True,
+                                compile_backend="py",
+                                compile_threshold=1,
+                                trace_linking=True, link_threshold=1,
+                                link_max_fanout=8, superblock_iters=3),
 }
 
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000

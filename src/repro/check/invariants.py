@@ -58,6 +58,7 @@ class InvariantChecker:
         "cache.trace_created",
         "cache.trace_linked",
         "cache.trace_invalidated",
+        "trace.superblock_grown",
     )
 
     def __init__(self, controller) -> None:
@@ -97,6 +98,8 @@ class InvariantChecker:
             self._check_linked(data)
         elif kind == "cache.trace_invalidated":
             self._check_invalidated(data)
+        elif kind == "trace.superblock_grown":
+            self._check_superblock(data)
 
     # -- profiler ------------------------------------------------------
     def _check_state_change(self, data) -> None:
@@ -188,6 +191,34 @@ class InvariantChecker:
         self._created[serial] = blocks
         self._live.add(serial)
 
+    def _check_superblock(self, data) -> None:
+        """Superblocks enter the table outside the constructor pipeline
+        (they may exceed max_trace_blocks and fall below the completion
+        threshold by design), so they announce themselves with their
+        own kind; this registers the serial and checks its shape."""
+        self._saw_cache_events = True
+        serial = data["serial"]
+        blocks = tuple(data["blocks"])
+        k = data["iterations"]
+        if serial <= self._last_serial:
+            self._fail(f"superblock_grown serial {serial} not monotonic "
+                       f"(last was {self._last_serial})")
+        self._last_serial = max(self._last_serial, serial)
+        if serial in self._created:
+            self._fail(f"superblock_grown reused serial {serial}")
+        if k < 2:
+            self._fail(f"superblock #{serial} grown with iterations="
+                       f"{k}; growth below 2 must be declined")
+        base = self._created.get(data["base"])
+        if base is None:
+            self._fail(f"superblock #{serial} grown from never-created "
+                       f"base serial {data['base']}")
+        elif blocks != base * k:
+            self._fail(f"superblock #{serial} blocks are not {k} copies "
+                       f"of base #{data['base']}")
+        self._created[serial] = blocks
+        self._live.add(serial)
+
     def _check_linked(self, data) -> None:
         self._saw_cache_events = True
         serial = data["serial"]
@@ -269,7 +300,38 @@ class InvariantChecker:
                            f"entry for key {trace.key}")
 
         self._check_optimizer_coherence()
+        self._check_linking_coherence()
         return self.violations
+
+    def _check_linking_coherence(self) -> None:
+        controller = self.controller
+        stats = getattr(controller, "last_run_stats", None)
+        linker = getattr(controller, "_linker", None)
+        if stats is not None:
+            if stats.linked_transfers > stats.trace_dispatches:
+                self._fail(f"{stats.linked_transfers} linked transfers "
+                           f"exceed {stats.trace_dispatches} trace "
+                           f"dispatches: every transfer is itself a "
+                           f"dispatch, and the first dispatch of a "
+                           f"chain is never linked")
+            if stats.linked_transfers > 0 and (
+                    linker is None or linker.stats.links_installed == 0):
+                self._fail(f"{stats.linked_transfers} linked transfers "
+                           f"recorded but no link was ever installed")
+            if linker is None and (stats.links_installed
+                                   or stats.linked_transfers):
+                self._fail("linking counters nonzero with the linker "
+                           "disabled")
+        if linker is None:
+            return
+        for error in linker.invariant_errors():
+            self._fail(f"linker: {error}")
+        table = {id(t) for t in controller.cache.traces.values()}
+        for key, target in linker.links.items():
+            if id(target) not in table:
+                self._fail(f"link {key} targets a trace the dedup "
+                           f"table no longer owns "
+                           f"(serial {target.serial})")
 
     def _check_optimizer_coherence(self) -> None:
         optimizer = getattr(self.controller, "optimizer", None)

@@ -51,6 +51,12 @@ from .obs import Observability
 from .workloads import SIZES, WORKLOAD_NAMES, load_workload
 
 
+def _default(value, fallback):
+    """`value` unless the flag was omitted; 0 is a real value, not a
+    request for the default (config validation rejects it loudly)."""
+    return fallback if value is None else value
+
+
 def _config(args) -> TraceCacheConfig:
     """The TraceCacheConfig described by the shared trace flags."""
     return TraceCacheConfig(
@@ -58,7 +64,10 @@ def _config(args) -> TraceCacheConfig:
         start_state_delay=getattr(args, "delay", 64),
         optimize_traces=getattr(args, "optimize", False),
         compile_backend=getattr(args, "backend", "py"),
-        compile_threshold=getattr(args, "compile_threshold", 2))
+        compile_threshold=getattr(args, "compile_threshold", 2),
+        trace_linking=not getattr(args, "no_linking", False),
+        superblock_iters=_default(
+            getattr(args, "superblock_iters", None), 4))
 
 
 def _obs(args) -> Observability | None:
@@ -351,8 +360,18 @@ def cmd_bench_list(args) -> int:
     return 0
 
 
+def _apply_bench_ablations(args) -> None:
+    """Install the bench ablation flags as profile config overrides."""
+    from .perf import set_profile_overrides
+    set_profile_overrides(
+        trace_linking=False if getattr(args, "no_linking", False)
+        else None,
+        superblock_iters=getattr(args, "superblock_iters", None))
+
+
 def cmd_bench_run(args) -> int:
     from .perf import BenchReport, canonical_tier, select
+    _apply_bench_ablations(args)
     tier = canonical_tier(args.size)
     cases = select(args.select or None)
     name = args.name
@@ -387,6 +406,7 @@ def cmd_bench_compare(args) -> int:
 def cmd_bench_gate(args) -> int:
     from .perf import (BenchReport, compare_reports, select,
                        to_markdown, to_text)
+    _apply_bench_ablations(args)
     baseline = BenchReport.load(args.baseline)
     tier = args.size or baseline.tier
     if args.select:
@@ -443,6 +463,13 @@ def _trace_flags() -> argparse.ArgumentParser:
                             "or template-compile hot traces to Python")
     group.add_argument("--compile-threshold", type=int, default=2,
                        help="trace executions before codegen kicks in")
+    group.add_argument("--no-linking", action="store_true",
+                       help="disable trace-to-trace linking and "
+                            "superblock growth (ablation)")
+    group.add_argument("--superblock-iters", type=int, default=None,
+                       metavar="K",
+                       help="max loop iterations a superblock unrolls "
+                            "(default 4; 1 disables superblocks)")
     return parent
 
 
@@ -543,6 +570,15 @@ def build_parser() -> argparse.ArgumentParser:
                             help="base seed for deterministic "
                                  "per-repetition reseeding")
 
+    def _bench_ablation_flags(parser) -> None:
+        parser.add_argument("--no-linking", action="store_true",
+                            help="ablate trace-to-trace linking in "
+                                 "every measured profile")
+        parser.add_argument("--superblock-iters", type=int,
+                            default=None, metavar="K",
+                            help="override the superblock unroll "
+                                 "bound in every measured profile")
+
     def _bench_compare_flags(parser) -> None:
         parser.add_argument("--alpha", type=float, default=0.05,
                             help="Mann-Whitney significance level")
@@ -574,6 +610,7 @@ def build_parser() -> argparse.ArgumentParser:
                            help="report name (default: derived from "
                                 "--out, else 'run')")
     _bench_rep_flags(bench_run)
+    _bench_ablation_flags(bench_run)
     bench_run.set_defaults(bench_func=cmd_bench_run)
 
     bench_compare = bench_sub.add_parser(
@@ -602,6 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_gate.add_argument("--out", metavar="FILE",
                             help="save the fresh measurement report")
     _bench_rep_flags(bench_gate)
+    _bench_ablation_flags(bench_gate)
     _bench_compare_flags(bench_gate)
     bench_gate.set_defaults(bench_func=cmd_bench_gate)
 

@@ -36,6 +36,21 @@ class TraceCacheConfig:
     # Trace executions before the "py" backend pays for codegen; cold
     # traces stay on the IR executor.
     compile_threshold: int = 2
+    # Trace-to-trace linking (Dynamo-style exit patching): when a trace
+    # exit is followed by another trace entry often enough, the exit is
+    # linked straight to the successor so chained hot traces dispatch
+    # without a controller round-trip per transfer.  Only active with
+    # optimize_traces=True; ablatable independently.
+    trace_linking: bool = True
+    # Exit->successor observations before a link is installed.
+    link_threshold: int = 8
+    # Maximum distinct successors linked from one trace exit site.
+    link_max_fanout: int = 4
+    # Multi-iteration superblocks: a trace whose hot completion edge
+    # re-enters its own anchor is regrown as a k-copy superblock so k
+    # loop iterations execute as one straight-line compiled unit.
+    # 1 disables superblock growth.
+    superblock_iters: int = 4
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold <= 1.0:
@@ -65,6 +80,17 @@ class TraceCacheConfig:
             raise ValueError(
                 f"compile_threshold must be >= 1, got "
                 f"{self.compile_threshold}")
+        if self.link_threshold < 1:
+            raise ValueError(
+                f"link_threshold must be >= 1, got {self.link_threshold}")
+        if self.link_max_fanout < 1:
+            raise ValueError(
+                f"link_max_fanout must be >= 1, got "
+                f"{self.link_max_fanout}")
+        if self.superblock_iters < 1:
+            raise ValueError(
+                f"superblock_iters must be >= 1, got "
+                f"{self.superblock_iters}")
 
     @property
     def counter_max(self) -> int:

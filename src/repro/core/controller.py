@@ -17,9 +17,15 @@ from ..jvm.threaded import DEFAULT_MAX_INSTRUCTIONS, Machine, execute_block
 from ..metrics.collectors import RunStats
 from .config import TraceCacheConfig
 from .events import EventLog
+from .links import TraceLinker
 from .profiler import Profiler
 from .trace import Trace
 from .trace_cache import TraceCache
+
+# One in every N linked transfers is emitted as a codegen.linked_transfer
+# event; transfers are the hottest possible path, so observing them at
+# full rate would dominate the bus.
+LINKED_TRANSFER_SAMPLE = 256
 
 
 @dataclass(slots=True)
@@ -61,6 +67,14 @@ class TraceController:
         self.optimizer = None
         self._run_compiled = None
         self._codegen = False
+        self._linker = None
+        # The last trace exit (trace, blocks executed) — the linker's
+        # edge source when the very next dispatch is another trace.
+        self._exit_trace = None
+        self._exit_executed = 0
+        self._transfer_tick = 0
+        # Exposed for post-run invariant checks (repro.check).
+        self.last_run_stats = None
         if self.config.optimize_traces:
             # Imported lazily: the optimizer is an optional layer.
             from ..opt import TraceOptimizer, run_compiled
@@ -72,6 +86,10 @@ class TraceController:
             self._codegen = self.optimizer.codecache is not None
             # When the cache unlinks a trace, drop its compiled forms.
             self.cache.invalidation_sink = self.optimizer.invalidate
+            if self.config.trace_linking:
+                self._linker = TraceLinker(self.config, self.cache,
+                                           bus=self._bus)
+                self.cache.linker = self._linker
         if obs is not None:
             # Routes the signal sink and codegen through phase timers.
             obs.attach(self)
@@ -100,11 +118,14 @@ class TraceController:
         advance = self.profiler.advance
         execute = execute_block
         dispatch_trace = self._dispatch_trace
+        linker = self._linker
         current = machine.start()
         previous = None
         # Trace chaining: a completed trace whose very next dispatch is
         # another trace ran back-to-back — the relinking effect Dynamo
-        # achieves by patching trace exits to other traces.
+        # achieves by patching trace exits to other traces.  Chains
+        # observed here feed the linker, which turns the hot ones into
+        # direct transfers inside _dispatch_trace.
         last_was_trace = False
 
         while current is not None:
@@ -115,6 +136,12 @@ class TraceController:
                     stats.trace_dispatches += 1
                     if last_was_trace:
                         stats.trace_chains += 1
+                        if linker is not None:
+                            linker.record(self._exit_trace,
+                                          self._exit_executed, trace,
+                                          node)
+                            # Superblock growth re-anchors the node.
+                            trace = node.trace
                     last_was_trace = True
                     previous, current = dispatch_trace(
                         machine, trace, stats)
@@ -133,8 +160,9 @@ class TraceController:
         advance = self.profiler.advance
         execute = execute_block
         dispatch_trace = self._dispatch_trace
+        linker = self._linker
         snap_every = obs.snapshot_every
-        snap_left = snap_every
+        snap_mark = 0
         current = machine.start()
         previous = None
         last_was_trace = False
@@ -148,6 +176,11 @@ class TraceController:
                     stats.trace_dispatches += 1
                     if last_was_trace:
                         stats.trace_chains += 1
+                        if linker is not None:
+                            linker.record(self._exit_trace,
+                                          self._exit_executed, trace,
+                                          node)
+                            trace = node.trace
                     last_was_trace = True
                     previous, current = dispatch_trace(
                         machine, trace, stats)
@@ -159,76 +192,162 @@ class TraceController:
                 previous = current
                 current = nxt
             if snap_every:
-                snap_left -= 1
-                if snap_left <= 0:
-                    snap_left = snap_every
-                    obs.take_snapshot(
-                        self, dispatches=stats.total_dispatches)
+                # Counted in dispatches, not loop iterations: linked
+                # transfers dispatch several traces per iteration.
+                total = stats.block_dispatches + stats.trace_dispatches
+                if total - snap_mark >= snap_every:
+                    snap_mark = total
+                    obs.take_snapshot(self, dispatches=total)
 
         obs.end_run(self, machine, stats)
 
     # ------------------------------------------------------------------
     def _dispatch_trace(self, machine: Machine, trace: Trace,
                         stats: RunStats):
-        """Execute `trace`; returns (last executed block, successor)."""
-        blocks = trace.blocks
-        count = len(blocks)
-        before = machine.instr_count
+        """Execute `trace`, following installed trace-to-trace links;
+        returns (last executed block, successor)."""
+        optimizer = self.optimizer
+        profiler = self.profiler
+        # The block id preceding the current trace's entry, once the
+        # trampoline has taken at least one link (None on the first
+        # trace: the profiler's branch context is still correct).
+        entry_prev_bid = None
+        compiled = None
 
-        compiled = (self.optimizer.get(trace)
-                    if self.optimizer is not None else None)
-        used_codegen = False
-        if compiled is not None:
-            # Hot path: an installed specialized function is one
-            # attribute load away; the backend_fn call (lazy install,
-            # threshold check) only runs while the trace is cold.
-            fn = compiled.py_fn
-            if fn is None and self._codegen:
-                fn = self.optimizer.backend_fn(compiled)
-            if fn is not None:
-                used_codegen = True
-                frame = machine.frames[-1]
-                executed, nxt, _completed = fn(
-                    machine, frame, frame.stack, frame.locals)
+        while True:
+            blocks = trace.blocks
+            count = len(blocks)
+            before = machine.instr_count
+
+            if compiled is None and optimizer is not None:
+                compiled = optimizer.get(trace)
+            used_codegen = False
+            if compiled is not None:
+                # Hot path: an installed specialized function is one
+                # attribute load away; the backend_fn call (lazy
+                # install, threshold check) only runs while the trace
+                # is cold.
+                fn = compiled.py_fn
+                if fn is None and self._codegen:
+                    fn = optimizer.backend_fn(compiled)
+                if fn is not None:
+                    used_codegen = True
+                    frame = machine.frames[-1]
+                    executed, nxt, _completed = fn(
+                        machine, frame, frame.stack, frame.locals)
+                else:
+                    executed, nxt, _completed = self._run_compiled(
+                        machine, compiled)
             else:
-                executed, nxt, _completed = self._run_compiled(machine,
-                                                               compiled)
-        else:
-            executed = 0
-            current = blocks[0]
-            nxt = None
-            while True:
-                nxt = execute_block(machine, current)
-                executed += 1
-                if executed == count or nxt is None:
-                    break
-                if nxt is not blocks[executed]:
-                    break
-                current = nxt
+                executed = 0
+                current = blocks[0]
+                nxt = None
+                while True:
+                    nxt = execute_block(machine, current)
+                    executed += 1
+                    if executed == count or nxt is None:
+                        break
+                    if nxt is not blocks[executed]:
+                        break
+                    current = nxt
 
-        instructions = machine.instr_count - before
-        stats.trace_entries += 1
-        if executed == count:
-            trace.record_completion(instructions)
-            stats.trace_completions += 1
-            stats.completed_blocks += count
-            stats.instr_in_completed += instructions
-        else:
-            trace.record_partial(executed, instructions)
-            stats.partial_blocks += executed
-            stats.instr_in_partial += instructions
-            # A partial exit from generated code is a guard side exit.
-            if used_codegen and self._bus is not None:
-                self._bus.emit("codegen.side_exit", trace=trace.serial,
-                               executed=executed, of=count)
+            instructions = machine.instr_count - before
+            stats.trace_entries += 1
+            if executed == count:
+                trace.record_completion(instructions)
+                stats.trace_completions += 1
+                stats.completed_blocks += count
+                stats.instr_in_completed += instructions
+            else:
+                trace.record_partial(executed, instructions)
+                stats.partial_blocks += executed
+                stats.instr_in_partial += instructions
+                # A partial exit from generated code is a guard side
+                # exit.
+                if used_codegen and self._bus is not None:
+                    self._bus.emit("codegen.side_exit",
+                                   trace=trace.serial,
+                                   executed=executed, of=count)
+                # A superblock that keeps missing its k-iteration bet
+                # is demoted back to its base trace (idempotent; a
+                # no-op once the anchor has moved).
+                if trace.iterations > 1:
+                    self.cache.demote_superblock(trace)
+
+            # Linked transfer: when this exit has an installed link to
+            # the successor trace, dispatch it right here and skip the
+            # controller round-trip (anchor lookup, dispatch policy,
+            # linker re-observation).  Per-trace accounting above
+            # already ran, so each chained trace keeps its own
+            # statistics.  The link entry pins everything the classic
+            # path re-resolves per dispatch: the successor, both BCG
+            # nodes of the profiling statement, the optimizer record,
+            # and the exit block id.
+            tl = trace.links
+            if tl is not None and nxt is not None:
+                entry = tl.get((executed, nxt.bid))
+                if entry is not None:
+                    target, edge_node, prev_node, tcompiled, \
+                        exit_bid = entry
+                    stats.trace_dispatches += 1
+                    stats.trace_chains += 1
+                    stats.linked_transfers += 1
+                    # The transfer keeps the trace's single profiling
+                    # statement: advance over the link edge from the
+                    # exit's branch context exactly as the controller
+                    # would.  Skipping it starves the exit edge's BCG
+                    # counters — decay then flips hot summaries and
+                    # shatters stable traces into fragments.
+                    if edge_node is None:
+                        edge_node = profiler.bcg.get_or_create(
+                            exit_bid, nxt.bid, nxt)
+                        entry[1] = edge_node
+                    if prev_node is None:
+                        # The exit's prev pair is an intra-trace edge
+                        # (lazily profiled — cacheable once found)
+                        # except at 1-block exits, where it is the
+                        # varying edge this trace was entered through.
+                        if executed >= 2:
+                            prev_node = profiler.bcg.find(
+                                blocks[executed - 2].bid, exit_bid)
+                            if prev_node is not None:
+                                entry[2] = prev_node
+                        elif entry_prev_bid is not None:
+                            prev_node = profiler.bcg.find(
+                                entry_prev_bid, exit_bid)
+                    profiler.advance_link(prev_node, edge_node)
+                    entry_prev_bid = exit_bid
+                    if self._bus is not None:
+                        self._transfer_tick += 1
+                        if self._transfer_tick \
+                                % LINKED_TRANSFER_SAMPLE == 0:
+                            self._bus.emit("codegen.linked_transfer",
+                                           source=trace.serial,
+                                           target=target.serial,
+                                           tick=self._transfer_tick)
+                    if tcompiled is None and optimizer is not None:
+                        tcompiled = optimizer.get(target)
+                        if tcompiled is not None:
+                            entry[3] = tcompiled
+                    compiled = tcompiled
+                    trace = target
+                    continue
+            break
 
         # Intra-trace branches were not profiled; restore the branch
         # context to the last branch the trace actually took.  With
         # fewer than two blocks executed the entry branch is still the
-        # last taken one, so the context is already correct.
+        # last taken one — unless this trace was entered through a
+        # link, in which case the link edge itself was the last branch.
         if executed >= 2:
             self.profiler.resync(blocks[executed - 2].bid,
                                  blocks[executed - 1].bid)
+        elif entry_prev_bid is not None and executed >= 1:
+            self.profiler.resync(entry_prev_bid, blocks[0].bid)
+        # Remember the exit site so the outer loop can feed the linker
+        # if the next dispatch turns out to be another trace.
+        self._exit_trace = trace
+        self._exit_executed = executed
         return blocks[executed - 1], nxt
 
     # ------------------------------------------------------------------
@@ -247,6 +366,10 @@ class TraceController:
         stats.traces_invalidated = cache_stats.traces_invalidated
         stats.anchors_replaced = cache_stats.anchors_replaced
         stats.traces_in_cache = len(self.cache)
+        stats.superblock_traces = cache_stats.superblocks_grown
+        linker = self._linker
+        stats.links_installed = (linker.stats.links_installed
+                                 if linker is not None else 0)
         stats.bcg_nodes = len(self.profiler.bcg)
         stats.bcg_edges = self.profiler.bcg.edge_count
         # Optimizer/codegen counters are set unconditionally (zeroed
@@ -290,6 +413,7 @@ class TraceController:
             stats.events_emitted = 0
             stats.events_suppressed = 0
             stats.obs_snapshots = 0
+        self.last_run_stats = stats
 
 
 def run_traced(program: Program,

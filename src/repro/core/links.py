@@ -1,0 +1,225 @@
+"""Trace-to-trace linking: Dynamo-style exit patching, in data.
+
+Every trace exit — completion or guard side exit — lands back in the
+controller, which pays a profiler ``advance``, an anchor lookup, and an
+optimizer cache probe before the next trace starts.  For hot loops that
+round-trip dominates.  The linker removes it: it counts exit→successor-
+entry edges and, once an edge crosses ``link_threshold``, installs a
+direct link so the controller's dispatch trampoline transfers straight
+into the successor trace without leaving :meth:`_dispatch_trace`.
+
+A link is a pure dispatch shortcut: the successor trace still verifies
+its own block successors and keeps its own statistics, so linking never
+changes execution semantics — only who performs the hand-off.
+
+The linker also detects the self-loop special case (a trace whose
+completion edge re-enters its own anchor) and asks the trace cache to
+regrow it as a k-iteration **superblock** before falling back to a
+self-link, implementing multi-iteration path correlation à la
+Ball–Larus.
+
+Invalidation protocol: when the trace cache unlinks a trace (rebuild,
+anchor replacement, superblock promotion) it calls :meth:`sever`, which
+drops every link into *and* out of that trace plus the pending hotness
+counters, so stale code is never entered through a link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import TraceCacheConfig
+from .trace import Trace
+
+# An exit site is (trace serial, blocks executed at exit); an edge adds
+# the successor block id the machine continued to.  (serial, executed)
+# pins the exiting block, so the edge key uniquely identifies the BCG
+# node the controller would have consulted.
+
+
+@dataclass(slots=True)
+class LinkStats:
+    edges_recorded: int = 0         # distinct exit edges seen
+    links_installed: int = 0
+    links_severed: int = 0
+    fanout_rejections: int = 0      # edge hot but exit site full
+    superblocks_requested: int = 0  # self-loop edges sent to the cache
+
+
+class TraceLinker:
+    """Owns the exit-edge counters and the installed link table."""
+
+    def __init__(self, config: TraceCacheConfig, cache, bus=None) -> None:
+        self.config = config
+        self.cache = cache          # TraceCache: superblock growth
+        self.bus = bus              # repro.obs EventBus, or None
+        # (serial, executed, successor bid) -> hotness count.
+        self.edges: dict[tuple, int] = {}
+        # (serial, executed, successor bid) -> successor Trace: the
+        # canonical link table, read by snapshots and invariant sweeps.
+        # The table the dispatch trampoline actually reads is the
+        # per-trace mirror ``Trace.links`` — ``(executed, succ bid) ->
+        # [target, edge node, prev node, compiled, exit bid]`` — which
+        # turns the per-exit probe into one attribute load and pins
+        # every per-hop lookup (BCG nodes, the optimizer record, the
+        # exit block id) the classic dispatch path re-resolves.
+        self.links: dict[tuple, Trace] = {}
+        # (serial, executed) -> installed link count at that exit site.
+        self.fanout: dict[tuple, int] = {}
+        # trace serial -> link keys it participates in (either side),
+        # for O(links-of-trace) severance.
+        self._by_serial: dict[int, set[tuple]] = {}
+        # trace serial -> Trace, so sever() can reach the per-trace
+        # mirror of links whose *source* is another trace.
+        self._traces: dict[int, Trace] = {}
+        self.stats = LinkStats()
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    # ------------------------------------------------------------------
+    def record(self, prev_trace: Trace, executed: int,
+               next_trace: Trace, edge_node=None) -> None:
+        """One observed exit→entry succession on the slow path.
+
+        Called by the controller when a trace dispatch immediately
+        follows a trace exit without an installed link; `edge_node` is
+        the BCG node of the exit→entry branch the controller just
+        advanced over.  Installs the link (or grows a superblock) once
+        the edge is hot.
+        """
+        key = (prev_trace.serial, executed, next_trace.blocks[0].bid)
+        if key in self.links:
+            return      # already linked; racing re-observation
+        count = self.edges.get(key)
+        if count is None:
+            self.edges[key] = 1
+            self.stats.edges_recorded += 1
+            self._by_serial.setdefault(
+                prev_trace.serial, set()).add(key)
+            self._by_serial.setdefault(
+                next_trace.serial, set()).add(key)
+            self._traces[prev_trace.serial] = prev_trace
+            self._traces[next_trace.serial] = next_trace
+            count = 1
+        else:
+            count += 1
+            self.edges[key] = count
+        if count < self.config.link_threshold:
+            return
+
+        # Hot edge.  A completion that re-enters its own anchor is a
+        # loop back edge: promote to a superblock (once) instead of a
+        # self-link, so k iterations compile as one straight line.
+        if (next_trace is prev_trace
+                and executed == len(prev_trace.blocks)
+                and prev_trace.iterations == 1
+                and self.config.superblock_iters > 1):
+            self.stats.superblocks_requested += 1
+            if self.cache.grow_superblock(prev_trace) is not None:
+                # The anchor now holds the superblock; prev_trace's
+                # links (this edge included) were severed by the cache.
+                return
+            # Growth declined (too long / not re-anchorable): fall
+            # through and self-link the base trace instead.
+
+        site = (key[0], key[1])
+        installed = self.fanout.get(site, 0)
+        if installed >= self.config.link_max_fanout:
+            self.stats.fanout_rejections += 1
+            # Stop counting this edge; the site is full.
+            self.edges.pop(key, None)
+            return
+        self.fanout[site] = installed + 1
+        self.links[key] = next_trace
+        # The dispatch-side mirror: every slot the trampoline would
+        # otherwise re-resolve per hop is pinned here.  The prev-pair
+        # node (slot 2) and the optimizer record (slot 3) are filled
+        # lazily by the controller — the former may not exist yet
+        # (intra-trace branches are profiled lazily), the latter not
+        # until the successor is first dispatched through the link.
+        mirror = prev_trace.links
+        if mirror is None:
+            mirror = prev_trace.links = {}
+        mirror[(executed, key[2])] = [
+            next_trace, edge_node, None, None,
+            prev_trace.blocks[executed - 1].bid]
+        self.stats.links_installed += 1
+        if self.bus is not None:
+            self.bus.emit("trace.link", source=prev_trace.serial,
+                          executed=executed, target=next_trace.serial,
+                          successor_block=key[2], hotness=count)
+
+    # ------------------------------------------------------------------
+    def sever(self, trace: Trace) -> None:
+        """Drop every link and pending edge touching `trace`."""
+        trace.links = None
+        keys = self._by_serial.pop(trace.serial, None)
+        self._traces.pop(trace.serial, None)
+        if not keys:
+            return
+        severed = 0
+        for key in keys:
+            self.edges.pop(key, None)
+            target = self.links.pop(key, None)
+            if target is not None:
+                severed += 1
+                site = (key[0], key[1])
+                remaining = self.fanout.get(site, 0) - 1
+                if remaining > 0:
+                    self.fanout[site] = remaining
+                else:
+                    self.fanout.pop(site, None)
+                if key[0] != trace.serial:
+                    # `trace` was the target: drop the entry from the
+                    # source trace's dispatch mirror too.
+                    source = self._traces.get(key[0])
+                    if source is not None and source.links is not None:
+                        source.links.pop((key[1], key[2]), None)
+            # The key may also be registered under the other endpoint;
+            # leave that set to lazily shed it (pops are idempotent).
+        self.stats.links_severed += severed
+        if severed and self.bus is not None:
+            self.bus.emit("trace.unlink", serial=trace.serial,
+                          links_severed=severed)
+
+    # ------------------------------------------------------------------
+    def invariant_errors(self) -> list[str]:
+        """Structural self-checks, used by repro.check's final sweep."""
+        errors = []
+        sites: dict[tuple, int] = {}
+        for key in self.links:
+            sites[(key[0], key[1])] = sites.get((key[0], key[1]), 0) + 1
+        for site, count in sites.items():
+            if count > self.config.link_max_fanout:
+                errors.append(
+                    f"link fanout {count} at exit site {site} exceeds "
+                    f"link_max_fanout={self.config.link_max_fanout}")
+            if self.fanout.get(site, 0) != count:
+                errors.append(
+                    f"fanout accounting {self.fanout.get(site, 0)} != "
+                    f"{count} installed links at site {site}")
+        for key, target in self.links.items():
+            if key[2] != target.blocks[0].bid:
+                errors.append(
+                    f"link {key} targets trace#{target.serial} whose "
+                    f"entry block is {target.blocks[0].bid}")
+            source = self._traces.get(key[0])
+            mirror = source.links if source is not None else None
+            entry = (mirror or {}).get((key[1], key[2]))
+            if entry is None:
+                errors.append(
+                    f"link {key} missing from its source trace's "
+                    f"dispatch mirror")
+            elif entry[0] is not target:
+                errors.append(
+                    f"dispatch mirror for link {key} targets "
+                    f"trace#{entry[0].serial}, table says "
+                    f"trace#{target.serial}")
+        mirrored = sum(len(t.links) for t in self._traces.values()
+                       if t.links is not None)
+        if mirrored != len(self.links):
+            errors.append(
+                f"{mirrored} dispatch-mirror entries != "
+                f"{len(self.links)} installed links")
+        return errors

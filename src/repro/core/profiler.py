@@ -96,6 +96,39 @@ class Profiler:
         self.last_node = node
         return node
 
+    def advance_link(self, last, node) -> None:
+        """:meth:`advance` for an installed trace-to-trace link.
+
+        A link pins both the branch context at the exit (`last`, the
+        trace's final intra-trace branch node, or None when unknown —
+        the lazy-design "unrecorded succession") and the link-edge node
+        itself, so the context resync and the node lookup that
+        :meth:`resync` + :meth:`advance` would perform are skipped.
+        Everything observable — counters, decay, rechecks — is the
+        profiling statement the classic dispatch path executes.
+        """
+        stats = self.stats
+        stats.advances += 1
+        node.exec_count += 1
+        if last is not None:
+            self.bcg.record_succession(last, node)
+            if last.countdown == 0 \
+                    and last.summary[0] is BranchState.NEWLY_CREATED:
+                self._recheck(last)
+        if node.countdown > 0:
+            node.countdown -= 1
+            if node.countdown == 0:
+                self._recheck(node)
+        elif node.exec_count % self._decay_period == 0:
+            stats.decays += 1
+            self.bcg.decay(node)
+            bus = self.bus
+            if bus is not None:
+                bus.emit("profiler.decay", node=node.key,
+                         serial=stats.advances)
+            self._recheck(node)
+        self.last_node = node
+
     def resync(self, prev_bid: int, cur_bid: int) -> None:
         """Reset the branch context after a trace dispatch.
 

@@ -16,15 +16,24 @@ class Trace:
     __slots__ = ("key", "blocks", "node_keys", "expected_completion",
                  "entries", "completions", "completed_blocks",
                  "partial_blocks", "instr_completed", "instr_partial",
-                 "serial")
+                 "serial", "iterations", "links")
 
     def __init__(self, blocks: tuple, node_keys: tuple,
-                 expected_completion: float, serial: int) -> None:
+                 expected_completion: float, serial: int,
+                 iterations: int = 1) -> None:
         self.key = tuple(b.bid for b in blocks)
         self.blocks = tuple(blocks)
         self.node_keys = tuple(node_keys)
         self.expected_completion = expected_completion
         self.serial = serial
+        # Loop iterations the block sequence covers: 1 for ordinary
+        # traces, k for superblocks grown from k copies of a base trace.
+        self.iterations = iterations
+        # (executed, successor bid) -> link entry, installed by the
+        # TraceLinker once an exit edge runs hot; None until then so
+        # the dispatch trampoline's miss path is a single attribute
+        # load instead of a dict probe.
+        self.links = None
         self.entries = 0
         self.completions = 0
         self.completed_blocks = 0   # sum of len(blocks) per completion

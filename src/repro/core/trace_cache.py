@@ -28,6 +28,8 @@ class TraceCacheStats:
     anchors_set: int = 0
     anchors_replaced: int = 0       # stability: anchor had another trace
     traces_invalidated: int = 0
+    superblocks_grown: int = 0      # k-iteration promotions of hot loops
+    superblocks_demoted: int = 0    # promotions undone (bet lost)
     nodes_examined: int = 0
     entry_points_found: int = 0
     traces_per_signal: list[int] = field(default_factory=list)
@@ -49,6 +51,10 @@ class TraceCache:
         # compilation layers (IR optimizer, codegen backend) can drop
         # their compiled forms of it.
         self.invalidation_sink = None
+        # The trace-to-trace linker (repro.core.links), when linking is
+        # enabled; the cache severs a trace's links whenever it unlinks
+        # or replaces the trace.
+        self.linker = None
         self.stats = TraceCacheStats()
         self._serial = 0
 
@@ -132,6 +138,10 @@ class TraceCache:
         if anchor.trace is not trace:
             if anchor.trace is not None:
                 stats.anchors_replaced += 1
+                # The replaced trace loses its dispatch site; any links
+                # routing into or out of it are stale policy now.
+                if self.linker is not None:
+                    self.linker.sever(anchor.trace)
             anchor.trace = trace
             stats.anchors_set += 1
         for n in chunk:
@@ -156,9 +166,118 @@ class TraceCache:
                     bus.emit("cache.trace_invalidated",
                              serial=unlinked[-1].serial,
                              anchor=anchor_key, cause=node.key)
+        if self.linker is not None:
+            for trace in unlinked:
+                self.linker.sever(trace)
         if self.invalidation_sink is not None:
             for trace in unlinked:
                 self.invalidation_sink(trace)
+
+    # ------------------------------------------------------------------
+    # Multi-iteration superblocks (Ball–Larus path correlation across
+    # loop back edges): a trace whose completion re-enters its own
+    # anchor is regrown as k back-to-back copies so k iterations run as
+    # one straight-line unit in the compiled backend.
+    SUPERBLOCK_BLOCK_CAP = 512      # hard bound on superblock length
+    # Demotion policy: once a superblock has this many entries, a
+    # completion rate below DEMOTE_FACTOR of its expectation hands the
+    # anchor back to the base trace (the k-iteration bet lost — e.g. a
+    # value pattern whose period does not divide k).
+    SUPERBLOCK_PROBATION_ENTRIES = 16
+    SUPERBLOCK_DEMOTE_FACTOR = 0.5
+
+    def _superblock_failed(self, sb: Trace) -> bool:
+        return (sb.entries >= self.SUPERBLOCK_PROBATION_ENTRIES
+                and sb.completion_rate < sb.expected_completion
+                * self.SUPERBLOCK_DEMOTE_FACTOR)
+
+    def grow_superblock(self, base: Trace):
+        """Promote looping `base` to a k-iteration superblock.
+
+        Returns the superblock Trace now holding base's anchor, or
+        ``None`` when growth is declined (k would be < 2, or the base
+        is no longer anchored).  The base trace stays in the dedup
+        table; only its anchor moves.
+        """
+        config = self.config
+        k = min(config.superblock_iters,
+                self.SUPERBLOCK_BLOCK_CAP // len(base.blocks))
+        if k < 2:
+            return None
+        anchor = self.profiler.bcg.nodes.get(base.node_keys[0])
+        if anchor is None or anchor.trace is not base:
+            return None
+        stats = self.stats
+        key = base.key * k
+        sb = self.traces.get(key)
+        if sb is not None and self._superblock_failed(sb):
+            # This growth was already tried and demoted; don't
+            # oscillate — the caller self-links the base instead.
+            return None
+        if sb is None:
+            # Node keys per copy: the first copy keeps the base keys;
+            # every later copy enters through the loop back edge.
+            back_key = (base.blocks[-1].bid, base.blocks[0].bid)
+            node_keys = list(base.node_keys)
+            extra = (back_key,) + base.node_keys[1:]
+            for _ in range(k - 1):
+                node_keys.extend(extra)
+            self._serial += 1
+            sb = Trace(
+                blocks=base.blocks * k,
+                node_keys=tuple(node_keys),
+                expected_completion=base.expected_completion ** k,
+                serial=self._serial,
+                iterations=k,
+            )
+            self.traces[key] = sb
+            stats.superblocks_grown += 1
+            if self.bus is not None:
+                self.bus.emit("trace.superblock_grown", serial=sb.serial,
+                              base=base.serial, iterations=k,
+                              blocks=list(key))
+        else:
+            stats.traces_linked += 1
+        stats.anchors_replaced += 1
+        anchor.trace = sb
+        stats.anchors_set += 1
+        for node_key in sb.node_keys:
+            self.node_to_anchors.setdefault(node_key, set()).add(
+                anchor.key)
+        # The base lost its dispatch site: links through it are stale.
+        if self.linker is not None:
+            self.linker.sever(base)
+        return sb
+
+    def demote_superblock(self, sb: Trace) -> bool:
+        """Hand a failing superblock's anchor back to its base trace.
+
+        Called by the controller when a superblock keeps missing its
+        expected completion (:meth:`_superblock_failed`); idempotent,
+        returns True when the anchor actually moved.
+        """
+        if not self._superblock_failed(sb):
+            return False
+        anchor = self.profiler.bcg.nodes.get(sb.node_keys[0])
+        if anchor is None or anchor.trace is not sb:
+            return False
+        base = self.traces.get(
+            sb.key[:len(sb.key) // sb.iterations])
+        anchor.trace = base     # None when the base itself was dropped
+        stats = self.stats
+        stats.superblocks_demoted += 1
+        stats.anchors_replaced += 1
+        if base is not None:
+            stats.anchors_set += 1
+        if self.linker is not None:
+            self.linker.sever(sb)
+        if self.bus is not None:
+            self.bus.emit(
+                "trace.superblock_demoted", serial=sb.serial,
+                entries=sb.entries,
+                completion_rate=round(sb.completion_rate, 6),
+                expected=round(sb.expected_completion, 6))
+        return True
 
     # ------------------------------------------------------------------
     # Introspection helpers used by examples and experiments.

@@ -52,6 +52,11 @@ class RunStats:
     codegen_source_bytes: int = 0      # generated Python source, total
     codegen_compile_seconds: float = 0.0
     codegen_side_exits: int = 0        # guard exits in generated code
+    # Trace-to-trace linking (config.trace_linking, with the optimizer
+    # on).  Zeroed when linking is off, same convention as above.
+    links_installed: int = 0           # exit->trace links installed
+    linked_transfers: int = 0          # dispatches taken through a link
+    superblock_traces: int = 0         # k-iteration superblocks grown
     # Observability layer (repro.obs).  Zeroed when no Observability
     # is attached, mirroring the codegen convention.
     events_emitted: int = 0            # bus events delivered
@@ -119,6 +124,14 @@ class RunStats:
         return self.trace_chains / self.trace_dispatches
 
     @property
+    def linked_transfer_rate(self) -> float:
+        """Fraction of trace dispatches entered through an installed
+        trace-to-trace link (no controller round-trip)."""
+        if self.trace_dispatches == 0:
+            return 0.0
+        return self.linked_transfers / self.trace_dispatches
+
+    @property
     def steady_state_dispatches_per_signal(self) -> float:
         """Dispatches per signal counting only second-half signals.
 
@@ -165,6 +178,7 @@ class RunStats:
             dispatches_per_signal=self.dispatches_per_signal,
             dispatches_per_trace_event=self.dispatches_per_trace_event,
             dispatch_reduction=self.dispatch_reduction,
+            linked_transfer_rate=self.linked_transfer_rate,
         )
         return raw
 

@@ -42,6 +42,15 @@ KINDS: dict[str, str] = {
     "cache.trace_linked": "a constructed trace deduped onto an existing "
                           "one (hash-table hit)",
     "cache.trace_invalidated": "a trace was unlinked from its anchor",
+    # Trace-to-trace linking (core.links) and superblock growth.
+    "trace.link": "a hot exit edge was linked straight to a successor "
+                  "trace",
+    "trace.unlink": "a trace's links were severed (invalidation or "
+                    "anchor replacement)",
+    "trace.superblock_grown": "a looping trace was regrown as a "
+                              "k-iteration superblock",
+    "trace.superblock_demoted": "a failing superblock's anchor was "
+                                "handed back to its base trace",
     # Trace constructor: the walk/cut pipeline run per signal.
     "constructor.walk_started": "a maximum-likelihood walk began at an "
                                 "entry point",
@@ -54,6 +63,8 @@ KINDS: dict[str, str] = {
     "codegen.side_exit": "a compiled trace guard-exited early",
     "codegen.invalidation_drop": "a compiled form was dropped because "
                                  "the trace cache unlinked its trace",
+    "codegen.linked_transfer": "a sampled trace-to-trace transfer took "
+                               "an installed link (1 in N emitted)",
     # Observability itself.
     "obs.snapshot": "a periodic stable-schema snapshot was taken",
 }

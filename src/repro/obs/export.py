@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import json
 
-SNAPSHOT_SCHEMA = 1
+SNAPSHOT_SCHEMA = 2
 
 # Microseconds; the trace-event format's native unit.
 _US = 1e6
@@ -153,6 +153,7 @@ def build_snapshot(controller, *, dispatches: int | None = None) -> dict:
             "uncompilable": cg.traces_uncompilable,
             "cache_hits": cg.cache_hits,
             "cache_misses": cg.cache_misses,
+            "shared_hits": cg.shared_hits,
             "source_bytes": cg.source_bytes,
             "compile_seconds": cg.compile_seconds,
             "side_exits": codecache.side_exits_total(),
@@ -160,8 +161,27 @@ def build_snapshot(controller, *, dispatches: int | None = None) -> dict:
     else:
         codegen = {
             "enabled": False, "traces_compiled": 0, "uncompilable": 0,
-            "cache_hits": 0, "cache_misses": 0, "source_bytes": 0,
-            "compile_seconds": 0.0, "side_exits": 0,
+            "cache_hits": 0, "cache_misses": 0, "shared_hits": 0,
+            "source_bytes": 0, "compile_seconds": 0.0, "side_exits": 0,
+        }
+
+    linker = getattr(controller, "_linker", None)
+    if linker is not None:
+        lstats = linker.stats
+        linking = {
+            "enabled": True,
+            "links": len(linker.links),
+            "edges_tracked": len(linker.edges),
+            "installed": lstats.links_installed,
+            "severed": lstats.links_severed,
+            "fanout_rejections": lstats.fanout_rejections,
+            "superblocks_grown": cstats.superblocks_grown,
+        }
+    else:
+        linking = {
+            "enabled": False, "links": 0, "edges_tracked": 0,
+            "installed": 0, "severed": 0, "fanout_rejections": 0,
+            "superblocks_grown": 0,
         }
 
     obs = getattr(controller, "obs", None)
@@ -208,6 +228,7 @@ def build_snapshot(controller, *, dispatches: int | None = None) -> dict:
             "decays": pstats.decays,
         },
         "codegen": codegen,
+        "linking": linking,
         "events": events,
         "timers": timers,
         "event_log": None if event_log is None else {

@@ -28,7 +28,9 @@ class CodegenStats:
     traces_compiled: int = 0        # specialized functions installed
     traces_uncompilable: int = 0    # declined (no lowering template)
     cache_hits: int = 0             # code object reused across traces
-    cache_misses: int = 0           # distinct shapes compiled
+    cache_misses: int = 0           # distinct shapes this cache needed
+    shared_hits: int = 0            # shapes adopted from the process
+                                    # memo without paying compile()
     source_bytes: int = 0           # generated Python source, total
     compile_seconds: float = 0.0    # time inside compile()
 
@@ -43,9 +45,24 @@ class CodegenStats:
 class CodeCache:
     """Compile-and-instantiate service for the "py" trace backend."""
 
+    # Process-wide memo of compile() results, shared by every cache
+    # instance.  Generated source is the full structural identity of a
+    # trace shape and code objects are immutable, so a VM can adopt a
+    # shape another VM already paid to compile — fresh-VM reps of a
+    # benchmark, fleet workers, and warm-started serving then compile
+    # each shape once per process instead of once per VM.  Superblocks
+    # lean on this hardest: their k-fold sources are the largest the
+    # backend emits.
+    _shared_code: dict[str, object] = {}
+
     def __init__(self, bus=None) -> None:
         self._code: dict[str, object] = {}     # source text -> code obj
-        self._installed: list[CompiledTrace] = []
+        # Running total of guard side exits across every function this
+        # cache ever installed.  A shared one-element list bound into
+        # each generated function's namespace (as ``EXIT_TOTAL``), so
+        # the exit site increments it directly and stats reads are O(1)
+        # instead of a sum over all installed traces per read.
+        self._exit_total = [0]
         self.stats = CodegenStats()
         self.bus = bus              # repro.obs EventBus, or None
 
@@ -67,18 +84,27 @@ class CodeCache:
             return None
         code = self._code.get(lowered.key)
         if code is None:
-            started = time.perf_counter()
-            code = compile(lowered.source, "<trace-codegen>", "exec")
-            seconds = time.perf_counter() - started
-            self.stats.compile_seconds += seconds
             self.stats.cache_misses += 1
             self.stats.source_bytes += len(lowered.source)
+            shared = CodeCache._shared_code.get(lowered.key)
+            if shared is None:
+                started = time.perf_counter()
+                code = compile(lowered.source, "<trace-codegen>",
+                               "exec")
+                seconds = time.perf_counter() - started
+                self.stats.compile_seconds += seconds
+                CodeCache._shared_code[lowered.key] = code
+            else:
+                code = shared
+                self.stats.shared_hits += 1
+                seconds = 0.0
             self._code[lowered.key] = code
             if bus is not None:
                 bus.emit("codegen.compile", trace=serial,
                          source_bytes=len(lowered.source),
                          guards=lowered.guard_count,
-                         seconds=seconds)
+                         seconds=seconds,
+                         shared=shared is not None)
         else:
             self.stats.cache_hits += 1
             if bus is not None:
@@ -87,18 +113,18 @@ class CodeCache:
         exits = [0] * lowered.guard_count
         namespace = dict(HELPERS)
         namespace["EXITS"] = exits
+        namespace["EXIT_TOTAL"] = self._exit_total
         for index, obj in enumerate(lowered.consts):
             namespace[f"C{index}"] = obj
         exec(code, namespace)
         fn = namespace[TRACE_FN_NAME]
         compiled.py_fn = fn
         compiled.side_exit_counts = exits
-        self._installed.append(compiled)
         self.stats.traces_compiled += 1
         return fn
 
     def side_exits_total(self) -> int:
         """Guard side exits taken inside generated code, summed over
-        every function this cache ever installed."""
-        return sum(sum(c.side_exit_counts) for c in self._installed
-                   if c.side_exit_counts)
+        every function this cache ever installed (O(1): the generated
+        exit paths maintain the running total)."""
+        return self._exit_total[0]

@@ -313,7 +313,8 @@ def _lower(compiled: CompiledTrace) -> LoweredTrace:
 
     defaults = ["execute_block=execute_block",
                 "StepLimitExceeded=StepLimitExceeded",
-                "EXITS=EXITS"]
+                "EXITS=EXITS",
+                "EXIT_TOTAL=EXIT_TOTAL"]
     defaults += [f"C{i}=C{i}" for i in range(len(em.consts))]
     helper_defaults = sorted(
         name for name in HELPERS
@@ -350,6 +351,7 @@ def _side_exit(em: _Emitter, instr, ct: str, exits: str, prefix,
     guard = em.guard_count
     em.emit(f"{ct}.guard_failures += 1", indent)
     em.emit(f"{exits}[{guard}] += 1", indent)
+    em.emit("EXIT_TOTAL[0] += 1", indent)
     em.emit(f"machine.instr_count += {prefix[instr.ordinal + 1]}", indent)
     em.emit(f"return {instr.ordinal + 1}, {successor_expr}, False", indent)
 

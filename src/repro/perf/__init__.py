@@ -34,8 +34,8 @@ from .compare import (Comparison, MetricComparison, compare_reports,
                       to_markdown, to_text)
 from .registry import (CONFIG_PROFILES, SIZE_TIERS, BenchCase, Metric,
                        all_cases, canonical_tier, case_by_id, groups,
-                       profile_config, select, size_from_env,
-                       workload_size)
+                       profile_config, select, set_profile_overrides,
+                       size_from_env, workload_size)
 from .runner import (CaseResult, RunnerOptions, handicap_from_env,
                      machine_fingerprint, run_case, run_cases)
 from .stats import (ComparisonStats, Summary, bootstrap_ci,
@@ -48,7 +48,8 @@ from .store import (STORE_SCHEMA, BaselineStore, BenchReport,
 __all__ = [
     "CONFIG_PROFILES", "SIZE_TIERS", "BenchCase", "Metric",
     "all_cases", "canonical_tier", "case_by_id", "groups",
-    "profile_config", "select", "size_from_env", "workload_size",
+    "profile_config", "select", "set_profile_overrides",
+    "size_from_env", "workload_size",
     "CaseResult", "RunnerOptions", "handicap_from_env",
     "machine_fingerprint", "run_case", "run_cases",
     "ComparisonStats", "Summary", "bootstrap_ci",

@@ -26,6 +26,9 @@ Groups registered here:
   at the paper's default threshold (trace *quality*, deterministic).
 - ``table7.<workload>`` — modeled trace-dispatch overhead fraction
   (the paper's bottom-line claim).
+- ``linking.<workload>.<linked|nolink>`` — the py backend with trace-
+  to-trace linking on vs. ablated, quantifying the controller-round-
+  trip savings of direct trace transfers and superblocks.
 """
 
 from __future__ import annotations
@@ -37,7 +40,8 @@ from dataclasses import dataclass, field
 __all__ = [
     "SIZE_TIERS", "CONFIG_PROFILES", "Metric", "BenchCase",
     "canonical_tier", "workload_size", "size_from_env",
-    "profile_config", "all_cases", "groups", "select", "case_by_id",
+    "profile_config", "set_profile_overrides", "all_cases", "groups",
+    "select", "case_by_id",
 ]
 
 SIZE_TIERS = ("tiny", "small", "full")
@@ -55,7 +59,24 @@ CONFIG_PROFILES: dict[str, dict] = {
     "plain": {},
     "ir": {"optimize_traces": True, "compile_backend": "ir"},
     "py": {"optimize_traces": True, "compile_backend": "py"},
+    # The py backend with trace-to-trace linking ablated: the control
+    # arm of the `linking` group.
+    "py-nolink": {"optimize_traces": True, "compile_backend": "py",
+                  "trace_linking": False},
 }
+
+#: Config keys applied on top of every profile (CLI ablation flags,
+#: e.g. ``repro bench run --no-linking``); CLI wins over the profile.
+_PROFILE_OVERRIDES: dict = {}
+
+
+def set_profile_overrides(**overrides) -> None:
+    """Install config overrides merged into every profile; ``None``
+    values are ignored so unset CLI flags pass through."""
+    _PROFILE_OVERRIDES.clear()
+    _PROFILE_OVERRIDES.update(
+        {key: value for key, value in overrides.items()
+         if value is not None})
 
 #: Default relative-median-shift tolerance per metric kind.  Time is
 #: runner-noise-bound; counts and ratios are near-deterministic.
@@ -90,7 +111,7 @@ def profile_config(profile: str):
         raise KeyError(f"unknown config profile {profile!r}; "
                        f"choose from {sorted(CONFIG_PROFILES)}") \
             from None
-    return TraceCacheConfig(**overrides)
+    return TraceCacheConfig(**{**overrides, **_PROFILE_OVERRIDES})
 
 
 @dataclass(frozen=True)
@@ -189,6 +210,29 @@ def _measure_dispatch(case: BenchCase, size: str):
     return samples, meta
 
 
+def _measure_linking(case: BenchCase, size: str):
+    from ..api import VM
+    from ..workloads import load_workload
+
+    program = load_workload(case.workload, size)
+    vm = VM(program, config=profile_config(case.profile))
+    elapsed, result = vm.run_timed()
+    stats = result.stats
+    samples = {
+        "seconds": elapsed,
+        "linked_transfers": float(stats.linked_transfers),
+        "instructions": float(stats.instr_total),
+    }
+    meta = {
+        "links_installed": stats.links_installed,
+        "superblock_traces": stats.superblock_traces,
+        "trace_dispatches": stats.trace_dispatches,
+        "chain_rate": round(stats.chain_rate, 4),
+        "result": repr(result.value),
+    }
+    return samples, meta
+
+
 def _measure_obs(case: BenchCase, size: str):
     from ..api import VM
     from ..obs import Observability
@@ -273,6 +317,16 @@ _TABLE1_METRICS = (
            kind="ratio", tracked=False),
 )
 
+_LINKING_METRICS = (
+    Metric("seconds"),
+    # Deterministic per-config: a dispatch either takes an installed
+    # link or it doesn't, so the gate pins it tightly.  Zero (and
+    # still tracked) on the nolink control arm.
+    Metric("linked_transfers", unit="transfers", direction="higher",
+           kind="count"),
+    Metric("instructions", unit="instr", kind="count"),
+)
+
 _TABLE7_METRICS = (
     # Timing-derived ratio: generous tolerance, it divides two noisy
     # wall-clock measurements.
@@ -302,6 +356,14 @@ def _build_registry() -> dict[str, BenchCase]:
             group="obs", workload="compressx", profile="py",
             metrics=_OBS_METRICS, measure=_measure_obs,
             variant=variant))
+    for workload in HOT_WORKLOADS:
+        for variant, profile in (("linked", "py"),
+                                 ("nolink", "py-nolink")):
+            add(BenchCase(
+                id=f"linking.{workload}.{variant}",
+                group="linking", workload=workload, profile=profile,
+                metrics=_LINKING_METRICS, measure=_measure_linking,
+                variant=variant))
     for workload in WORKLOAD_NAMES:
         add(BenchCase(
             id=f"table1.{workload}",

@@ -22,7 +22,7 @@ class TestAgreement:
     def test_clean_program_agrees_everywhere(self):
         report = run_spec_differential(generate(0))
         assert report.ok, report.describe()
-        # switch + threaded + all five profiles ran.
+        # switch + threaded + every registered profile ran.
         assert set(report.results) == \
             {"switch", "threaded"} | set(DIFF_PROFILES)
 

@@ -15,6 +15,13 @@ class TestDefaults:
         assert config.decay_period == 256
         assert config.counter_bits == 16
 
+    def test_linking_defaults(self):
+        config = TraceCacheConfig()
+        assert config.trace_linking
+        assert config.link_threshold == 8
+        assert config.link_max_fanout == 4
+        assert config.superblock_iters == 4
+
     def test_counter_max(self):
         assert TraceCacheConfig().counter_max == 65535
         assert TraceCacheConfig(counter_bits=8).counter_max == 255
@@ -37,6 +44,9 @@ class TestValidation:
         dict(min_trace_blocks=1),
         dict(max_trace_blocks=1),
         dict(loop_unroll_copies=0),
+        dict(link_threshold=0),
+        dict(link_max_fanout=0),
+        dict(superblock_iters=0),
     ])
     def test_rejects_bad_values(self, kwargs):
         with pytest.raises(ValueError):

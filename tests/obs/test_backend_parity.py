@@ -64,5 +64,8 @@ class TestBackendParity:
 
     def test_codegen_events_only_on_py_backend(self, runs):
         ir_kinds, py_kinds = runs["ir"][2], runs["py"][2]
-        assert not {k for k in ir_kinds if k.startswith("codegen.")}
+        # linked_transfer is emitted by the dispatch trampoline, which
+        # is backend-independent; every other codegen.* kind is py-only.
+        assert not {k for k in ir_kinds if k.startswith("codegen.")
+                    and k != "codegen.linked_transfer"}
         assert "codegen.compile" in py_kinds

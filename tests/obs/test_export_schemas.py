@@ -121,7 +121,7 @@ class TestChromeTraceSchema:
 
 class TestSnapshotSchema:
     TOP = {"schema", "dispatches", "bcg", "cache", "profiler",
-           "codegen", "events", "timers", "event_log"}
+           "codegen", "linking", "events", "timers", "event_log"}
 
     def test_top_level_keys_pinned(self, observed_run):
         vm, _obs, _events, _chrome = observed_run
@@ -142,8 +142,13 @@ class TestSnapshotSchema:
                                          "decays"}
         assert set(snap["codegen"]) == {"enabled", "traces_compiled",
                                         "uncompilable", "cache_hits",
-                                        "cache_misses", "source_bytes",
+                                        "cache_misses", "shared_hits",
+                                        "source_bytes",
                                         "compile_seconds", "side_exits"}
+        assert set(snap["linking"]) == {"enabled", "links",
+                                        "edges_tracked", "installed",
+                                        "severed", "fanout_rejections",
+                                        "superblocks_grown"}
         assert set(snap["events"]) == {"emitted", "suppressed",
                                        "recorded", "dropped"}
 

@@ -58,6 +58,21 @@ class TestCodeCacheSharing:
         assert (set(a.optimizer.codecache._code)
                 == set(b.optimizer.codecache._code))
 
+    def test_shapes_are_shared_across_cache_instances(self):
+        # The process-wide memo: a second VM compiling the same trace
+        # shapes adopts the code objects the first VM paid for, so it
+        # spends no time inside compile() — the warm-start property
+        # fresh-VM benchmark reps and fleet workers rely on.
+        a, ra = run_py(TWIN_LOOPS)
+        b, rb = run_py(TWIN_LOOPS)
+        sb = b.optimizer.codecache.stats
+        assert sb.shared_hits == sb.cache_misses > 0
+        assert sb.compile_seconds == 0.0
+        # Per-instance accounting is unchanged by the memo.
+        assert sb.cache_misses == len(b.optimizer.codecache)
+        assert sb.source_bytes > 0
+        assert ra.value == rb.value
+
     def test_distinct_constants_are_distinct_shapes(self):
         # Literal operands are part of the source text, so loops that
         # differ only in a mask constant must not share code objects.

@@ -5,7 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.perf import (all_cases, canonical_tier, case_by_id, groups,
-                        profile_config, select, workload_size)
+                        profile_config, select, set_profile_overrides,
+                        workload_size)
 from repro.perf.registry import (CONFIG_PROFILES, DEFAULT_TOLERANCES,
                                  SIZE_TIERS, Metric, size_from_env)
 
@@ -40,7 +41,8 @@ class TestTiers:
 
 class TestProfiles:
     def test_known_profiles(self):
-        assert set(CONFIG_PROFILES) == {"plain", "ir", "py"}
+        assert set(CONFIG_PROFILES) == {"plain", "ir", "py",
+                                        "py-nolink"}
 
     @pytest.mark.parametrize("profile", sorted(CONFIG_PROFILES))
     def test_profile_config_builds(self, profile):
@@ -49,11 +51,32 @@ class TestProfiles:
             assert not config.optimize_traces
         else:
             assert config.optimize_traces
-            assert config.compile_backend == profile
+            assert config.compile_backend == profile.split("-")[0]
+
+    def test_nolink_profile_ablates_linking(self):
+        assert profile_config("py").trace_linking
+        assert not profile_config("py-nolink").trace_linking
 
     def test_unknown_profile_raises(self):
         with pytest.raises(KeyError):
             profile_config("jit")
+
+    def test_profile_overrides_win_and_clear(self):
+        set_profile_overrides(trace_linking=False, superblock_iters=2)
+        try:
+            config = profile_config("py")
+            assert not config.trace_linking
+            assert config.superblock_iters == 2
+        finally:
+            set_profile_overrides()
+        assert profile_config("py").trace_linking
+
+    def test_none_overrides_pass_through(self):
+        set_profile_overrides(trace_linking=None)
+        try:
+            assert profile_config("py").trace_linking
+        finally:
+            set_profile_overrides()
 
 
 class TestMetric:
@@ -79,10 +102,20 @@ class TestSelect:
     def test_all_cases_unique_ids(self):
         ids = [case.id for case in all_cases()]
         assert len(ids) == len(set(ids))
-        assert len(ids) >= 12     # 6 dispatch + 3 obs + 6 table1 + 3 table7
+        # 6 dispatch + 3 obs + 6 linking + 6 table1 + 3 table7
+        assert len(ids) >= 18
 
     def test_groups_cover_matrix(self):
-        assert set(groups()) == {"dispatch", "obs", "table1", "table7"}
+        assert set(groups()) == {"dispatch", "obs", "linking",
+                                 "table1", "table7"}
+
+    def test_linking_group_pairs_linked_and_control(self):
+        cases = select(["linking"])
+        variants = {(c.workload, c.variant): c.profile for c in cases}
+        workloads = {w for w, _ in variants}
+        for workload in workloads:
+            assert variants[(workload, "linked")] == "py"
+            assert variants[(workload, "nolink")] == "py-nolink"
 
     def test_group_name_selects_whole_group(self):
         cases = select(["dispatch"])

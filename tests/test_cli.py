@@ -46,6 +46,16 @@ class TestRun:
         assert main(["run", source_file, "--threshold", "0.99",
                      "--delay", "1"]) == 0
 
+    def test_linking_ablation_flags(self, source_file, capsys):
+        assert main(["run", source_file, "--optimize", "--delay", "8",
+                     "--no-linking"]) == 0
+        linked_off = capsys.readouterr().out
+        assert main(["run", source_file, "--optimize", "--delay", "8",
+                     "--superblock-iters", "2"]) == 0
+        linked_on = capsys.readouterr().out
+        # Same program result either way; linking is dispatch-only.
+        assert linked_off.split()[2] == linked_on.split()[2]
+
 
 class TestDisasm:
     def test_disassembles(self, source_file, capsys):
@@ -181,7 +191,8 @@ class TestObsFlags:
         assert "snapshots" in out
         import json
         snap = json.loads(out.strip().splitlines()[-1])
-        assert snap["schema"] == 1
+        from repro.obs.export import SNAPSHOT_SCHEMA
+        assert snap["schema"] == SNAPSHOT_SCHEMA
         assert "cache" in snap
 
     def test_workload_accepts_obs_flags(self, tmp_path, capsys):
