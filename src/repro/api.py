@@ -86,9 +86,18 @@ class VM:
         zero overhead.
     event_log:
         Legacy :class:`EventLog` capturing raw state-change signals.
+    profile:
+        Warm start: a ``.rprof`` path or an in-memory
+        :class:`~repro.store.ProfileStore` captured by a previous run.
+        The store seeds the profiler, trace cache, links and compiled
+        shapes *before the first dispatch*, so hot paths run as traces
+        from the first iteration.  Fingerprint mismatches (different
+        program, different profiling config) raise
+        :class:`~repro.store.ProfileError` at construction.
 
     The same VM can :meth:`run` repeatedly; the warmed BCG and trace
     cache persist across runs, like a long-running VM re-entering main.
+    :meth:`save_profile` captures that warmth for future processes.
     """
 
     def __init__(self, program_or_source,
@@ -96,6 +105,7 @@ class VM:
                  obs: Observability | None = None,
                  max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
                  event_log: EventLog | None = None,
+                 profile=None,
                  **config_overrides) -> None:
         self.program = compile_program(program_or_source)
         if config_overrides:
@@ -108,6 +118,62 @@ class VM:
             self.program, self.config, max_instructions,
             event_log=event_log, obs=obs)
         self.result: RunResult | None = None
+        if profile is not None:
+            self.load_profile(profile)
+
+    # ------------------------------------------------------------------
+    def load_profile(self, profile) -> dict:
+        """Seed this VM from `profile` (a path or a ProfileStore).
+
+        Returns the seeding summary (restored node/trace/link counts,
+        shapes pre-compiled).  Normally invoked via the ``profile=``
+        constructor argument — seeding an already-run VM is legal but
+        never overwrites state the VM has since learned itself.
+        """
+        from .store import ProfileStore, seed_controller
+        if isinstance(profile, ProfileStore):
+            store, source = profile, "<store>"
+        else:
+            store, source = ProfileStore.load(profile), str(profile)
+        info = seed_controller(self.controller, store, source)
+        self.controller.profile_info = {
+            "warm_started": True,
+            "loaded_nodes": info["nodes"],
+            "loaded_traces": info["traces"],
+            "loaded_links": info["links"],
+            "shapes_precompiled": info["shapes_precompiled"],
+            "saves": (self.controller.profile_info or {}).get(
+                "saves", 0),
+        }
+        return info
+
+    def save_profile(self, path=None):
+        """Capture this VM's learned state as a ProfileStore.
+
+        With `path` the store is also written there (conventionally a
+        ``*.rprof`` file) and the path is returned; without it the
+        in-memory :class:`~repro.store.ProfileStore` is returned.
+        """
+        from .store import capture_profile
+        store = capture_profile(
+            self.controller,
+            created=time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+        info = self.controller.profile_info
+        if info is None:
+            info = self.controller.profile_info = {
+                "warm_started": False, "loaded_nodes": 0,
+                "loaded_traces": 0, "loaded_links": 0,
+                "shapes_precompiled": 0, "saves": 0}
+        info["saves"] += 1
+        bus = self.obs.bus if self.obs is not None else None
+        if bus is not None:
+            bus.emit("profile.saved",
+                     path=None if path is None else str(path),
+                     nodes=len(store.nodes), traces=len(store.traces),
+                     links=len(store.links), shapes=len(store.shapes))
+        if path is None:
+            return store
+        return store.save(path)
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:

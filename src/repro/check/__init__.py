@@ -11,8 +11,8 @@ reproducer shrinking with a JSON corpus format
 
 from __future__ import annotations
 
-from .differential import (DIFF_PROFILES, DiffReport, Divergence,
-                           EngineResult, assert_equivalent,
+from .differential import (DIFF_PROFILES, WARM_PROFILES, DiffReport,
+                           Divergence, EngineResult, assert_equivalent,
                            run_differential, run_spec_differential)
 from .genprog import (MethodSpec, ProgramSpec, build_classdefs,
                       build_program, generate, instruction_count,
@@ -22,7 +22,8 @@ from .shrink import (corpus_files, load_reproducer, save_reproducer,
                      shrink)
 
 __all__ = [
-    "DIFF_PROFILES", "DiffReport", "Divergence", "EngineResult",
+    "DIFF_PROFILES", "WARM_PROFILES", "DiffReport", "Divergence",
+    "EngineResult",
     "assert_equivalent", "run_differential", "run_spec_differential",
     "MethodSpec", "ProgramSpec", "build_classdefs", "build_program",
     "generate", "instruction_count", "spec_from_json", "spec_to_json",

@@ -29,6 +29,7 @@ black-box and whitebox findings.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from ..core import TraceCacheConfig
@@ -41,8 +42,9 @@ from ..jvm.threaded import ThreadedInterpreter
 from .invariants import InvariantChecker
 
 __all__ = [
-    "DIFF_PROFILES", "EngineResult", "Divergence", "DiffReport",
-    "run_differential", "run_spec_differential", "assert_equivalent",
+    "DIFF_PROFILES", "WARM_PROFILES", "EngineResult", "Divergence",
+    "DiffReport", "run_differential", "run_spec_differential",
+    "assert_equivalent",
 ]
 
 REFERENCE_ENGINE = "switch"
@@ -77,6 +79,14 @@ DIFF_PROFILES: dict[str, TraceCacheConfig] = {
                                 trace_linking=True, link_threshold=1,
                                 link_max_fanout=8, superblock_iters=3),
 }
+
+# Warm-start engines (repro.store): each runs the named DIFF_PROFILES
+# config twice — a cold warm-up VM whose captured profile then seeds a
+# fresh VM through a JSON round trip, asserting that pre-seeded
+# profiler/cache/link/codegen state is observably identical to learning
+# it live.  Based on the linking-aggressive profile so restoration
+# covers links and superblocks, not just plain traces.
+WARM_PROFILES: dict[str, str] = {"py-warm": "py-link"}
 
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
 
@@ -253,6 +263,52 @@ def _run_traced(name: str, program: Program, config: TraceCacheConfig,
     return captured
 
 
+def _run_warm(name: str, program: Program, config: TraceCacheConfig,
+              max_instructions: int,
+              check_invariants: bool) -> EngineResult:
+    """A warm-started VM: profile captured from a cold run of the same
+    config, round-tripped through JSON, seeded into a fresh VM."""
+    from ..api import VM
+    from ..obs import Observability
+    from ..store import ProfileStore
+
+    warmup = VM(program, config=config,
+                max_instructions=max_instructions)
+    try:
+        warmup.run()
+    except Exception:
+        # A crashing or limit-hitting warm-up still leaves a valid
+        # partial profile; the warm engine's own observables are what
+        # get compared.
+        pass
+    store = ProfileStore.from_dict(
+        json.loads(warmup.save_profile().to_json()), "<warmup>")
+
+    checker = None
+    if check_invariants:
+        obs = Observability(history=0)
+        vm = VM(program, config=config,
+                max_instructions=max_instructions, obs=obs)
+        # Attach before seeding so cache.trace_restored emissions are
+        # seen and restored serials are accounted for.
+        checker = InvariantChecker(vm.controller).attach(obs.bus)
+    else:
+        vm = VM(program, config=config,
+                max_instructions=max_instructions)
+    vm.load_profile(store)
+
+    def runner():
+        result = vm.run()
+        return (result.machine.result, result.machine.output,
+                result.machine.instr_count, result.stats)
+
+    captured = _capture(name, program, runner)
+    if checker is not None:
+        checker.final_check()
+        captured.invariant_errors = tuple(checker.violations)
+    return captured
+
+
 def _run_baseline(scheme: str, program: Program,
                   max_instructions: int) -> EngineResult:
     from ..harness.experiment import make_selector
@@ -306,19 +362,26 @@ def run_differential(program: Program, profiles=None, *,
     """Run `program` on every engine; returns the structured verdict.
 
     `profiles` selects traced configurations by :data:`DIFF_PROFILES`
-    name (default: all five).  `baselines` names selector schemes
+    name, plus the warm-start engines in :data:`WARM_PROFILES`
+    (default: all of both).  `baselines` names selector schemes
     (e.g. ``("dynamo",)``) to include.  The switch interpreter is the
-    reference; the threaded interpreter and every traced/baseline
+    reference; the threaded interpreter and every traced/warm/baseline
     engine are compared against it.
     """
     if profiles is None:
-        profiles = tuple(DIFF_PROFILES)
+        profiles = tuple(DIFF_PROFILES) + tuple(WARM_PROFILES)
     report = DiffReport()
     reference = _run_switch(program, max_instructions)
     report.results[REFERENCE_ENGINE] = reference
 
     candidates = [_run_threaded(program, max_instructions)]
     for name in profiles:
+        if name in WARM_PROFILES:
+            config = DIFF_PROFILES[WARM_PROFILES[name]]
+            candidates.append(_run_warm(name, program, config,
+                                        max_instructions,
+                                        check_invariants))
+            continue
         config = DIFF_PROFILES[name]
         candidates.append(_run_traced(name, program, config,
                                       max_instructions,

@@ -58,6 +58,7 @@ class InvariantChecker:
         "cache.trace_created",
         "cache.trace_linked",
         "cache.trace_invalidated",
+        "cache.trace_restored",
         "trace.superblock_grown",
     )
 
@@ -98,6 +99,8 @@ class InvariantChecker:
             self._check_linked(data)
         elif kind == "cache.trace_invalidated":
             self._check_invalidated(data)
+        elif kind == "cache.trace_restored":
+            self._check_restored(data)
         elif kind == "trace.superblock_grown":
             self._check_superblock(data)
 
@@ -189,6 +192,30 @@ class InvariantChecker:
                        f"{completion} outside [threshold="
                        f"{config.threshold}, 1.0]")
         self._created[serial] = blocks
+        self._live.add(serial)
+
+    def _check_restored(self, data) -> None:
+        """Warm-start restorations enter the table outside the
+        constructor pipeline (a restored superblock, like a grown one,
+        may legally sit below the completion threshold and above
+        max_trace_blocks), so only serial discipline and the (0, 1]
+        completion range apply."""
+        self._saw_cache_events = True
+        serial = data["serial"]
+        if serial <= self._last_serial:
+            self._fail(f"trace_restored serial {serial} not monotonic "
+                       f"(last was {self._last_serial})")
+        self._last_serial = max(self._last_serial, serial)
+        if serial in self._created:
+            self._fail(f"trace_restored reused serial {serial}")
+        completion = data["expected_completion"]
+        if not 0.0 < completion <= 1.0 + 1e-6:
+            self._fail(f"restored trace #{serial} expected completion "
+                       f"{completion} outside (0, 1]")
+        if data["iterations"] < 1:
+            self._fail(f"restored trace #{serial} with iterations="
+                       f"{data['iterations']}")
+        self._created[serial] = tuple(data["blocks"])
         self._live.add(serial)
 
     def _check_superblock(self, data) -> None:

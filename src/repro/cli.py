@@ -70,6 +70,20 @@ def _config(args) -> TraceCacheConfig:
             getattr(args, "superblock_iters", None), 4))
 
 
+def _vm_profile(args):
+    """The ``--load-profile`` store path, or None."""
+    return getattr(args, "load_profile", None)
+
+
+def _save_profile(vm: VM, args) -> None:
+    """Honor ``--save-profile`` after a run."""
+    path = getattr(args, "save_profile", None)
+    if path:
+        vm.save_profile(path)
+        from .store import ProfileStore
+        print(f"profile -> {path}: {ProfileStore.load(path).describe()}")
+
+
 def _obs(args) -> Observability | None:
     """An Observability context when any obs flag is set, else None."""
     events = getattr(args, "events", None)
@@ -116,7 +130,8 @@ def cmd_run(args) -> int:
         dispatches = interp.dispatch_count
         vm = None
     else:
-        vm = VM(program, config=_config(args), obs=_obs(args))
+        vm = VM(program, config=_config(args), obs=_obs(args),
+                profile=_vm_profile(args))
         traced = vm.run()
         result, output = traced.value, traced.output
         dispatches = traced.stats.total_dispatches
@@ -127,6 +142,7 @@ def cmd_run(args) -> int:
           f"({dispatches:,} dispatches, {elapsed:.3f}s, "
           f"model={args.model})")
     if vm is not None:
+        _save_profile(vm, args)
         _report_obs(vm)
     return 0
 
@@ -141,7 +157,8 @@ def cmd_disasm(args) -> int:
 
 def cmd_workload(args) -> int:
     program = load_workload(args.name, args.size)
-    vm = VM(program, config=_config(args), obs=_obs(args))
+    vm = VM(program, config=_config(args), obs=_obs(args),
+            profile=_vm_profile(args))
     result = vm.run()
     stats = result.stats
     print(f"{args.name} ({args.size}): result={result.value}")
@@ -170,6 +187,7 @@ def cmd_workload(args) -> int:
               .to_table().render())
         print()
         print(stability_report(stats).to_table().render())
+    _save_profile(vm, args)
     return 0
 
 
@@ -204,13 +222,15 @@ def cmd_report(args) -> int:
 
 def cmd_dump(args) -> int:
     program = load_workload(args.name, args.size)
-    vm = VM(program, config=_config(args), obs=_obs(args))
+    vm = VM(program, config=_config(args), obs=_obs(args),
+            profile=_vm_profile(args))
     result = vm.run()
     from .metrics.dump import bcg_to_dot, run_to_json
     if args.format == "dot":
         print(bcg_to_dot(result.profiler.bcg, max_nodes=args.max_nodes))
     else:
         print(run_to_json(result))
+    _save_profile(vm, args)
     _report_obs(vm)
     return 0
 
@@ -224,7 +244,8 @@ def cmd_baselines(args) -> int:
     # The bcg (paper) row honors the shared trace/obs flags; the
     # baseline schemes have their own selection machinery.
     program = load_workload(args.name, args.size)
-    vm = VM(program, config=_config(args), obs=_obs(args))
+    vm = VM(program, config=_config(args), obs=_obs(args),
+            profile=_vm_profile(args))
     stats = vm.run().stats
     table.add_row("bcg (paper)", stats.coverage, stats.completion_rate,
                   stats.average_trace_length, stats.dispatch_reduction)
@@ -236,20 +257,23 @@ def cmd_baselines(args) -> int:
                       sstats.average_trace_length,
                       sstats.dispatch_reduction)
     print(table.render())
+    _save_profile(vm, args)
     _report_obs(vm)
     return 0
 
 
 def cmd_fuzz(args) -> int:
-    from .check import (DIFF_PROFILES, generate, instruction_count,
-                        run_spec_differential, shrink, spec_to_json)
+    from .check import (DIFF_PROFILES, WARM_PROFILES, generate,
+                        instruction_count, run_spec_differential,
+                        shrink, spec_to_json)
     from .check.shrink import save_reproducer
 
+    known = set(DIFF_PROFILES) | set(WARM_PROFILES)
     profiles = tuple(args.profile) if args.profile else None
-    unknown = set(profiles or ()) - set(DIFF_PROFILES)
+    unknown = set(profiles or ()) - known
     if unknown:
         print(f"error: unknown profile(s) {sorted(unknown)}; choose "
-              f"from {sorted(DIFF_PROFILES)}", file=sys.stderr)
+              f"from {sorted(known)}", file=sys.stderr)
         return 2
     started = time.perf_counter()
     for k in range(args.runs):
@@ -272,7 +296,7 @@ def cmd_fuzz(args) -> int:
             # loop runs the differential hundreds of times.
             engines = report.diverging_engines()
             diverging_profiles = tuple(
-                e for e in engines if e in DIFF_PROFILES) or profiles
+                e for e in engines if e in known) or profiles
 
             def still_diverges(candidate):
                 result = run_spec_differential(
@@ -303,8 +327,95 @@ def cmd_fuzz(args) -> int:
 
     elapsed = time.perf_counter() - started
     print(f"fuzz: {args.runs} run(s) from seed {args.seed}, "
-          f"no divergence ({elapsed:.1f}s, "
-          f"profiles={list(profiles or DIFF_PROFILES)})")
+          f"no divergence ({elapsed:.1f}s, profiles="
+          f"{list(profiles) if profiles else list(DIFF_PROFILES) + list(WARM_PROFILES)})")
+    return 0
+
+
+def cmd_profile_inspect(args) -> int:
+    from .store import ProfileStore
+    for path in args.files:
+        store = ProfileStore.load(path)
+        print(f"{path}: {store.describe()}")
+        if args.verbose:
+            for name, value in sorted(store.config_fields.items()):
+                print(f"  {name} = {value}")
+            for record in store.traces:
+                marker = "*" if record.get("anchor") else " "
+                print(f"  {marker} trace {record['blocks']} "
+                      f"p={record['p']:.3f} "
+                      f"x{record.get('iterations', 1)}")
+    return 0
+
+
+def cmd_profile_merge(args) -> int:
+    from .store import ProfileStore, merge_profiles
+    stores = [ProfileStore.load(path) for path in args.inputs]
+    merged = merge_profiles(stores)
+    merged.save(args.out)
+    print(f"{args.out}: {merged.describe()}")
+    return 0
+
+
+# The parity config: aggressive enough that tiny workload sizes form,
+# link and compile traces, so the warm path is exercised end to end.
+_PARITY_OVERRIDES = dict(
+    threshold=0.90, start_state_delay=8, decay_period=32,
+    optimize_traces=True, compile_backend="py", compile_threshold=1,
+    trace_linking=True, link_threshold=2)
+
+
+def cmd_profile_parity(args) -> int:
+    """Cold-vs-warm equivalence gate, run by CI.
+
+    Runs a workload cold, saves its profile, reloads the file into a
+    fresh VM, and asserts the warm run is observably identical (value,
+    output, instruction count, statics) with nonzero restored state
+    and nonzero codegen sharing.  Exits 1 on any mismatch.
+    """
+    program = load_workload(args.name, args.size)
+    config = TraceCacheConfig(**_PARITY_OVERRIDES)
+
+    cold = VM(program, config=config)
+    cold_result = cold.run()
+    cold_statics = program.statics_snapshot()
+    cold.save_profile(args.store)
+
+    warm = VM(program, config=config, profile=args.store)
+    restored = len(warm.cache)
+    warm_result = warm.run()
+    warm_statics = program.statics_snapshot()
+    warm_snapshot = warm.snapshot()
+
+    failures = []
+    for label, cold_value, warm_value in (
+            ("value", cold_result.value, warm_result.value),
+            ("output", cold_result.output, warm_result.output),
+            ("instr_count", cold_result.machine.instr_count,
+             warm_result.machine.instr_count),
+            ("statics", cold_statics, warm_statics)):
+        if cold_value != warm_value:
+            failures.append(f"{label}: cold={cold_value!r} "
+                            f"warm={warm_value!r}")
+    if restored == 0:
+        failures.append("no traces were restored from the profile")
+    if not warm_snapshot["profile"]["warm_started"]:
+        failures.append("warm VM snapshot does not report warm_started")
+    shared = warm_snapshot["codegen"]["shared_hits"]
+    if shared == 0:
+        failures.append("warm VM adopted no shared compiled shapes "
+                        "(shared_hits == 0)")
+
+    print(f"parity {args.name} ({args.size}): "
+          f"{restored} trace(s) restored, "
+          f"{warm_snapshot['profile']['loaded_nodes']} node(s), "
+          f"{warm_snapshot['profile']['loaded_links']} link(s), "
+          f"shared_hits={shared}")
+    if failures:
+        for failure in failures:
+            print(f"PARITY FAILURE: {failure}", file=sys.stderr)
+        return 1
+    print("cold and warm runs are observably identical")
     return 0
 
 
@@ -363,10 +474,14 @@ def cmd_bench_list(args) -> int:
 def _apply_bench_ablations(args) -> None:
     """Install the bench ablation flags as profile config overrides."""
     from .perf import set_profile_overrides
+    from .perf.registry import set_vm_profile_paths
     set_profile_overrides(
         trace_linking=False if getattr(args, "no_linking", False)
         else None,
         superblock_iters=getattr(args, "superblock_iters", None))
+    set_vm_profile_paths(
+        load=getattr(args, "load_profile", None),
+        save=getattr(args, "save_profile", None))
 
 
 def cmd_bench_run(args) -> int:
@@ -473,6 +588,20 @@ def _trace_flags() -> argparse.ArgumentParser:
     return parent
 
 
+def _profile_flags() -> argparse.ArgumentParser:
+    """Parent parser: persistent profile store I/O, defined once."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("profile store options")
+    group.add_argument("--load-profile", metavar="FILE",
+                       help="warm-start the VM from a .rprof profile "
+                            "store saved by a previous run")
+    group.add_argument("--save-profile", metavar="FILE",
+                       help="capture the run's learned state (BCG, "
+                            "traces, links, compiled shapes) to a "
+                            ".rprof profile store")
+    return parent
+
+
 def _obs_flags() -> argparse.ArgumentParser:
     """Parent parser: observability outputs, defined exactly once."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -498,9 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     trace_flags = _trace_flags()
     obs_flags = _obs_flags()
+    profile_flags = _profile_flags()
 
     run = sub.add_parser("run", help="compile and run a mini-Java file",
-                         parents=[trace_flags, obs_flags])
+                         parents=[trace_flags, obs_flags,
+                                  profile_flags])
     run.add_argument("file")
     run.add_argument("--model", choices=("switch", "threaded", "traced"),
                      default="traced")
@@ -512,7 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     workload = sub.add_parser("workload",
                               help="run a paper workload traced",
-                              parents=[trace_flags, obs_flags])
+                              parents=[trace_flags, obs_flags,
+                                       profile_flags])
     workload.add_argument("name", choices=WORKLOAD_NAMES)
     workload.add_argument("--size", choices=SIZES, default="small")
     workload.add_argument("--calibration", action="store_true",
@@ -535,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     dump = sub.add_parser(
         "dump", help="export a run's BCG/traces as JSON or Graphviz",
-        parents=[trace_flags, obs_flags])
+        parents=[trace_flags, obs_flags, profile_flags])
     dump.add_argument("name", choices=WORKLOAD_NAMES)
     dump.add_argument("--size", choices=SIZES, default="tiny")
     dump.add_argument("--format", choices=("json", "dot"),
@@ -545,7 +677,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     baselines = sub.add_parser("baselines",
                                help="compare selection schemes",
-                               parents=[trace_flags, obs_flags])
+                               parents=[trace_flags, obs_flags,
+                                        profile_flags])
     baselines.add_argument("name", choices=WORKLOAD_NAMES)
     baselines.add_argument("--size", choices=SIZES, default="small")
     baselines.set_defaults(func=cmd_baselines)
@@ -578,6 +711,13 @@ def build_parser() -> argparse.ArgumentParser:
                             default=None, metavar="K",
                             help="override the superblock unroll "
                                  "bound in every measured profile")
+        parser.add_argument("--load-profile", metavar="DIR",
+                            help="warm-start measured VMs from "
+                                 "DIR/<case-id>.rprof stores where the "
+                                 "program/config fingerprints match")
+        parser.add_argument("--save-profile", metavar="DIR",
+                            help="capture each measured case's learned "
+                                 "state to DIR/<case-id>.rprof")
 
     def _bench_compare_flags(parser) -> None:
         parser.add_argument("--alpha", type=float, default=0.05,
@@ -642,6 +782,40 @@ def build_parser() -> argparse.ArgumentParser:
     _bench_ablation_flags(bench_gate)
     _bench_compare_flags(bench_gate)
     bench_gate.set_defaults(bench_func=cmd_bench_gate)
+
+    profile = sub.add_parser(
+        "profile",
+        help="inspect, merge, and validate .rprof profile stores")
+    profile_sub = profile.add_subparsers(dest="profile_command",
+                                         required=True)
+
+    profile_inspect = profile_sub.add_parser(
+        "inspect", help="describe one or more profile stores")
+    profile_inspect.add_argument("files", nargs="+", metavar="FILE")
+    profile_inspect.add_argument("--verbose", action="store_true",
+                                 help="also list config fields and "
+                                      "every stored trace")
+    profile_inspect.set_defaults(func=cmd_profile_inspect)
+
+    profile_merge = profile_sub.add_parser(
+        "merge",
+        help="merge compatible stores from multiple runs into one")
+    profile_merge.add_argument("out", metavar="OUT")
+    profile_merge.add_argument("inputs", nargs="+", metavar="FILE")
+    profile_merge.set_defaults(func=cmd_profile_merge)
+
+    profile_parity = profile_sub.add_parser(
+        "parity",
+        help="assert a warm-started run is observably identical to "
+             "the cold run that produced its profile (CI gate)")
+    profile_parity.add_argument("name", choices=WORKLOAD_NAMES)
+    profile_parity.add_argument("--size", choices=SIZES,
+                                default="tiny")
+    profile_parity.add_argument("--store", metavar="FILE",
+                                default="parity.rprof",
+                                help="where to write the intermediate "
+                                     "profile store")
+    profile_parity.set_defaults(func=cmd_profile_parity)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzing across every engine")

@@ -75,6 +75,9 @@ class TraceController:
         self._transfer_tick = 0
         # Exposed for post-run invariant checks (repro.check).
         self.last_run_stats = None
+        # Persistent-profile activity (repro.store): set by the VM
+        # facade on warm start / save; read by the snapshot exporter.
+        self.profile_info = None
         if self.config.optimize_traces:
             # Imported lazily: the optimizer is an optional layer.
             from ..opt import TraceOptimizer, run_compiled

@@ -42,6 +42,8 @@ KINDS: dict[str, str] = {
     "cache.trace_linked": "a constructed trace deduped onto an existing "
                           "one (hash-table hit)",
     "cache.trace_invalidated": "a trace was unlinked from its anchor",
+    "cache.trace_restored": "a trace was re-installed from a "
+                            "persistent profile store (warm start)",
     # Trace-to-trace linking (core.links) and superblock growth.
     "trace.link": "a hot exit edge was linked straight to a successor "
                   "trace",
@@ -65,6 +67,12 @@ KINDS: dict[str, str] = {
                                  "the trace cache unlinked its trace",
     "codegen.linked_transfer": "a sampled trace-to-trace transfer took "
                                "an installed link (1 in N emitted)",
+    # Persistent profile store (repro.store) lifecycle.
+    "profile.loaded": "a persistent profile seeded this VM before "
+                      "dispatch (warm start)",
+    "profile.saved": "this VM's learned state was captured to a "
+                     "persistent profile store",
+    "profile.merged": "profile stores were merged into one",
     # Observability itself.
     "obs.snapshot": "a periodic stable-schema snapshot was taken",
 }

@@ -21,7 +21,7 @@ from __future__ import annotations
 import enum
 import json
 
-SNAPSHOT_SCHEMA = 2
+SNAPSHOT_SCHEMA = 3
 
 # Microseconds; the trace-event format's native unit.
 _US = 1e6
@@ -201,6 +201,18 @@ def build_snapshot(controller, *, dispatches: int | None = None) -> dict:
         timers = {"phases": {}, "dispatch_seconds": 0.0,
                   "spans_recorded": 0, "spans_dropped": 0}
 
+    # Persistent-profile activity (repro.store).  The controller keeps
+    # a running info dict; a cold, never-saved VM reports the zeros.
+    pinfo = getattr(controller, "profile_info", None) or {}
+    profile = {
+        "warm_started": bool(pinfo.get("warm_started", False)),
+        "loaded_nodes": pinfo.get("loaded_nodes", 0),
+        "loaded_traces": pinfo.get("loaded_traces", 0),
+        "loaded_links": pinfo.get("loaded_links", 0),
+        "shapes_precompiled": pinfo.get("shapes_precompiled", 0),
+        "saves": pinfo.get("saves", 0),
+    }
+
     event_log = profiler.event_log
     return {
         "schema": SNAPSHOT_SCHEMA,
@@ -229,6 +241,7 @@ def build_snapshot(controller, *, dispatches: int | None = None) -> dict:
         },
         "codegen": codegen,
         "linking": linking,
+        "profile": profile,
         "events": events,
         "timers": timers,
         "event_log": None if event_log is None else {

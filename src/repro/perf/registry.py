@@ -29,6 +29,10 @@ Groups registered here:
 - ``linking.<workload>.<linked|nolink>`` — the py backend with trace-
   to-trace linking on vs. ablated, quantifying the controller-round-
   trip savings of direct trace transfers and superblocks.
+- ``warmstart.<workload>.<cold|warm>`` — time from run start to the
+  first compiled-trace installation, with the VM starting empty vs.
+  seeded from a persistent profile store (the repro.store claim:
+  warm-started serving skips the profiling ramp entirely).
 """
 
 from __future__ import annotations
@@ -40,7 +44,8 @@ from dataclasses import dataclass, field
 __all__ = [
     "SIZE_TIERS", "CONFIG_PROFILES", "Metric", "BenchCase",
     "canonical_tier", "workload_size", "size_from_env",
-    "profile_config", "set_profile_overrides", "all_cases", "groups",
+    "profile_config", "set_profile_overrides", "set_vm_profile_paths",
+    "warm_profile_for", "record_profile", "all_cases", "groups",
     "select", "case_by_id",
 ]
 
@@ -77,6 +82,54 @@ def set_profile_overrides(**overrides) -> None:
     _PROFILE_OVERRIDES.update(
         {key: value for key, value in overrides.items()
          if value is not None})
+
+#: Bench-wide profile-store I/O installed by ``repro bench run/gate``
+#: ``--load-profile`` / ``--save-profile`` (both directories, one
+#: ``<case-id>.rprof`` per case).  Loading warm-starts every measured
+#: VM whose program/config fingerprints match the on-disk store;
+#: incompatible or absent stores are skipped silently so one directory
+#: can serve a heterogeneous case selection.
+_VM_PROFILE_PATHS: dict = {"load": None, "save": None}
+
+
+def set_vm_profile_paths(load=None, save=None) -> None:
+    """Install the --load-profile / --save-profile directories."""
+    _VM_PROFILE_PATHS["load"] = load
+    _VM_PROFILE_PATHS["save"] = save
+
+
+def _case_store_path(dirpath: str, case_id: str) -> str:
+    return os.path.join(dirpath, f"{case_id}.rprof")
+
+
+def warm_profile_for(case, program, config):
+    """The ProfileStore to seed `case`'s VM from, or None.
+
+    Non-None only when ``--load-profile DIR`` was given, the per-case
+    store exists, and its fingerprints match (program, config).
+    """
+    load = _VM_PROFILE_PATHS["load"]
+    if not load:
+        return None
+    path = _case_store_path(load, case.id)
+    if not os.path.exists(path):
+        return None
+    from ..store import ProfileError, ProfileStore
+    store = ProfileStore.load(path)
+    try:
+        store.check_compatible(program, config, source=path)
+    except ProfileError:
+        return None
+    return store
+
+
+def record_profile(case, vm) -> None:
+    """Honor ``--save-profile DIR`` for one measured repetition."""
+    save = _VM_PROFILE_PATHS["save"]
+    if save:
+        os.makedirs(save, exist_ok=True)
+        vm.save_profile(_case_store_path(save, case.id))
+
 
 #: Default relative-median-shift tolerance per metric kind.  Time is
 #: runner-noise-bound; counts and ratios are near-deterministic.
@@ -185,9 +238,12 @@ def _measure_dispatch(case: BenchCase, size: str):
     from ..workloads import load_workload
 
     program = load_workload(case.workload, size)
+    config = profile_config(case.profile)
     obs = Observability(history=0)       # unwatched bus: timers only
-    vm = VM(program, config=profile_config(case.profile), obs=obs)
+    vm = VM(program, config=config, obs=obs,
+            profile=warm_profile_for(case, program, config))
     elapsed, result = vm.run_timed()
+    record_profile(case, vm)
     stats = result.stats
     timers = obs.timers
     samples = {
@@ -215,8 +271,11 @@ def _measure_linking(case: BenchCase, size: str):
     from ..workloads import load_workload
 
     program = load_workload(case.workload, size)
-    vm = VM(program, config=profile_config(case.profile))
+    config = profile_config(case.profile)
+    vm = VM(program, config=config,
+            profile=warm_profile_for(case, program, config))
     elapsed, result = vm.run_timed()
+    record_profile(case, vm)
     stats = result.stats
     samples = {
         "seconds": elapsed,
@@ -254,6 +313,86 @@ def _measure_obs(case: BenchCase, size: str):
                     events_suppressed=obs.bus.suppressed,
                     snapshots=obs.snapshots_taken)
         vm.close()
+    return samples, meta
+
+
+#: Teacher profiles for the warmstart group, captured once per
+#: (workload, size, profile) and reused by every warm repetition — the
+#: persistent-store analogue of "load the same .rprof for every
+#: serving process".
+_WARMSTART_STORES: dict = {}
+
+
+def _warmstart_store(workload: str, size: str, profile: str):
+    key = (workload, size, profile)
+    store = _WARMSTART_STORES.get(key)
+    if store is None:
+        from ..api import VM
+        from ..workloads import load_workload
+        vm = VM(load_workload(workload, size),
+                config=profile_config(profile))
+        vm.run()
+        store = _WARMSTART_STORES[key] = vm.save_profile()
+    return store
+
+
+def _measure_warmstart(case: BenchCase, size: str):
+    """Time from run start to the first compiled-trace installation.
+
+    The cold arm starts from an empty VM and pays the whole profiling
+    ramp (start-state delay, hot detection, trace construction,
+    compile threshold); the warm arm seeds the same VM from a captured
+    ProfileStore first.  Each repetition swaps in an empty process-wide
+    code memo so neither arm inherits compiles from earlier reps, and
+    the metric falls back to full elapsed time when nothing compiles.
+    """
+    import time as clock
+
+    from ..api import VM
+    from ..obs import Observability
+    from ..opt.codecache import CodeCache
+    from ..workloads import load_workload
+
+    program = load_workload(case.workload, size)
+    config = profile_config(case.profile)
+    store = (None if case.variant == "cold"
+             else _warmstart_store(case.workload, size, case.profile))
+
+    saved_memo = CodeCache._shared_code
+    CodeCache._shared_code = {}
+    try:
+        obs = Observability(history=0)
+        first_compile: list[float] = []
+        obs.bus.subscribe(
+            lambda event: first_compile.append(clock.perf_counter()),
+            kinds=("codegen.compile", "codegen.cache_hit"))
+        load_started = clock.perf_counter()
+        vm = VM(program, config=config, obs=obs, profile=store)
+        load_seconds = clock.perf_counter() - load_started
+        run_started = clock.perf_counter()
+        elapsed, result = vm.run_timed()
+        first_seconds = (first_compile[0] - run_started
+                         if first_compile else elapsed)
+    finally:
+        CodeCache._shared_code = saved_memo
+
+    stats = result.stats
+    samples = {
+        "first_compiled_dispatch_seconds": first_seconds,
+        "seconds": elapsed,
+    }
+    pinfo = vm.controller.profile_info or {}
+    meta = {
+        "warm_started": bool(pinfo.get("warm_started")),
+        "load_seconds": round(load_seconds, 6),
+        "loaded_traces": pinfo.get("loaded_traces", 0),
+        "loaded_nodes": pinfo.get("loaded_nodes", 0),
+        "loaded_links": pinfo.get("loaded_links", 0),
+        "shapes_precompiled": pinfo.get("shapes_precompiled", 0),
+        "shared_hits": vm.snapshot()["codegen"]["shared_hits"],
+        "traces_compiled": stats.codegen_traces_compiled,
+        "result": repr(result.value),
+    }
     return samples, meta
 
 
@@ -327,6 +466,15 @@ _LINKING_METRICS = (
     Metric("instructions", unit="instr", kind="count"),
 )
 
+_WARMSTART_METRICS = (
+    # Cold arms ramp through profiling before anything compiles; warm
+    # arms dispatch restored traces immediately, so the two medians sit
+    # orders of magnitude apart.  Generous tolerance: the quantity is
+    # small on the warm arm and scheduler-noise-bound.
+    Metric("first_compiled_dispatch_seconds", tolerance=0.5),
+    Metric("seconds", tracked=False),
+)
+
 _TABLE7_METRICS = (
     # Timing-derived ratio: generous tolerance, it divides two noisy
     # wall-clock measurements.
@@ -364,6 +512,13 @@ def _build_registry() -> dict[str, BenchCase]:
                 group="linking", workload=workload, profile=profile,
                 metrics=_LINKING_METRICS, measure=_measure_linking,
                 variant=variant))
+    for workload in HOT_WORKLOADS:
+        for variant in ("cold", "warm"):
+            add(BenchCase(
+                id=f"warmstart.{workload}.{variant}",
+                group="warmstart", workload=workload, profile="py",
+                metrics=_WARMSTART_METRICS,
+                measure=_measure_warmstart, variant=variant))
     for workload in WORKLOAD_NAMES:
         add(BenchCase(
             id=f"table1.{workload}",

@@ -1,0 +1,27 @@
+"""repro.store: persistent profiles and AOT warm start.
+
+The engine's learned state — BCG statistics, trace-cache contents,
+trace-to-trace links, compiled-shape identities — lifted into a
+versioned on-disk document (``*.rprof``) and re-instantiated into
+fresh VMs, so profile warm-up is paid once and amortized across runs
+(classic PGO persistence; see DESIGN.md section 13).
+
+    from repro.store import ProfileStore, capture_profile
+
+    vm = VM(program); vm.run()
+    capture_profile(vm.controller).save("app.rprof")
+
+    warm = VM(program, profile="app.rprof")   # seeded before dispatch
+"""
+
+from .merge import merge_profiles
+from .profile import (PROFILE_SCHEMA, ProfileError, ProfileStore,
+                      capture_profile, config_fingerprint,
+                      program_fingerprint)
+from .warmstart import seed_controller
+
+__all__ = [
+    "PROFILE_SCHEMA", "ProfileError", "ProfileStore",
+    "capture_profile", "config_fingerprint", "merge_profiles",
+    "program_fingerprint", "seed_controller",
+]

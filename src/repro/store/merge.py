@@ -1,0 +1,207 @@
+"""Cross-run profile merging: n stores in, one store out, any order.
+
+Merging is defined so that the result is a pure function of the *set*
+of input stores — commutative and associative — because nightly
+pipelines merge shards produced by concurrent runs and must not care
+about arrival order:
+
+- **Edge counters** are summed per (node, successor) and then
+  renormalized *decay-aware*: when any edge of a node overflows the
+  counter cap, every edge of that node is halved (the same right-shift
+  the live decay sweep applies) until all fit.  Halving the whole
+  distribution preserves the conditional probabilities the classifier
+  reads, which plain per-edge clamping would skew toward the cap.
+- **Execution counts** are summed; **countdowns** take the minimum
+  (a node out of the start state in any run is out of it in the merge).
+- **Summaries** are reclassified from the merged distribution; when
+  the merged node has no live edges (fully decayed everywhere) the
+  most informed stored summary wins, ties broken on successor id.
+- **Traces** are deduplicated by block-id sequence — the same identity
+  the live cache's hash table uses.  Serial collisions across stores
+  are resolved by discarding stored serials entirely: the merged store
+  re-issues indices in a canonical order (bases before superblocks,
+  then by block key), and link records are re-pointed through that
+  order.  Anchor collisions (a base and its superblock both claiming
+  the shared entry node across different stores) resolve to the longer
+  trace, matching the live promotion direction.
+- **Links** and **code shapes** are set-unions.  Fanout caps are *not*
+  applied here — they are executor policy, enforced again at load.
+
+All inputs must agree on both fingerprints; merging profiles of
+different programs or profiling configs is meaningless and raises.
+"""
+
+from __future__ import annotations
+
+from .profile import PROFILE_SCHEMA, ProfileError, ProfileStore
+
+__all__ = ["merge_profiles"]
+
+# Mirrors repro.core.config.TraceCacheConfig defaults; used only when a
+# store predates config_fields (never for stores this code writes).
+_DEFAULT_COUNTER_MAX = (1 << 16) - 1
+_DEFAULT_THRESHOLD = 0.95
+
+_STATE_RANK = {"NEWLY_CREATED": 0, "WEAK": 1, "STRONG": 2, "UNIQUE": 3}
+
+
+def _classify(edges: dict, total: int, countdown: int,
+              threshold: float):
+    """The live classifier (repro.core.states.classify) over merged
+    weights."""
+    if countdown > 0 or not edges or total <= 0:
+        return None
+    live = [(w, z) for z, w in edges.items() if w > 0]
+    if not live:
+        return None
+    best_weight, best_z = max(live)
+    if len(live) == 1:
+        return ("UNIQUE", best_z)
+    if best_weight / total >= threshold:
+        return ("STRONG", best_z)
+    return ("WEAK", best_z)
+
+
+def merge_profiles(stores) -> ProfileStore:
+    """Merge ProfileStores into one; see the module docstring for the
+    exact semantics.  Raises ProfileError on empty input or fingerprint
+    disagreement."""
+    stores = list(stores)
+    if not stores:
+        raise ProfileError("nothing to merge: no profile stores given")
+    first = stores[0]
+    for store in stores[1:]:
+        if store.program != first.program:
+            raise ProfileError(
+                f"cannot merge profiles of different programs "
+                f"({store.program} vs {first.program})")
+        if store.config != first.config:
+            raise ProfileError(
+                f"cannot merge profiles of different profiling "
+                f"configs ({store.config} vs {first.config})")
+    config_fields = dict(first.config_fields)
+    counter_bits = config_fields.get("counter_bits")
+    counter_max = ((1 << counter_bits) - 1 if counter_bits
+                   else _DEFAULT_COUNTER_MAX)
+    threshold = config_fields.get("threshold", _DEFAULT_THRESHOLD)
+
+    # ---- Nodes: sum, renormalize, reclassify.
+    merged_nodes: dict[tuple, dict] = {}
+    for store in stores:
+        for record in store.nodes:
+            key = tuple(record["key"])
+            slot = merged_nodes.get(key)
+            if slot is None:
+                slot = merged_nodes[key] = {
+                    "exec": 0, "countdown": None, "edges": {},
+                    "summaries": []}
+            slot["exec"] += int(record.get("exec", 0))
+            countdown = int(record.get("countdown", 0))
+            if slot["countdown"] is None:
+                slot["countdown"] = countdown
+            else:
+                slot["countdown"] = min(slot["countdown"], countdown)
+            for z_text, weight in record["edges"].items():
+                z = int(z_text)
+                slot["edges"][z] = slot["edges"].get(z, 0) + int(weight)
+            slot["summaries"].append(
+                (record.get("state", "NEWLY_CREATED"),
+                 record.get("best")))
+
+    nodes = []
+    for key in sorted(merged_nodes):
+        slot = merged_nodes[key]
+        edges = slot["edges"]
+        # Decay-aware normalization: halve the whole distribution
+        # until every counter fits, then drop decayed-dead edges.
+        while edges and max(edges.values()) > counter_max:
+            edges = {z: w >> 1 for z, w in edges.items()}
+        edges = {z: w for z, w in edges.items() if w > 0}
+        total = sum(edges.values())
+        countdown = slot["countdown"] or 0
+        summary = _classify(edges, total, countdown, threshold)
+        if summary is None:
+            # No live merged distribution: keep the most informed
+            # stored summary (rank by state, tie-break on successor).
+            state, best = max(
+                slot["summaries"],
+                key=lambda s: (_STATE_RANK.get(s[0], 0),
+                               -1 if s[1] is None else -s[1]))
+            summary = (state, best)
+        nodes.append({
+            "key": list(key),
+            "exec": slot["exec"],
+            "countdown": countdown,
+            "edges": {str(z): w for z, w in sorted(edges.items())},
+            "state": summary[0],
+            "best": summary[1],
+        })
+
+    # ---- Traces: dedup by block sequence, canonical re-serialization.
+    merged_traces: dict[tuple, dict] = {}
+    for store in stores:
+        for record in store.traces:
+            key = tuple(record["blocks"])
+            slot = merged_traces.get(key)
+            if slot is None:
+                merged_traces[key] = {
+                    "blocks": list(record["blocks"]),
+                    "node_keys": [list(k)
+                                  for k in record["node_keys"]],
+                    "p": float(record["p"]),
+                    "iterations": int(record.get("iterations", 1)),
+                    "anchor": record.get("anchor"),
+                }
+            else:
+                slot["p"] = max(slot["p"], float(record["p"]))
+                if slot["anchor"] is None:
+                    slot["anchor"] = record.get("anchor")
+
+    # Anchor collisions: at most one trace may hold a node.  Longer
+    # wins (superblock over base); block key breaks exact ties.
+    by_anchor: dict[tuple, tuple] = {}
+    for key, slot in merged_traces.items():
+        anchor = slot["anchor"]
+        if anchor is None:
+            continue
+        anchor = tuple(anchor)
+        holder = by_anchor.get(anchor)
+        if holder is None or (len(key), key) > (len(holder), holder):
+            by_anchor[anchor] = key
+    for key, slot in merged_traces.items():
+        anchor = slot["anchor"]
+        if anchor is not None and by_anchor[tuple(anchor)] != key:
+            slot["anchor"] = None
+
+    ordered = sorted(merged_traces,
+                     key=lambda k: (merged_traces[k]["iterations"] > 1,
+                                    k))
+    index_of = {key: i for i, key in enumerate(ordered)}
+    traces = [merged_traces[key] for key in ordered]
+
+    # ---- Links: set-union, re-pointed through the canonical order.
+    merged_links = set()
+    for store in stores:
+        for record in store.links:
+            src_key = tuple(store.traces[record["source"]]["blocks"])
+            dst_key = tuple(store.traces[record["target"]]["blocks"])
+            merged_links.add((index_of[src_key],
+                              int(record["executed"]),
+                              int(record["succ"]),
+                              index_of[dst_key]))
+    links = [{"source": s, "executed": e, "succ": z, "target": t}
+             for s, e, z, t in sorted(merged_links)]
+
+    shapes = sorted({shape for store in stores
+                     for shape in store.shapes})
+
+    merged = ProfileStore(
+        program=first.program, config=first.config,
+        config_fields=config_fields,
+        nodes=nodes, traces=traces, links=links, shapes=shapes,
+        runs=sum(store.runs for store in stores),
+        created=max((s.created for s in stores
+                     if s.created is not None), default=None),
+        schema=PROFILE_SCHEMA)
+    merged.validate("<merge>")
+    return merged

@@ -1,0 +1,241 @@
+"""AOT warm start: re-instantiate a persisted profile into a fresh VM.
+
+Seeding happens after the controller is constructed and before its
+first dispatch, and rebuilds the live object graph a previous run's
+:func:`~repro.store.profile.capture_profile` flattened:
+
+1. **BCG nodes first, edges second** — every stored node is created
+   with its execution count and start-state countdown, then the edge
+   pass wires :class:`~repro.core.bcg.BranchEdge` objects, maintaining
+   the same invariants ``record_succession`` does (``total`` equals
+   the live weight sum, ``in_keys`` back-references, the ``predicted``
+   inline cache, the graph's ``edges_created`` counter).  Summaries
+   are restored **verbatim** rather than reclassified: the profiler's
+   starvation guard means a saved summary can be *more* informed than
+   what the decayed weights would classify to, and reclassifying would
+   also re-signal the trace cache into rebuilding traces we are about
+   to restore anyway.
+2. **Traces** — fresh :class:`~repro.core.trace.Trace` objects enter
+   the dedup table under new serials issued by the receiving cache
+   (stored order is bases-before-superblocks, so serial order stays
+   topological).  Dynamic counters (entries, completions) start at
+   zero: they describe runs, not programs.  Anchored entries re-take
+   their anchor node and the ``node_to_anchors`` reverse index; each
+   restored trace is announced as ``cache.trace_restored`` so
+   invariant sweeps can account for table entries that were never
+   ``cache.trace_created`` in this process.
+3. **Links** — installed into the linker's canonical table *and* the
+   per-trace dispatch mirrors, with the lazy slots (edge node, prev
+   node, compiled form) left for the trampoline to fill exactly as a
+   live installation would.  Restored links count toward
+   ``links_installed`` so the "linked transfers without installed
+   links" invariant holds, and the fanout cap is re-enforced here
+   because the receiving config's executor-side knobs may be stricter
+   than the recording run's.
+4. **Code shapes** — each stored codecache source key is
+   ``compile()``d into :attr:`CodeCache._shared_code`, the process-
+   wide memo, so the first trace to go hot adopts a ready code object
+   (a ``shared_hits`` adoption) instead of paying ``compile()`` on the
+   dispatch path.  The memo is keyed by the source text itself, so a
+   store can only ever pre-pay compilations the VM would perform
+   verbatim anyway.
+
+Seeding changes *when* work happens, never *what* executes: the warm
+VM's output, instruction count and statics are identical to a cold
+run's (enforced by the ``py-warm`` differential profile).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.bcg import BranchEdge
+from ..core.states import BranchState
+from ..core.trace import Trace
+from .profile import ProfileError, ProfileStore
+
+__all__ = ["seed_controller"]
+
+
+def seed_controller(controller, store: ProfileStore,
+                    source: str = "<profile>") -> dict:
+    """Pre-seed `controller` from `store`; returns a summary dict.
+
+    Raises :class:`ProfileError` on fingerprint mismatch or records
+    that cannot be grounded in the controller's program.  The summary
+    dict (also emitted as ``profile.loaded``) reports what was
+    restored: node/trace/link counts, shapes pre-compiled, and the
+    seconds spent.
+    """
+    started = time.perf_counter()
+    store.check_compatible(controller.program, controller.config,
+                           source)
+    program = controller.program
+    bcg = controller.profiler.bcg
+    block_count = program.block_count
+
+    def block(bid) -> object:
+        if not isinstance(bid, int) or not 0 <= bid < block_count:
+            raise ProfileError(
+                f"{source}: block id {bid!r} outside program "
+                f"(0..{block_count - 1})")
+        return program.block(bid)
+
+    # -- 1a. Nodes.
+    for record in store.nodes:
+        src, dst = record["key"]
+        node = bcg.get_or_create(src, dst, block(dst))
+        node.exec_count = int(record.get("exec", 0))
+        node.countdown = int(record.get("countdown", 0))
+
+    # -- 1b. Edges (all endpoints now exist).
+    cap = controller.config.counter_max
+    for record in store.nodes:
+        node = bcg.nodes[tuple(record["key"])]
+        total = 0
+        best = None
+        for z_text, weight in record["edges"].items():
+            weight = int(weight)
+            if weight <= 0:
+                continue                # decayed-dead edge: not live
+            z = int(z_text)
+            target = bcg.nodes.get((node.dst, z))
+            if target is None:
+                target = bcg.get_or_create(node.dst, z, block(z))
+            edge = node.edges.get(z)
+            if edge is None:
+                edge = BranchEdge(target)
+                node.edges[z] = edge
+                target.in_keys.add(node.key)
+                bcg.edges_created += 1
+            edge.weight = min(weight, cap)
+            total += edge.weight
+            if best is None or edge.weight > best.weight:
+                best = edge
+        node.total = total
+        node.predicted = best
+
+    # -- 1c. Summaries, verbatim (see module docstring).
+    for record in store.nodes:
+        node = bcg.nodes[tuple(record["key"])]
+        try:
+            state = BranchState[record.get("state", "NEWLY_CREATED")]
+        except KeyError:
+            raise ProfileError(
+                f"{source}: unknown branch state "
+                f"{record.get('state')!r}") from None
+        node.summary = (state, record.get("best"))
+
+    # -- 2. Traces.
+    cache = controller.cache
+    bus = controller._bus
+    restored: list[Trace] = []
+    for record in store.traces:
+        blocks = tuple(block(bid) for bid in record["blocks"])
+        node_keys = tuple(tuple(k) for k in record["node_keys"])
+        key = tuple(b.bid for b in blocks)
+        trace = cache.traces.get(key)
+        if trace is None:
+            cache._serial += 1
+            trace = Trace(blocks=blocks, node_keys=node_keys,
+                          expected_completion=float(record["p"]),
+                          serial=cache._serial,
+                          iterations=int(record.get("iterations", 1)))
+            cache.traces[key] = trace
+            if bus is not None:
+                bus.emit("cache.trace_restored", serial=trace.serial,
+                         blocks=list(key),
+                         expected_completion=round(
+                             trace.expected_completion, 6),
+                         iterations=trace.iterations)
+        restored.append(trace)
+        anchor_key = record.get("anchor")
+        if anchor_key is not None:
+            anchor = bcg.nodes.get(tuple(anchor_key))
+            if anchor is None or anchor.key != node_keys[0]:
+                raise ProfileError(
+                    f"{source}: trace {list(key)} anchored at "
+                    f"{anchor_key}, which is not its entry node")
+            if anchor.trace is not trace:
+                anchor.trace = trace
+                cache.stats.anchors_set += 1
+            for node_key in node_keys:
+                cache.node_to_anchors.setdefault(
+                    node_key, set()).add(anchor.key)
+
+    # -- 3. Links.
+    links_restored = 0
+    linker = controller._linker
+    if linker is not None and store.links:
+        max_fanout = controller.config.link_max_fanout
+        for record in store.links:
+            trace = restored[record["source"]]
+            target = restored[record["target"]]
+            executed = int(record["executed"])
+            succ = int(record["succ"])
+            if not 1 <= executed <= len(trace.blocks):
+                raise ProfileError(
+                    f"{source}: link exits trace {list(trace.key)} "
+                    f"after {executed} of {len(trace.blocks)} blocks")
+            if succ != target.blocks[0].bid:
+                raise ProfileError(
+                    f"{source}: link successor {succ} is not the "
+                    f"target trace's entry block "
+                    f"{target.blocks[0].bid}")
+            key = (trace.serial, executed, succ)
+            if key in linker.links:
+                continue
+            site = (trace.serial, executed)
+            if linker.fanout.get(site, 0) >= max_fanout:
+                continue        # receiving config is stricter: drop
+            if key not in linker.edges:
+                linker.edges[key] = controller.config.link_threshold
+                linker.stats.edges_recorded += 1
+            linker.fanout[site] = linker.fanout.get(site, 0) + 1
+            linker.links[key] = target
+            mirror = trace.links
+            if mirror is None:
+                mirror = trace.links = {}
+            mirror[(executed, succ)] = [
+                target, None, None, None,
+                trace.blocks[executed - 1].bid]
+            linker._by_serial.setdefault(trace.serial, set()).add(key)
+            linker._by_serial.setdefault(target.serial, set()).add(key)
+            linker._traces[trace.serial] = trace
+            linker._traces[target.serial] = target
+            linker.stats.links_installed += 1
+            links_restored += 1
+
+    # -- 4. Code shapes, ahead of the first dispatch.
+    shapes_compiled = 0
+    optimizer = controller.optimizer
+    codecache = getattr(optimizer, "codecache", None)
+    if codecache is not None:
+        shared = type(codecache)._shared_code
+        for shape in store.shapes:
+            if shape not in shared:
+                try:
+                    shared[shape] = compile(
+                        shape, "<trace-codegen>", "exec")
+                except SyntaxError as error:
+                    raise ProfileError(
+                        f"{source}: stored code shape does not "
+                        f"compile ({error})") from None
+                shapes_compiled += 1
+
+    info = {
+        "nodes": len(store.nodes),
+        "traces": len(restored),
+        "links": links_restored,
+        "shapes": len(store.shapes),
+        "shapes_precompiled": shapes_compiled,
+        "runs_merged": store.runs,
+        "seconds": time.perf_counter() - started,
+    }
+    if bus is not None:
+        bus.emit("profile.loaded", source=source,
+                 nodes=info["nodes"], traces=info["traces"],
+                 links=info["links"],
+                 shapes_precompiled=shapes_compiled,
+                 seconds=round(info["seconds"], 6))
+    return info

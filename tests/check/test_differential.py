@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.check import (DIFF_PROFILES, assert_equivalent, generate,
+from repro.check import (DIFF_PROFILES, WARM_PROFILES,
+                         assert_equivalent, generate,
                          run_differential, run_spec_differential)
 from repro.check.differential import _normalize
 from repro.jvm import Assembler, ClassDef, MethodDef, Op, link, verify_program
@@ -23,8 +24,9 @@ class TestAgreement:
         report = run_spec_differential(generate(0))
         assert report.ok, report.describe()
         # switch + threaded + every registered profile ran.
-        assert set(report.results) == \
-            {"switch", "threaded"} | set(DIFF_PROFILES)
+        assert set(report.results) == ({"switch", "threaded"}
+                                       | set(DIFF_PROFILES)
+                                       | set(WARM_PROFILES))
 
     def test_profile_subset(self):
         report = run_spec_differential(generate(1), profiles=("py",))

@@ -121,7 +121,8 @@ class TestChromeTraceSchema:
 
 class TestSnapshotSchema:
     TOP = {"schema", "dispatches", "bcg", "cache", "profiler",
-           "codegen", "linking", "events", "timers", "event_log"}
+           "codegen", "linking", "profile", "events", "timers",
+           "event_log"}
 
     def test_top_level_keys_pinned(self, observed_run):
         vm, _obs, _events, _chrome = observed_run
@@ -151,6 +152,10 @@ class TestSnapshotSchema:
                                         "superblocks_grown"}
         assert set(snap["events"]) == {"emitted", "suppressed",
                                        "recorded", "dropped"}
+        assert set(snap["profile"]) == {"warm_started", "loaded_nodes",
+                                        "loaded_traces", "loaded_links",
+                                        "shapes_precompiled", "saves"}
+        assert snap["profile"]["warm_started"] is False
 
     def test_snapshot_is_json_serializable(self, observed_run):
         vm, _obs, _events, _chrome = observed_run

@@ -102,12 +102,22 @@ class TestSelect:
     def test_all_cases_unique_ids(self):
         ids = [case.id for case in all_cases()]
         assert len(ids) == len(set(ids))
-        # 6 dispatch + 3 obs + 6 linking + 6 table1 + 3 table7
-        assert len(ids) >= 18
+        # 6 dispatch + 3 obs + 6 linking + 6 warmstart + 6 table1
+        # + 3 table7
+        assert len(ids) >= 24
 
     def test_groups_cover_matrix(self):
         assert set(groups()) == {"dispatch", "obs", "linking",
-                                 "table1", "table7"}
+                                 "warmstart", "table1", "table7"}
+
+    def test_warmstart_group_pairs_cold_and_warm(self):
+        cases = select(["warmstart"])
+        variants = {(c.workload, c.variant) for c in cases}
+        workloads = {w for w, _ in variants}
+        assert len(workloads) >= 2
+        for workload in workloads:
+            assert (workload, "cold") in variants
+            assert (workload, "warm") in variants
 
     def test_linking_group_pairs_linked_and_control(self):
         cases = select(["linking"])

@@ -1,0 +1,113 @@
+"""CLI surface of the profile store: flags and the profile subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.store import ProfileStore
+
+LOOPY = """
+class Main {
+    static int main() {
+        int total = 0;
+        for (int outer = 0; outer < 120; outer = outer + 1) {
+            for (int i = 0; i < 30; i = i + 1) {
+                if ((i & 3) == 0) { total = total + i * 2; }
+                else { total = total + 1; }
+            }
+        }
+        return total;
+    }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "loopy.mj"
+    path.write_text(LOOPY)
+    return str(path)
+
+
+@pytest.fixture
+def saved(tmp_path, source_file, capsys):
+    path = tmp_path / "run.rprof"
+    assert main(["run", source_file, "--optimize", "--delay", "8",
+                 "--save-profile", str(path)]) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestRunFlags:
+    def test_save_reports_store(self, tmp_path, source_file, capsys):
+        path = tmp_path / "out.rprof"
+        assert main(["run", source_file, "--optimize", "--delay", "8",
+                     "--save-profile", str(path)]) == 0
+        assert "profile schema 1" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_load_round_trip(self, saved, source_file, capsys):
+        assert main(["run", source_file, "--optimize", "--delay", "8",
+                     "--load-profile", str(saved)]) == 0
+        cold = main(["run", source_file, "--optimize", "--delay",
+                     "8"]) == 0
+        assert cold
+
+    def test_load_missing_store_fails_cleanly(self, source_file,
+                                              capsys):
+        assert main(["run", source_file,
+                     "--load-profile", "/nonexistent.rprof"]) == 1
+        assert "no profile store" in capsys.readouterr().err
+
+    def test_workload_save_and_load(self, tmp_path, capsys):
+        path = tmp_path / "wl.rprof"
+        assert main(["workload", "compressx", "--size", "tiny",
+                     "--optimize", "--save-profile", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["workload", "compressx", "--size", "tiny",
+                     "--optimize", "--load-profile", str(path)]) == 0
+
+
+class TestProfileSubcommand:
+    def test_inspect(self, saved, capsys):
+        assert main(["profile", "inspect", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "profile schema 1" in out
+
+    def test_inspect_verbose_lists_traces(self, saved, capsys):
+        assert main(["profile", "inspect", "--verbose",
+                     str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "threshold" in out
+
+    def test_merge(self, tmp_path, saved, source_file, capsys):
+        second = tmp_path / "second.rprof"
+        assert main(["run", source_file, "--optimize", "--delay", "8",
+                     "--save-profile", str(second)]) == 0
+        out_path = tmp_path / "merged.rprof"
+        assert main(["profile", "merge", str(out_path), str(saved),
+                     str(second)]) == 0
+        merged = ProfileStore.load(out_path)
+        assert merged.runs == 2
+
+    def test_merge_incompatible_fails(self, tmp_path, saved, capsys):
+        other_src = tmp_path / "other.mj"
+        other_src.write_text(
+            "class Main { static int main() { return 7; } }")
+        other = tmp_path / "other.rprof"
+        assert main(["run", str(other_src),
+                     "--save-profile", str(other)]) == 0
+        capsys.readouterr()
+        assert main(["profile", "merge",
+                     str(tmp_path / "nope.rprof"),
+                     str(saved), str(other)]) == 1
+        assert "cannot merge" in capsys.readouterr().err
+
+    def test_parity_gate_passes(self, tmp_path, capsys):
+        store = tmp_path / "parity.rprof"
+        assert main(["profile", "parity", "compressx", "--size",
+                     "tiny", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "observably identical" in out
